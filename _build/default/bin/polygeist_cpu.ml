@@ -1,0 +1,161 @@
+(* polygeist-cpu: the command-line driver, mirroring the paper's drop-in
+   usage (Sec. III-C).  It accepts a mini-CUDA file and, like the real
+   tool, [-cuda-lower] selects GPU-to-CPU translation while [-cpuify]
+   picks the lowering/optimization recipe.
+
+     polygeist-cpu kernel.cu -cuda-lower -emit-ir
+     polygeist-cpu kernel.cu -cuda-lower -cpuify=inner-serial -run main 1024
+     polygeist-cpu kernel.cu -mcuda -time 32 *)
+
+open Cmdliner
+
+type cpuify_mode =
+  | Inner_serial
+  | Inner_parallel
+  | No_opt
+
+let build ~(mcuda : bool) ~(cuda_lower : bool) ~(mode : cpuify_mode)
+    (src : string) : Ir.Op.op =
+  let m = Cudafe.Codegen.compile src in
+  if mcuda then Mcuda.lower m
+  else if cuda_lower then begin
+    (match mode with
+     | Inner_serial ->
+       Core.Cpuify.pipeline m;
+       ignore (Core.Omp_lower.run m)
+     | Inner_parallel ->
+       Core.Cpuify.pipeline m;
+       ignore (Core.Omp_lower.run ~options:Core.Omp_lower.inner_par_options m)
+     | No_opt ->
+       Core.Cpuify.run ~use_mincut:false m;
+       ignore (Core.Omp_lower.run m));
+    Core.Canonicalize.run m
+  end;
+  (match Ir.Verifier.verify_result m with
+   | Ok () -> ()
+   | Error e -> failwith ("internal error: lowered IR does not verify: " ^ e));
+  m
+
+let run_entry (m : Ir.Op.op) (entry : string) (sizes : int list) =
+  (* integer arguments are passed through; every pointer parameter gets a
+     zero-initialized float/int buffer of the first size argument *)
+  let f =
+    match Ir.Op.find_func m entry with
+    | Some f -> f
+    | None -> failwith ("no function @" ^ entry)
+  in
+  let default_n = match sizes with n :: _ -> n | [] -> 64 in
+  let sizes = ref sizes in
+  let args =
+    Array.to_list f.Ir.Op.regions.(0).rargs
+    |> List.map (fun (p : Ir.Value.t) ->
+        match p.Ir.Value.typ with
+        | Ir.Types.Memref { elem; _ } ->
+          if Ir.Types.is_float_dtype elem then
+            Interp.Mem.Buf (Interp.Mem.of_float_array (Array.make default_n 0.0))
+          else Interp.Mem.Buf (Interp.Mem.of_int_array (Array.make default_n 0))
+        | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
+          match !sizes with
+          | n :: rest ->
+            sizes := rest;
+            Interp.Mem.Int n
+          | [] -> Interp.Mem.Int default_n
+        end
+        | Ir.Types.Scalar _ -> Interp.Mem.Flt 1.0)
+  in
+  let _, stats = Interp.Eval.run m entry args in
+  Printf.printf
+    "executed @%s: %d ops, %d loads, %d stores, %d barrier waits\n" entry
+    stats.Interp.Eval.ops stats.Interp.Eval.loads stats.Interp.Eval.stores
+    stats.Interp.Eval.barriers
+
+let main file cuda_lower mcuda cpuify emit_ir run_name sizes time_threads
+    machine =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  let mode =
+    match cpuify with
+    | "inner-serial" -> Inner_serial
+    | "inner-parallel" -> Inner_parallel
+    | "no-opt" -> No_opt
+    | other -> failwith ("unknown -cpuify mode: " ^ other)
+  in
+  let m = build ~mcuda ~cuda_lower:(cuda_lower || mcuda) ~mode src in
+  if emit_ir then print_string (Ir.Printer.op_to_string m);
+  (match run_name with
+   | Some entry -> run_entry m entry sizes
+   | None -> ());
+  match time_threads with
+  | Some threads ->
+    let mach = Runtime.Machine.by_name machine in
+    let entry =
+      match run_name with
+      | Some e -> e
+      | None -> begin
+        match Ir.Op.funcs m with
+        | f :: _ -> Ir.Op.func_name f
+        | [] -> failwith "empty module"
+      end
+    in
+    let f = Option.get (Ir.Op.find_func m entry) in
+    let sizes = ref sizes in
+    let args =
+      Array.to_list f.Ir.Op.regions.(0).rargs
+      |> List.map (fun (p : Ir.Value.t) ->
+          match p.Ir.Value.typ with
+          | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
+            match !sizes with
+            | n :: rest ->
+              sizes := rest;
+              Runtime.Cost.Ki n
+            | [] -> Runtime.Cost.Ki 1024
+          end
+          | _ -> Runtime.Cost.Unk)
+    in
+    let r = Runtime.Cost.of_func mach ~threads m entry args in
+    Printf.printf "simulated time @%s on %s with %d threads: %.4e s\n" entry
+      mach.Runtime.Machine.name threads r.Runtime.Cost.seconds
+  | None -> ()
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cu"
+           ~doc:"mini-CUDA source file")
+  in
+  let cuda_lower =
+    Arg.(value & flag & info [ "cuda-lower" ]
+           ~doc:"translate GPU constructs to CPU (the paper's -cuda-lower)")
+  in
+  let mcuda =
+    Arg.(value & flag & info [ "mcuda" ]
+           ~doc:"use the MCUDA-style baseline lowering instead")
+  in
+  let cpuify =
+    Arg.(value & opt string "inner-serial" & info [ "cpuify" ]
+           ~doc:"lowering recipe: inner-serial | inner-parallel | no-opt")
+  in
+  let emit_ir =
+    Arg.(value & flag & info [ "emit-ir" ] ~doc:"print the (lowered) IR")
+  in
+  let run_name =
+    Arg.(value & opt (some string) None & info [ "run" ]
+           ~doc:"interpret the given host function")
+  in
+  let sizes =
+    Arg.(value & opt_all int [] & info [ "size" ]
+           ~doc:"integer argument(s) for -run/-time (repeatable)")
+  in
+  let time_threads =
+    Arg.(value & opt (some int) None & info [ "time" ]
+           ~doc:"report simulated time with this many threads")
+  in
+  let machine =
+    Arg.(value & opt string "commodity" & info [ "machine" ]
+           ~doc:"machine model: commodity | a64fx")
+  in
+  Cmd.v
+    (Cmd.info "polygeist-cpu" ~doc:"CUDA to CPU transpiler (paper reproduction)")
+    Term.(
+      const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
+      $ sizes $ time_threads $ machine)
+
+let () = exit (Cmd.eval cmd)

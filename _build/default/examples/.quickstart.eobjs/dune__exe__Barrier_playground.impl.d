@@ -1,0 +1,1 @@
+examples/barrier_playground.ml: Core Cudafe Ir Printf

@@ -1,0 +1,1 @@
+examples/resnet_infer.ml: List Moccuda Option Printf Runtime Tensor Tensorlib

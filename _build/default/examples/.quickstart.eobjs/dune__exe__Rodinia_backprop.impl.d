@@ -1,0 +1,1 @@
+examples/rodinia_backprop.ml: Core Cudafe Float Interp Ir Option Printf Rodinia Runtime

@@ -1,0 +1,1 @@
+examples/rodinia_backprop.mli:

@@ -1,0 +1,70 @@
+(* Quickstart: the paper's Fig. 1 end to end.
+
+   The [normalize] kernel calls an O(N) [sum] in every thread — O(N^2)
+   total work.  We compile it, show the Sec. III representation, let the
+   lock-step parallel LICM hoist the call out of both parallel loops
+   (O(N) total), lower the barriers away, produce OpenMP, and run both
+   versions to confirm identical results.
+
+     dune exec examples/quickstart.exe *)
+
+let src =
+  {|
+__device__ float sum(float* data, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; i++) total += data[i];
+  return total;
+}
+
+__global__ void normalize(float* out, float* in, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  float val = sum(in, n);
+  if (tid < n)
+    out[tid] = in[tid] / val;
+}
+
+void launch(float* d_out, float* d_in, int n) {
+  normalize<<<(n + 31) / 32, 32>>>(d_out, d_in, n);
+}
+|}
+
+let run_normalize m n =
+  let inp = Interp.Mem.of_float_array (Array.init n (fun i -> float_of_int (i + 1))) in
+  let out = Interp.Mem.of_float_array (Array.make n 0.0) in
+  let _, stats =
+    Interp.Eval.run m "launch"
+      [ Interp.Mem.Buf out; Interp.Mem.Buf inp; Interp.Mem.Int n ]
+  in
+  (Interp.Mem.float_contents out, stats)
+
+let () =
+  print_endline "=== 1. mini-CUDA source (the paper's Fig. 1) ===";
+  print_endline src;
+  let m = Cudafe.Codegen.compile src in
+  print_endline "=== 2. Sec. III representation (kernel inlined at launch) ===";
+  print_endline (Ir.Printer.op_to_string m);
+  let n = 64 in
+  let before, stats_before = run_normalize m n in
+  Printf.printf "GPU-semantics run: %d ops executed (O(N^2): every thread sums)\n\n"
+    stats_before.Interp.Eval.ops;
+  print_endline "=== 3. after the optimization + barrier-lowering pipeline ===";
+  Core.Cpuify.pipeline m;
+  ignore (Core.Omp_lower.run m);
+  Core.Canonicalize.run m;
+  print_endline (Ir.Printer.op_to_string m);
+  let after, stats_after = run_normalize m n in
+  Printf.printf
+    "Lowered run: %d ops executed — the call to @sum was hoisted out of the\n\
+     parallel loops by lock-step LICM, so the total work dropped from\n\
+     O(N^2) to O(N).\n\n"
+    stats_after.Interp.Eval.ops;
+  let same = Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) before after in
+  Printf.printf "Results identical: %b\n" same;
+  let t threads =
+    (Runtime.Cost.of_func Runtime.Machine.commodity ~threads m "launch"
+       [ Runtime.Cost.Unk; Runtime.Cost.Unk; Runtime.Cost.Ki 1_000_000 ])
+      .Runtime.Cost.seconds
+  in
+  Printf.printf
+    "Simulated time at N=1M on the commodity model: 1 thread %.2e s, 32 threads %.2e s\n"
+    (t 1) (t 32)

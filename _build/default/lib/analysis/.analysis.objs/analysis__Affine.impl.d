@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Array Info Int Ir Op Printf String Types Value

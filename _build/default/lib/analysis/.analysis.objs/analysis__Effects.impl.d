@@ -1,0 +1,1 @@
+lib/analysis/effects.ml: Affine Array Hashtbl Info Ir List Op Option Value

@@ -1,0 +1,1 @@
+lib/analysis/effects.mli: Affine Info Ir

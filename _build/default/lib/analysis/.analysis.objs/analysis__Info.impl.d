@@ -1,0 +1,1 @@
+lib/analysis/info.ml: Array Hashtbl Ir List Op Value

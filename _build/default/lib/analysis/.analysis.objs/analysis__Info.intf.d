@@ -1,0 +1,1 @@
+lib/analysis/info.mli: Ir

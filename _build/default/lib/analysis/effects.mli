@@ -1,0 +1,105 @@
+(** Memory-effect analysis: the semantic foundation of
+    [polygeist.barrier].
+
+    A barrier's behaviour is defined as the union of read/write effects
+    of the code reachable before it (up to the previous barrier or the
+    region start) and after it (up to the next barrier or the region
+    end), excluding accesses provably made only by the executing thread
+    (Sec. III-A).  Barrier elimination, motion, and forwarding across
+    barriers all reduce to conflict queries between access collections. *)
+
+type kind =
+  | Read
+  | Write
+
+type access =
+  { base : Ir.Value.t option (** [None]: may touch any location *)
+  ; acc_kind : kind
+  ; idx : Affine.expr option list option
+    (** [None]: unknown indexing; otherwise one affine form per dim *)
+  ; pinned : Ir.Value.Set.t
+    (** thread ivs pinned by enclosing [if (tid == e)] guards *)
+  ; livs : Ir.Value.Set.t
+    (** serial-loop ivs (inside the parallel region) used in [idx] *)
+  ; shifted : bool (** collected through loop wrap-around *)
+  }
+
+val mk_access :
+  ?base:Ir.Value.t ->
+  ?idx:Affine.expr option list ->
+  ?pinned:Ir.Value.Set.t ->
+  ?livs:Ir.Value.Set.t ->
+  ?shifted:bool ->
+  kind ->
+  access
+
+(** {2 Call effect summaries} *)
+
+type summary_item =
+  { s_kind : kind
+  ; s_param : int option (** [None]: unknown base *)
+  }
+
+type summaries
+
+val new_summaries : unit -> summaries
+
+(** Effects of calling the named function, in terms of its parameters;
+    accesses to function-private allocations are omitted.  Recursive
+    cycles and unknown callees degrade to unknown read+write. *)
+val summarize : Ir.Op.op -> summaries -> string -> summary_item list
+
+(** {2 Analysis context} *)
+
+type ctx =
+  { info : Info.t
+  ; modul : Ir.Op.op option
+  ; summaries : summaries
+  ; par : Ir.Op.op option (** the block-parallel loop under analysis *)
+  ; tids : Ir.Value.Set.t
+  }
+
+val make_ctx : ?modul:Ir.Op.op -> ?par:Ir.Op.op -> Info.t -> ctx
+
+(** Thread ivs whose extent is statically 1 (always equal across
+    threads). *)
+val unit_tids : ctx -> Ir.Value.Set.t
+
+(** Per-dimension affine forms (and serial-loop ivs used) of the index
+    operands of a load/store. *)
+val derive_idx :
+  ctx -> Ir.Value.t array -> Affine.expr option list * Ir.Value.Set.t
+
+(** {2 Effect collection} *)
+
+val collect_op : ctx -> pinned:Ir.Value.Set.t -> Ir.Op.op -> access list
+val collect : ctx -> Ir.Op.op list -> access list
+
+(** {2 Aliasing} *)
+
+(** May two base pointers overlap?  Distinct allocations never; an
+    allocation never aliases a parameter; distinct parameters are assumed
+    noalias (documented in DESIGN.md). *)
+val bases_may_alias : Info.t -> Ir.Value.t -> Ir.Value.t -> bool
+
+(** {2 Conflict queries} *)
+
+(** Can the accesses, executed by two DIFFERENT threads, touch the same
+    address with at least one write?  The test behind barrier
+    elimination/motion. *)
+val cross_thread_conflict : ctx -> access -> access -> bool
+
+(** Can they touch the same address at all (same or different thread)?
+    Used by the lock-step LICM check and the forwarding pass. *)
+val any_thread_conflict : ctx -> access -> access -> bool
+
+val conflicts_cross : ctx -> access list -> access list -> bool
+
+(** {2 Barrier interval sets} *)
+
+(** The two interval sets of a barrier (Sec. IV-A): effects reachable
+    backward to the previous barrier / region start, and forward to the
+    next barrier / region end, following loop entry, exit and wrap-around
+    paths. *)
+val barrier_intervals :
+  ctx -> par:Ir.Op.op -> Ir.Op.op -> access list * access list

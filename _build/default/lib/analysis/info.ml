@@ -1,0 +1,89 @@
+(* Structural indexes over one function (or any op tree): defining ops of
+   SSA values, parent links, and containment queries.  Rebuilt by each
+   pass invocation after the tree changes. *)
+
+open Ir
+
+type def =
+  | Def_op of Op.op (* value is a result of this op *)
+  | Def_arg of Op.op * int (* value is arg #i of a region of this op *)
+  | Def_external (* defined outside the analyzed tree (e.g. func params
+                    when analyzing a nested op) *)
+
+type t =
+  { defs : def Value.Tbl.t
+  ; parents : (int, Op.op) Hashtbl.t (* op oid -> parent op *)
+  ; root : Op.op
+  }
+
+let build (root : Op.op) : t =
+  let defs = Value.Tbl.create 256 in
+  let parents = Hashtbl.create 256 in
+  let rec go (op : Op.op) =
+    Array.iter (fun v -> Value.Tbl.replace defs v (Def_op op)) op.results;
+    Array.iter
+      (fun (r : Op.region) ->
+        Array.iteri (fun i v -> Value.Tbl.replace defs v (Def_arg (op, i))) r.rargs;
+        List.iter
+          (fun child ->
+            Hashtbl.replace parents child.Op.oid op;
+            go child)
+          r.body)
+      op.regions
+  in
+  go root;
+  { defs; parents; root }
+
+let def (t : t) (v : Value.t) : def =
+  match Value.Tbl.find_opt t.defs v with
+  | Some d -> d
+  | None -> Def_external
+
+let defining_op (t : t) (v : Value.t) : Op.op option =
+  match def t v with
+  | Def_op op -> Some op
+  | Def_arg _ | Def_external -> None
+
+let parent (t : t) (op : Op.op) : Op.op option =
+  Hashtbl.find_opt t.parents op.oid
+
+(* Is [anc] a (strict or non-strict) ancestor of [op]? *)
+let is_ancestor (t : t) ~(anc : Op.op) (op : Op.op) : bool =
+  let rec go o =
+    o.Op.oid = anc.Op.oid
+    ||
+    match parent t o with
+    | Some p -> go p
+    | None -> false
+  in
+  go op
+
+(* Is value [v] defined inside op [container] (as a result or region arg of
+   it or of anything nested in it)? *)
+let defined_inside (t : t) ~(container : Op.op) (v : Value.t) : bool =
+  match def t v with
+  | Def_op op -> is_ancestor t ~anc:container op
+  | Def_arg (op, _) -> is_ancestor t ~anc:container op
+  | Def_external -> false
+
+(* The chain of ancestors of [op] up to (excluding) [stop], innermost
+   first.  Fails if [stop] is not an ancestor. *)
+let ancestors_up_to (t : t) ~(stop : Op.op) (op : Op.op) : Op.op list =
+  let rec go o acc =
+    match parent t o with
+    | Some p when p.Op.oid = stop.Op.oid -> List.rev acc
+    | Some p -> go p (p :: acc)
+    | None -> invalid_arg "ancestors_up_to: stop is not an ancestor"
+  in
+  go op []
+
+(* All serial-loop induction variables (For ivs and While-iteration
+   context) strictly between [op] and [stop]. *)
+let enclosing_loop_ivs (t : t) ~(stop : Op.op) (op : Op.op) : Value.Set.t =
+  List.fold_left
+    (fun acc (o : Op.op) ->
+      match o.kind with
+      | Op.For -> Value.Set.add (Op.for_iv o) acc
+      | _ -> acc)
+    Value.Set.empty
+    (ancestors_up_to t ~stop op)

@@ -1,0 +1,1 @@
+lib/core/affine_opt.ml: Analysis Array Builder Canonicalize Clone Info Ir List Op Value

@@ -1,0 +1,1 @@
+lib/core/barrier_elim.ml: Analysis Array Builder Effects Info Ir List Op

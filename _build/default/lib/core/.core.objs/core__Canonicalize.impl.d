@@ -1,0 +1,1 @@
+lib/core/canonicalize.ml: Array Builder Clone Float Int32 Ir List Op Option Types Value

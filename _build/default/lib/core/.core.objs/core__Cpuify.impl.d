@@ -1,0 +1,1 @@
+lib/core/cpuify.ml: Array Barrier_elim Builder Canonicalize Cse Interchange Ir Licm List Mem2reg Op Printer Printf Split

@@ -1,0 +1,1 @@
+lib/core/cpuify.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/cse.ml: Analysis Array Clone Hashtbl Info Ir List Op Printf Types Value

@@ -1,0 +1,1 @@
+lib/core/interchange.ml: Analysis Array Builder Clone Effects Info Ir List Op Printer Printf String Types Value

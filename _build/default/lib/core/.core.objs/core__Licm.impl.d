@@ -1,0 +1,1 @@
+lib/core/licm.ml: Analysis Array Effects Info Ir List Op Value

@@ -1,0 +1,1 @@
+lib/core/mem2reg.ml: Analysis Array Clone Effects Hashtbl Info Ir List Op Value

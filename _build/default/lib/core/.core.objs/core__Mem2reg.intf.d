@@ -1,0 +1,1 @@
+lib/core/mem2reg.mli: Ir

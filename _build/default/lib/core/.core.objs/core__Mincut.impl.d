@@ -1,0 +1,1 @@
+lib/core/mincut.ml: Array Queue

@@ -1,0 +1,1 @@
+lib/core/omp_lower.ml: Array Builder Clone Ir List Op Value

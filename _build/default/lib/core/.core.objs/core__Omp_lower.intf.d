@@ -1,0 +1,1 @@
+lib/core/omp_lower.mli: Ir

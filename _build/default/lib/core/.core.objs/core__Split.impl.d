@@ -1,0 +1,1 @@
+lib/core/split.ml: Array Builder Clone Ir Lazy List Mincut Op Option Printf Rewrite Types Value

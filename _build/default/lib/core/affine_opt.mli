@@ -1,0 +1,7 @@
+(** The "affine" ablation of Fig. 13: full unrolling of small
+    constant-trip loops that contain synchronization, which turns in-loop
+    barriers into straight-line ones and lets per-iteration
+    transcendentals ([powf(2,i)]) constant-fold. *)
+
+(** Returns the number of loops unrolled. *)
+val run : Ir.Op.op -> int

@@ -1,0 +1,11 @@
+(** Canonicalization: constant folding, algebraic identities, constant
+    control-flow simplification and dead pure-op elimination.  These are
+    deliberately generic transformations: the barrier semantics are
+    designed so that passes like this keep working unmodified in code
+    containing [polygeist.barrier]. *)
+
+(** Run to fixpoint over a module, in place. *)
+val run : Ir.Op.op -> unit
+
+(** Dead pure-op elimination only; returns whether anything changed. *)
+val dce : Ir.Op.op -> bool

@@ -1,0 +1,122 @@
+(* The barrier-lowering driver (-cpuify): repeatedly applies parallel loop
+   splitting and interchange until no [polygeist.barrier] remains, then
+   the program consists only of barrier-free parallel loops that any CPU
+   backend can execute with plain work sharing.
+
+   One step, for each block-parallel loop that still contains a barrier:
+   - a barrier at the top level of the loop body: split there (Sec. III-B1);
+   - otherwise, if exactly one top-level op contains barriers and the rest
+     of the body is movable prefix/suffix: interchange (Sec. III-B2);
+   - otherwise: isolation — insert fictitious barriers around the first
+     barrier-containing op (always legal: extra barriers only reduce
+     parallelism), which the next iteration splits.
+
+   Options mirror the paper's ablations: [use_mincut] selects min-cut
+   cache minimization vs. caching every live value; [pre_optimize] runs
+   barrier elimination and mem2reg first (always on in the real pipeline,
+   off for the "fission at source level" comparison). *)
+
+open Ir
+
+exception Stuck of string
+
+let insert_isolation_barriers (par : Op.op) : bool =
+  let body = par.Op.regions.(0).body in
+  let rec go pre = function
+    | [] -> None
+    | (c : Op.op) :: rest when Op.contains_barrier c ->
+      let mid = if pre = [] then [] else [ Builder.barrier () ] in
+      let post = if rest = [] then [] else [ Builder.barrier () ] in
+      if mid = [] && post = [] then None
+      else Some (List.rev pre @ mid @ (c :: post) @ rest)
+    | op :: rest -> go (op :: pre) rest
+  in
+  match go [] body with
+  | Some body' ->
+    par.Op.regions.(0).body <- body';
+    true
+  | None -> false
+
+let run ?(use_mincut = true) (m : Op.op) : unit =
+  Split.reset_stats ();
+  let budget = ref 10_000 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    decr budget;
+    if !budget <= 0 then raise (Stuck "cpuify did not converge");
+    let rec visit (op : Op.op) : Op.op list =
+      Array.iter
+        (fun (r : Op.region) -> r.body <- List.concat_map visit r.body)
+        op.Op.regions;
+      match op.Op.kind with
+      | Op.Parallel Op.Block when Op.contains_barrier op -> begin
+        match Split.top_barrier_index op.Op.regions.(0).body with
+        | Some _ -> begin
+          match Split.split_parallel ~use_mincut op with
+          | Some ops ->
+            changed := true;
+            ops
+          | None -> [ op ]
+        end
+        | None -> begin
+          (* interchange when the body shape allows it; otherwise isolate
+             the offending construct with fictitious barriers so the next
+             round splits around it *)
+          match Interchange.interchange m op with
+          | Some ops ->
+            changed := true;
+            ops
+          | None | (exception Interchange.Unsupported _) ->
+            if insert_isolation_barriers op then begin
+              changed := true;
+              [ op ]
+            end
+            else
+              raise
+                (Stuck
+                   (Printf.sprintf "cannot lower barrier in:\n%s"
+                      (Printer.op_to_string op)))
+        end
+      end
+      | _ -> [ op ]
+    in
+    match visit m with [ _ ] -> () | _ -> ()
+  done;
+  (* Nothing may be left synchronizing. *)
+  if Op.contains_barrier m then raise (Stuck "barriers remain after cpuify")
+
+(* The standard pipeline used before lowering to OpenMP: generic cleanups,
+   barrier-specific optimizations, then barrier lowering. *)
+type options =
+  { opt_mincut : bool (* min-cut cache minimization (ablation: mincut) *)
+  ; opt_barrier_elim : bool (* redundant-barrier elimination *)
+  ; opt_mem2reg : bool (* forwarding across barriers *)
+  ; opt_licm : bool (* parallel loop-invariant code motion *)
+  }
+
+let default_options =
+  { opt_mincut = true
+  ; opt_barrier_elim = true
+  ; opt_mem2reg = true
+  ; opt_licm = true
+  }
+
+let pipeline ?(options = default_options) (m : Op.op) : unit =
+  Canonicalize.run m;
+  Cse.run m;
+  if options.opt_mem2reg then ignore (Mem2reg.run m);
+  Canonicalize.run m;
+  Cse.run m;
+  if options.opt_licm then ignore (Licm.run m);
+  if options.opt_barrier_elim then begin
+    ignore (Barrier_elim.run m);
+    ignore (Barrier_elim.hoist_edge_barriers m);
+    ignore (Barrier_elim.run m)
+  end;
+  run ~use_mincut:options.opt_mincut m;
+  Canonicalize.run m;
+  Cse.run m;
+  if options.opt_mem2reg then ignore (Mem2reg.run m);
+  if options.opt_licm then ignore (Licm.run m);
+  Canonicalize.run m

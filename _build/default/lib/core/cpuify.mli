@@ -1,0 +1,22 @@
+(** The barrier-lowering driver (the paper's [-cpuify]): applies parallel
+    loop splitting and interchange to fixpoint until no
+    [polygeist.barrier] remains, plus the standard optimization pipeline
+    run around it. *)
+
+exception Stuck of string
+
+(** Barrier lowering only.  @raise Stuck if a barrier cannot be lowered. *)
+val run : ?use_mincut:bool -> Ir.Op.op -> unit
+
+type options =
+  { opt_mincut : bool
+  ; opt_barrier_elim : bool
+  ; opt_mem2reg : bool
+  ; opt_licm : bool
+  }
+
+val default_options : options
+
+(** Cleanups, barrier-specific optimizations, barrier lowering, cleanups —
+    the full pipeline preceding OpenMP lowering. *)
+val pipeline : ?options:options -> Ir.Op.op -> unit

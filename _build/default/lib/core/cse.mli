@@ -1,0 +1,6 @@
+(** Scope-aware common sub-expression elimination.  Loads participate
+    through memory epochs: stores/calls invalidate; barriers invalidate
+    everything except thread-private allocations (the precise
+    cross-barrier cases belong to {!Mem2reg}). *)
+
+val run : Ir.Op.op -> unit

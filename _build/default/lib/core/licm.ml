@@ -1,0 +1,184 @@
+(* Loop-invariant code motion, in two flavours.
+
+   Serial [scf.for]: the classical transformation — an op with
+   loop-invariant operands moves out when no other op in the loop may
+   conflict with its memory accesses, and (for ops that touch memory) the
+   loop provably executes at least once.
+
+   Parallel loops (Sec. IV-C): the lock-step argument.  Iterations of a
+   parallel loop may be interleaved arbitrarily, so it is legal to imagine
+   all threads executing instruction k before any executes k+1.  An op
+   can therefore be hoisted when its operands are invariant and only
+   *prior* ops in the loop body conflict with it — conflicts with
+   *subsequent* ops do not matter.  This is strictly more powerful than
+   the serial rule and is what hoists the O(N) call to @sum out of the
+   normalize kernel of Fig. 1, turning O(N^2) total work into O(N). *)
+
+open Ir
+open Analysis
+
+let is_pure (op : Op.op) =
+  match op.kind with
+  | Op.Constant _ | Op.Binop _ | Op.Cmp _ | Op.Select | Op.Cast _ | Op.Math _
+  | Op.Dim _ ->
+    true
+  | _ -> false
+
+(* Effects of an op, or None when the op is opaque to this analysis. *)
+let op_effects ctx (op : Op.op) : Effects.access list =
+  Effects.collect_op ctx ~pinned:Value.Set.empty op
+
+let read_only effs =
+  List.for_all (fun (a : Effects.access) -> a.Effects.acc_kind = Effects.Read) effs
+
+(* --- parallel LICM --- *)
+
+(* Hoist ops out of one parallel loop body.  Returns hoisted ops (in
+   order); the loop body is updated in place. *)
+let hoist_from_parallel (info : Info.t) (modul : Op.op) (par : Op.op) :
+  Op.op list =
+  let ctx = Effects.make_ctx ~modul ~par info in
+  let body = par.Op.regions.(0).body in
+  let hoisted = ref [] in
+  let hoisted_vals = ref Value.Set.empty in
+  let prior_writes = ref [] in
+  let invariant (v : Value.t) =
+    (not (Info.defined_inside info ~container:par v))
+    || Value.Set.mem v !hoisted_vals
+  in
+  let keep = ref [] in
+  List.iter
+    (fun (op : Op.op) ->
+      let operands_ok = Array.for_all invariant op.operands in
+      let can_hoist =
+        operands_ok
+        &&
+        if is_pure op then true
+        else begin
+          match op.kind with
+          | Op.Load | Op.Call _ ->
+            let effs = op_effects ctx op in
+            read_only effs
+            && not
+                 (List.exists
+                    (fun (r : Effects.access) ->
+                      List.exists
+                        (fun w -> Effects.any_thread_conflict ctx r w)
+                        !prior_writes)
+                    effs)
+          | _ -> false
+        end
+      in
+      if can_hoist then begin
+        hoisted := op :: !hoisted;
+        Array.iter
+          (fun v -> hoisted_vals := Value.Set.add v !hoisted_vals)
+          op.results
+      end
+      else begin
+        keep := op :: !keep;
+        let effs = op_effects ctx op in
+        prior_writes :=
+          List.filter
+            (fun (a : Effects.access) -> a.Effects.acc_kind = Effects.Write)
+            effs
+          @ !prior_writes
+      end)
+    body;
+  par.Op.regions.(0).body <- List.rev !keep;
+  List.rev !hoisted
+
+(* --- serial LICM --- *)
+
+let const_of info (v : Value.t) =
+  match Info.defining_op info v with
+  | Some { Op.kind = Op.Constant (Op.Cint (n, _)); _ } -> Some n
+  | _ -> None
+
+let trip_at_least_one info (op : Op.op) =
+  match const_of info (Op.for_lo op), const_of info (Op.for_hi op) with
+  | Some lo, Some hi -> lo < hi
+  | _ -> false
+
+let hoist_from_for (info : Info.t) (modul : Op.op) (floop : Op.op) :
+  Op.op list =
+  let ctx = Effects.make_ctx ~modul info in
+  let body = floop.Op.regions.(0).body in
+  let all_writes =
+    List.filter
+      (fun (a : Effects.access) -> a.Effects.acc_kind = Effects.Write)
+      (Effects.collect ctx body)
+  in
+  let nonzero_trip = trip_at_least_one info floop in
+  let hoisted = ref [] in
+  let hoisted_vals = ref Value.Set.empty in
+  let invariant (v : Value.t) =
+    (not (Info.defined_inside info ~container:floop v))
+    || Value.Set.mem v !hoisted_vals
+  in
+  let keep = ref [] in
+  List.iter
+    (fun (op : Op.op) ->
+      let operands_ok = Array.for_all invariant op.operands in
+      let can_hoist =
+        operands_ok
+        &&
+        if is_pure op then true
+        else begin
+          match op.kind with
+          | Op.Load | Op.Call _ when nonzero_trip ->
+            let effs = op_effects ctx op in
+            read_only effs
+            && not
+                 (List.exists
+                    (fun r ->
+                      List.exists
+                        (fun w -> Effects.any_thread_conflict ctx r w)
+                        all_writes)
+                    effs)
+          | _ -> false
+        end
+      in
+      if can_hoist then begin
+        hoisted := op :: !hoisted;
+        Array.iter
+          (fun v -> hoisted_vals := Value.Set.add v !hoisted_vals)
+          op.results
+      end
+      else keep := op :: !keep)
+    body;
+  floop.Op.regions.(0).body <- List.rev !keep;
+  List.rev !hoisted
+
+(* --- driver: innermost-first until fixpoint --- *)
+
+let run (m : Op.op) : int =
+  let moved = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let info = Info.build m in
+    let rec visit (op : Op.op) : Op.op list =
+      Array.iter
+        (fun (r : Op.region) -> r.body <- List.concat_map visit r.body)
+        op.Op.regions;
+      match op.Op.kind with
+      | Op.Parallel _ | Op.OmpWsloop ->
+        let h = hoist_from_parallel info m op in
+        if h <> [] then begin
+          changed := true;
+          moved := !moved + List.length h
+        end;
+        h @ [ op ]
+      | Op.For ->
+        let h = hoist_from_for info m op in
+        if h <> [] then begin
+          changed := true;
+          moved := !moved + List.length h
+        end;
+        h @ [ op ]
+      | _ -> [ op ]
+    in
+    match visit m with [ _ ] -> () | _ -> ()
+  done;
+  !moved

@@ -1,0 +1,8 @@
+(** Loop-invariant code motion: the classical serial rule for [scf.for],
+    and the paper's lock-step rule for parallel loops (Sec. IV-C) — an
+    op hoists when its operands are invariant and only PRIOR ops in the
+    body conflict with it, which is what turns Fig. 1's O(N^2) normalize
+    into O(N). *)
+
+(** Runs to fixpoint; returns the number of ops moved. *)
+val run : Ir.Op.op -> int

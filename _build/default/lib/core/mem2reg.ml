@@ -1,0 +1,327 @@
+(* Memory-to-register promotion, including across barriers (Sec. IV-B).
+
+   Three cooperating transformations:
+
+   1. Store-to-load forwarding: a load reading exactly the address of an
+      earlier available store is replaced by the stored value.  A barrier
+      between them does NOT kill the forwarding when the barrier's memory
+      effects (accesses of *other* threads, per the Sec. III-A hole)
+      cannot write that address — this is what lets the weights[ty][tx]
+      store/load pair of Rodinia backprop (Fig. 9) promote to a register.
+
+   2. Dead store elimination: a store overwritten at the same address
+      before any possible observation (same-thread loads, calls,
+      cross-thread reads through a barrier) is removed.
+
+   3. Dead allocation elimination: an alloca/alloc whose only uses are
+      stores into it (and deallocs) is removed together with those
+      stores.  This erases the frontend's mutable-local slots once their
+      loads were forwarded. *)
+
+open Ir
+open Analysis
+
+type entry =
+  { e_base : Value.t
+  ; e_idx : int array (* value ids of the index operands *)
+  ; e_val : Value.t
+  ; e_store : Op.op
+  ; mutable e_observed : bool
+  ; e_read : Effects.access (* the address as a read (for write conflicts) *)
+  ; e_write : Effects.access (* the address as a write (for read conflicts) *)
+  }
+
+type st =
+  { subst : Clone.subst
+  ; dead : (int, unit) Hashtbl.t (* oids of stores to delete *)
+  ; info : Info.t
+  ; modul : Op.op
+  ; barrier_sets : (int, Effects.access list * Effects.access list) Hashtbl.t
+  ; mutable forwards : int
+  ; mutable dead_stores : int
+  }
+
+(* Nearest enclosing block-level parallel loop, if any. *)
+let rec nearest_block_par (info : Info.t) (op : Op.op) : Op.op option =
+  match Info.parent info op with
+  | None -> None
+  | Some p -> begin
+    match p.Op.kind with
+    | Op.Parallel Op.Block -> Some p
+    | _ -> nearest_block_par info p
+  end
+
+(* Is this buffer private to each thread of the block loop (allocated
+   inside the thread-parallel body)? *)
+let thread_private (st : st) (base : Value.t) : bool =
+  match Info.defining_op st.info base with
+  | Some ({ Op.kind = Op.Alloc | Op.Alloca; _ } as def) ->
+    nearest_block_par st.info def <> None
+  | _ -> false
+
+let entry_of_store (ctx : Effects.ctx) (op : Op.op) : entry =
+  let idx_ops = Array.sub op.operands 2 (Array.length op.operands - 2) in
+  let dims, livs = Effects.derive_idx ctx idx_ops in
+  let mk kind =
+    Effects.mk_access ~base:op.operands.(1) ~idx:dims ~livs kind
+  in
+  { e_base = op.operands.(1)
+  ; e_idx = Array.map (fun (v : Value.t) -> v.id) idx_ops
+  ; e_val = op.operands.(0)
+  ; e_store = op
+  ; e_observed = false
+  ; e_read = mk Effects.Read
+  ; e_write = mk Effects.Write
+  }
+
+let exact_match (e : entry) ~(base : Value.t) ~(idx : int array) =
+  Value.equal e.e_base base && e.e_idx = idx
+
+(* Access conflict helpers against an op's whole effect list. *)
+let may_read_entry ctx (effs : Effects.access list) (e : entry) =
+  List.exists
+    (fun (a : Effects.access) ->
+      a.Effects.acc_kind = Effects.Read
+      && Effects.any_thread_conflict ctx e.e_write a)
+    effs
+
+let may_write_entry ctx (effs : Effects.access list) (e : entry) =
+  List.exists
+    (fun (a : Effects.access) ->
+      a.Effects.acc_kind = Effects.Write
+      && Effects.any_thread_conflict ctx e.e_read a)
+    effs
+
+let rec walk_region (st : st) ~(par : Op.op option)
+    (entries : entry list ref) (ops : Op.op list) : Op.op list =
+  let ctx = Effects.make_ctx ~modul:st.modul ?par st.info in
+  List.concat_map
+    (fun (op : Op.op) ->
+      op.operands <- Array.map (Clone.lookup st.subst) op.operands;
+      match op.kind with
+      | Op.Store ->
+        let base = op.operands.(1) in
+        let idx =
+          Array.map
+            (fun (v : Value.t) -> v.id)
+            (Array.sub op.operands 2 (Array.length op.operands - 2))
+        in
+        (* exact overwrite: the previous store is dead if unobserved *)
+        entries :=
+          List.filter
+            (fun e ->
+              if exact_match e ~base ~idx then begin
+                if not e.e_observed then begin
+                  Hashtbl.replace st.dead e.e_store.Op.oid ();
+                  st.dead_stores <- st.dead_stores + 1
+                end;
+                false
+              end
+              else true)
+            !entries;
+        (* non-exact may-alias overwrite invalidates *)
+        let this = entry_of_store ctx op in
+        entries :=
+          List.filter
+            (fun e -> not (Effects.any_thread_conflict ctx e.e_read this.e_write))
+            !entries;
+        entries := this :: !entries;
+        [ op ]
+      | Op.Load ->
+        let base = op.operands.(0) in
+        let idx =
+          Array.map
+            (fun (v : Value.t) -> v.id)
+            (Array.sub op.operands 1 (Array.length op.operands - 1))
+        in
+        let rec find = function
+          | [] -> None
+          | e :: rest -> if exact_match e ~base ~idx then Some e else find rest
+        in
+        begin
+          match find !entries with
+          | Some e ->
+            st.forwards <- st.forwards + 1;
+            Clone.add_subst st.subst ~from:(Op.result op) ~to_:e.e_val;
+            []
+          | None ->
+            (* may observe entries it aliases *)
+            let effs = Effects.collect_op ctx ~pinned:Value.Set.empty op in
+            List.iter
+              (fun e -> if may_read_entry ctx effs e then e.e_observed <- true)
+              !entries;
+            [ op ]
+        end
+      | Op.Call _ | Op.Copy | Op.Dealloc ->
+        let effs = Effects.collect_op ctx ~pinned:Value.Set.empty op in
+        List.iter
+          (fun e -> if may_read_entry ctx effs e then e.e_observed <- true)
+          !entries;
+        entries := List.filter (fun e -> not (may_write_entry ctx effs e)) !entries;
+        [ op ]
+      | Op.Barrier -> begin
+        match par, Hashtbl.find_opt st.barrier_sets op.oid with
+        | Some _, Some (before, after) ->
+          let others = before @ after in
+          entries :=
+            List.filter
+              (fun e ->
+                if thread_private st e.e_base then true
+                else begin
+                  (* cross-thread reads observe; cross-thread writes kill *)
+                  if
+                    List.exists
+                      (fun (a : Effects.access) ->
+                        a.Effects.acc_kind = Effects.Read
+                        && Effects.cross_thread_conflict ctx e.e_write a)
+                      others
+                  then e.e_observed <- true;
+                  not
+                    (List.exists
+                       (fun (a : Effects.access) ->
+                         a.Effects.acc_kind = Effects.Write
+                         && Effects.cross_thread_conflict ctx e.e_read a)
+                       others)
+                end)
+              !entries;
+          [ op ]
+        | _ ->
+          (* no context: conservative *)
+          List.iter (fun e -> e.e_observed <- true) !entries;
+          entries := List.filter (fun e -> thread_private st e.e_base) !entries;
+          [ op ]
+      end
+      | Op.OmpBarrier ->
+        List.iter
+          (fun e -> if not (thread_private st e.e_base) then e.e_observed <- true)
+          !entries;
+        entries := List.filter (fun e -> thread_private st e.e_base) !entries;
+        [ op ]
+      | Op.Module | Op.Func _ ->
+        Array.iter
+          (fun (r : Op.region) ->
+            let inner = ref [] in
+            r.body <- walk_region st ~par:None inner r.body)
+          op.regions;
+        [ op ]
+      | Op.For | Op.While | Op.If | Op.Parallel _ | Op.OmpParallel
+      | Op.OmpWsloop ->
+        (* observe/invalidate outer entries by the subtree's effects, then
+           recurse with the survivors visible inside *)
+        let effs = Effects.collect ctx [ op ] in
+        List.iter
+          (fun e -> if may_read_entry ctx effs e then e.e_observed <- true)
+          !entries;
+        entries := List.filter (fun e -> not (may_write_entry ctx effs e)) !entries;
+        let inner_par =
+          match op.kind with Op.Parallel Op.Block -> Some op | _ -> par
+        in
+        Array.iter
+          (fun (r : Op.region) ->
+            (* region-local view: outer entries visible inside, entries
+               created by local stores die at region exit *)
+            let inner = ref !entries in
+            r.body <- walk_region st ~par:inner_par inner r.body)
+          op.regions;
+        [ op ]
+      | _ ->
+        [ op ])
+    ops
+
+(* --- dead allocation elimination --- *)
+
+let dead_allocas (m : Op.op) : int =
+  let removed = ref 0 in
+  let uses : (int, [ `Store_target | `Dealloc | `Other ] list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let note (v : Value.t) u =
+    match Hashtbl.find_opt uses v.id with
+    | Some l -> l := u :: !l
+    | None -> Hashtbl.replace uses v.id (ref [ u ])
+  in
+  Op.iter
+    (fun (o : Op.op) ->
+      match o.kind with
+      | Op.Store ->
+        note o.operands.(1) `Store_target;
+        note o.operands.(0) `Other
+      | Op.Dealloc -> note o.operands.(0) `Dealloc
+      | _ -> Array.iter (fun v -> note v `Other) o.operands)
+    m;
+  let removable (v : Value.t) =
+    match Hashtbl.find_opt uses v.id with
+    | None -> true
+    | Some l -> List.for_all (fun u -> u <> `Other) !l
+  in
+  let doomed = Hashtbl.create 16 in
+  Op.iter
+    (fun (o : Op.op) ->
+      match o.kind with
+      | (Op.Alloc | Op.Alloca) when removable (Op.result o) ->
+        Hashtbl.replace doomed (Op.result o).id ()
+      | _ -> ())
+    m;
+  let rec clean (op : Op.op) : Op.op list =
+    Array.iter
+      (fun (r : Op.region) -> r.body <- List.concat_map clean r.body)
+      op.regions;
+    match op.kind with
+    | Op.Alloc | Op.Alloca when Hashtbl.mem doomed (Op.result op).id ->
+      incr removed;
+      []
+    | Op.Store when Hashtbl.mem doomed op.operands.(1).id -> []
+    | Op.Dealloc when Hashtbl.mem doomed op.operands.(0).id -> []
+    | _ -> [ op ]
+  in
+  (match clean m with [ _ ] -> () | _ -> ());
+  !removed
+
+(* --- entry point --- *)
+
+type report =
+  { forwarded_loads : int
+  ; removed_stores : int
+  ; removed_allocas : int
+  }
+
+let run (m : Op.op) : report =
+  let info = Info.build m in
+  (* Precompute every barrier's interval sets on the unmodified tree. *)
+  let barrier_sets = Hashtbl.create 16 in
+  Op.iter
+    (fun (o : Op.op) ->
+      if o.Op.kind = Op.Barrier then begin
+        match nearest_block_par info o with
+        | Some par ->
+          let ctx = Effects.make_ctx ~modul:m ~par info in
+          Hashtbl.replace barrier_sets o.Op.oid
+            (Effects.barrier_intervals ctx ~par o)
+        | None -> ()
+      end)
+    m;
+  let st =
+    { subst = Clone.create_subst ()
+    ; dead = Hashtbl.create 16
+    ; info
+    ; modul = m
+    ; barrier_sets
+    ; forwards = 0
+    ; dead_stores = 0
+    }
+  in
+  let entries = ref [] in
+  (match walk_region st ~par:None entries [ m ] with [ _ ] -> () | _ -> ());
+  (* delete dead stores *)
+  let rec clean (op : Op.op) : Op.op list =
+    Array.iter
+      (fun (r : Op.region) -> r.body <- List.concat_map clean r.body)
+      op.regions;
+    if Hashtbl.mem st.dead op.oid then [] else [ op ]
+  in
+  (match clean m with [ _ ] -> () | _ -> ());
+  let removed_allocas = dead_allocas m in
+  { forwarded_loads = st.forwards
+  ; removed_stores = st.dead_stores
+  ; removed_allocas
+  }

@@ -1,0 +1,13 @@
+(** Memory-to-register promotion, including across barriers
+    (Sec. IV-B): store-to-load forwarding (a barrier between the pair
+    does not kill it when no OTHER thread can write that address — the
+    "current-thread hole"), dead-store elimination, and removal of
+    allocations that are only ever stored to. *)
+
+type report =
+  { forwarded_loads : int
+  ; removed_stores : int
+  ; removed_allocas : int
+  }
+
+val run : Ir.Op.op -> report

@@ -1,0 +1,104 @@
+(* Dinic max-flow / min-cut on small integer graphs.
+
+   Used by parallel loop splitting (Sec. III-B1) to choose the minimum
+   set of SSA values to cache in memory across a barrier fission, with
+   everything else recomputed — the technique the paper adapts from
+   Enzyme's cache-minimization. *)
+
+type edge =
+  { dst : int
+  ; mutable cap : int
+  ; rev : int (* index of the reverse edge in adj.(dst) *)
+  }
+
+type graph =
+  { adj : edge array ref array
+  ; n : int
+  }
+
+let inf = max_int / 4
+
+let create ~(nnodes : int) : graph =
+  { adj = Array.init nnodes (fun _ -> ref [||]); n = nnodes }
+
+let push (r : edge array ref) (e : edge) =
+  r := Array.append !r [| e |];
+  Array.length !r - 1
+
+let add_edge (g : graph) (u : int) (v : int) ~(cap : int) =
+  let iu = Array.length !(g.adj.(u)) in
+  let iv = Array.length !(g.adj.(v)) in
+  ignore (push g.adj.(u) { dst = v; cap; rev = iv });
+  ignore (push g.adj.(v) { dst = u; cap = 0; rev = iu })
+
+let max_flow (g : graph) ~(s : int) ~(t : int) : int =
+  let level = Array.make g.n (-1) in
+  let iter = Array.make g.n 0 in
+  let bfs () =
+    Array.fill level 0 g.n (-1);
+    let q = Queue.create () in
+    level.(s) <- 0;
+    Queue.push s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun (e : edge) ->
+          if e.cap > 0 && level.(e.dst) < 0 then begin
+            level.(e.dst) <- level.(u) + 1;
+            Queue.push e.dst q
+          end)
+        !(g.adj.(u))
+    done;
+    level.(t) >= 0
+  in
+  let rec dfs u f =
+    if u = t then f
+    else begin
+      let res = ref 0 in
+      let arr = !(g.adj.(u)) in
+      while !res = 0 && iter.(u) < Array.length arr do
+        let e = arr.(iter.(u)) in
+        if e.cap > 0 && level.(e.dst) = level.(u) + 1 then begin
+          let d = dfs e.dst (min f e.cap) in
+          if d > 0 then begin
+            e.cap <- e.cap - d;
+            let back = !(g.adj.(e.dst)).(e.rev) in
+            back.cap <- back.cap + d;
+            res := d
+          end
+          else iter.(u) <- iter.(u) + 1
+        end
+        else iter.(u) <- iter.(u) + 1
+      done;
+      !res
+    end
+  in
+  let flow = ref 0 in
+  while bfs () do
+    Array.fill iter 0 g.n 0;
+    let f = ref (dfs s inf) in
+    while !f > 0 do
+      flow := !flow + !f;
+      f := dfs s inf
+    done
+  done;
+  !flow
+
+(* After [max_flow]: the set of nodes reachable from [s] in the residual
+   graph.  An edge (u,v) with u reachable and v not is in the min cut. *)
+let residual_reachable (g : graph) ~(s : int) : bool array =
+  let seen = Array.make g.n false in
+  let q = Queue.create () in
+  seen.(s) <- true;
+  Queue.push s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun (e : edge) ->
+        if e.cap > 0 && not seen.(e.dst) then begin
+          seen.(e.dst) <- true;
+          Queue.push e.dst q
+        end)
+      !(g.adj.(u))
+  done;
+  seen

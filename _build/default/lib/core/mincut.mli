@@ -1,0 +1,14 @@
+(** Dinic max-flow / min-cut on small integer graphs, used by parallel
+    loop splitting (Sec. III-B1) to pick the minimum set of SSA values to
+    cache across a barrier fission. *)
+
+type graph
+
+val inf : int
+val create : nnodes:int -> graph
+val add_edge : graph -> int -> int -> cap:int -> unit
+val max_flow : graph -> s:int -> t:int -> int
+
+(** After {!max_flow}: nodes reachable from [s] in the residual graph; an
+    edge from a reachable to an unreachable node is in the min cut. *)
+val residual_reachable : graph -> s:int -> bool array

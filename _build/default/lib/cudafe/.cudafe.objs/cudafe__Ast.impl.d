@@ -1,0 +1,1 @@
+lib/cudafe/ast.ml:

@@ -1,0 +1,1 @@
+lib/cudafe/codegen.ml: Array Ast Builder Ir List Op Option Parser Printf Returns Types Value

@@ -1,0 +1,1 @@
+lib/cudafe/codegen.mli: Ast Ir

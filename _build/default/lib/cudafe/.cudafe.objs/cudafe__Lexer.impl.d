@@ -1,0 +1,1 @@
+lib/cudafe/lexer.ml: Array Char List Printf String

@@ -1,0 +1,1 @@
+lib/cudafe/parser.ml: Array Ast Lexer List Printf String

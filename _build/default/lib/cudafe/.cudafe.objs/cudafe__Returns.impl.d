@@ -1,0 +1,1 @@
+lib/cudafe/returns.ml: Ast List Option

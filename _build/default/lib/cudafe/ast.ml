@@ -1,0 +1,132 @@
+(* Abstract syntax for mini-CUDA: the C-like CUDA subset the frontend
+   accepts.  This plays the role of Clang's AST in Polygeist; the subset
+   covers everything the Rodinia kernels and PyTorch custom kernels of the
+   paper need: scalar/pointer/array types, [__global__]/[__device__]/
+   [__shared__] qualifiers, SIMT builtin indices, [__syncthreads], kernel
+   launches, and structured control flow. *)
+
+type ctype =
+  | Tvoid
+  | Tbool
+  | Tint
+  | Tlong
+  | Tfloat
+  | Tdouble
+  | Tptr of ctype
+
+type dim =
+  | X
+  | Y
+  | Z
+
+type builtin =
+  | Thread_idx
+  | Block_idx
+  | Block_dim
+  | Grid_dim
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Beq
+  | Bne
+  | Bland (* && *)
+  | Blor (* || *)
+  | Bband
+  | Bbor
+  | Bxor
+  | Bshl
+  | Bshr
+
+type unop =
+  | Uneg
+  | Unot (* ! *)
+  | Ubnot (* ~ *)
+
+type expr =
+  | E_int of int
+  | E_float of float * bool (* is_double *)
+  | E_id of string
+  | E_builtin of builtin * dim
+  | E_bin of binop * expr * expr
+  | E_un of unop * expr
+  | E_call of string * expr list
+  | E_index of expr * expr list (* a[i] or a[i][j] for 2-D arrays *)
+  | E_deref of expr (* *p, equivalent to p[0] *)
+  | E_cast of ctype * expr
+  | E_cond of expr * expr * expr
+  | E_assign of expr * expr
+  | E_opassign of binop * expr * expr (* lhs op= rhs *)
+  | E_incr of expr (* ++x / x++; value unused *)
+  | E_decr of expr
+
+(* Grid/block launch configuration: up to three extents. *)
+type dim3 = expr * expr option * expr option
+
+type stmt =
+  | S_decl of decl
+  | S_expr of expr
+  | S_if of expr * stmt list * stmt list
+  | S_for of for_header * stmt list
+  | S_while of expr * stmt list
+  | S_do_while of stmt list * expr
+  | S_return of expr option
+  | S_sync (* __syncthreads() *)
+  | S_block of stmt list
+  | S_launch of string * dim3 * dim3 * expr list
+  | S_omp_for of for_header * stmt list
+    (* a [#pragma omp parallel for] loop in host code: the hand-written
+       OpenMP baselines of the Rodinia comparison *)
+
+and decl =
+  { d_type : ctype
+  ; d_shared : bool
+  ; d_name : string
+  ; d_dims : expr list (* array dimensions; [] for scalars *)
+  ; d_init : expr option
+  }
+
+and for_header =
+  { f_init : stmt option (* S_decl or S_expr *)
+  ; f_cond : expr option
+  ; f_step : expr option
+  }
+
+type qualifier =
+  | Q_global
+  | Q_device
+  | Q_host
+
+type func =
+  { fn_qual : qualifier
+  ; fn_ret : ctype
+  ; fn_name : string
+  ; fn_params : (ctype * string) list
+  ; fn_body : stmt list
+  }
+
+type program = func list
+
+let rec ctype_to_string = function
+  | Tvoid -> "void"
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tlong -> "long"
+  | Tfloat -> "float"
+  | Tdouble -> "double"
+  | Tptr t -> ctype_to_string t ^ "*"
+
+let is_integer_type = function
+  | Tbool | Tint | Tlong -> true
+  | Tvoid | Tfloat | Tdouble | Tptr _ -> false
+
+let is_float_type = function
+  | Tfloat | Tdouble -> true
+  | Tvoid | Tbool | Tint | Tlong | Tptr _ -> false

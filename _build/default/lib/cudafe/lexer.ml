@@ -1,0 +1,170 @@
+(* Hand-written lexer for mini-CUDA.  Produces a token array with source
+   positions so the parser can report precise errors. *)
+
+type token =
+  | INT of int
+  | FLOAT of float * bool (* is_double (no 'f' suffix) *)
+  | IDENT of string
+  | KW of string (* keywords: if else for while do return types qualifiers *)
+  | PUNCT of string (* operators and punctuation *)
+  | PRAGMA of string (* rest of a #pragma line, e.g. "omp parallel for" *)
+  | EOF
+
+type postoken =
+  { tok : token
+  ; line : int
+  ; col : int
+  }
+
+exception Error of string
+
+let keywords =
+  [ "if"; "else"; "for"; "while"; "do"; "return"; "void"; "bool"; "int"
+  ; "long"; "float"; "double"; "unsigned"; "const"; "__global__"
+  ; "__device__"; "__host__"; "__shared__"; "__restrict__"; "dim3"; "break"
+  ; "continue"; "sizeof"; "static"
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-character punctuation, longest first so greedy matching works.
+   [<<<] and [>>>] are CUDA launch delimiters. *)
+let puncts =
+  [ "<<<"; ">>>"; "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "+="
+  ; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "<<"; ">>"; "++"; "--"; "->"
+  ; "+"; "-"; "*"; "/"; "%"; "="; "<"; ">"; "!"; "&"; "|"; "^"; "~"; "?"
+  ; ":"; ","; ";"; "("; ")"; "["; "]"; "{"; "}"; "."
+  ]
+
+let tokenize (src : string) : postoken array =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let i = ref 0 in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let emit tok = toks := { tok; line = !line; col = !col } :: !toks in
+  let starts_with s =
+    let l = String.length s in
+    !i + l <= n && String.sub src !i l = s
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if starts_with "#pragma" then begin
+      let j = ref !i in
+      while !j < n && src.[!j] <> '\n' do
+        incr j
+      done;
+      let text = String.trim (String.sub src (!i + 7) (!j - !i - 7)) in
+      emit (PRAGMA text);
+      advance (!j - !i)
+    end
+    else if starts_with "//" then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if starts_with "/*" then begin
+      advance 2;
+      while !i < n && not (starts_with "*/") do
+        advance 1
+      done;
+      if !i >= n then raise (Error "unterminated comment");
+      advance 2
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      if List.mem word keywords then emit (KW word) else emit (IDENT word);
+      advance (!j - !i)
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1])
+    then begin
+      let j = ref !i in
+      let is_float = ref false in
+      (* hex literals *)
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X')
+      then begin
+        j := !i + 2;
+        while
+          !j < n
+          && (is_digit src.[!j]
+              || (Char.lowercase_ascii src.[!j] >= 'a'
+                  && Char.lowercase_ascii src.[!j] <= 'f'))
+        do
+          incr j
+        done;
+        emit (INT (int_of_string (String.sub src !i (!j - !i))))
+      end
+      else begin
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        if !j < n && src.[!j] = '.' then begin
+          is_float := true;
+          incr j;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done
+        end;
+        if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+          is_float := true;
+          incr j;
+          if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done
+        end;
+        let text = String.sub src !i (!j - !i) in
+        if !j < n && (src.[!j] = 'f' || src.[!j] = 'F') then begin
+          incr j;
+          emit (FLOAT (float_of_string text, false))
+        end
+        else if !is_float then emit (FLOAT (float_of_string text, true))
+        else begin
+          (* integer suffixes *)
+          if !j < n && (src.[!j] = 'u' || src.[!j] = 'U') then incr j;
+          if !j < n && (src.[!j] = 'l' || src.[!j] = 'L') then incr j;
+          emit (INT (int_of_string text))
+        end
+      end;
+      advance (!j - !i)
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some p ->
+        emit (PUNCT p);
+        advance (String.length p)
+      | None ->
+        raise
+          (Error
+             (Printf.sprintf "unexpected character %C at line %d col %d" c
+                !line !col))
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !toks)
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT (f, _) -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | PRAGMA s -> "#pragma " ^ s
+  | EOF -> "<eof>"

@@ -1,0 +1,107 @@
+(* Early-return elimination at the AST level.
+
+   The IR has structured control flow only, so [return] may appear solely
+   as the last statement of a function.  This pass rewrites arbitrary
+   returns (the idiomatic CUDA [if (tid >= n) return;] guard in
+   particular) into flag-and-guard form:
+
+   - a [__ret_flag] variable is set by every return (and [__ret_val]
+     stores the returned value for non-void functions);
+   - the statements following a may-return statement are guarded by
+     [if (!__ret_flag)];
+   - loops whose body may return get [&& !__ret_flag] folded into their
+     condition ([for] loops are converted to [while] first). *)
+
+let flag = "__ret_flag"
+let retv = "__ret_val"
+
+let rec stmt_may_return = function
+  | Ast.S_return _ -> true
+  | Ast.S_decl _ | Ast.S_expr _ | Ast.S_sync | Ast.S_launch _ -> false
+  | Ast.S_if (_, a, b) -> stmts_may_return a || stmts_may_return b
+  | Ast.S_for (_, b) | Ast.S_while (_, b) | Ast.S_do_while (b, _)
+  | Ast.S_block b | Ast.S_omp_for (_, b) ->
+    stmts_may_return b
+
+and stmts_may_return l = List.exists stmt_may_return l
+
+let not_flag = Ast.E_un (Ast.Unot, Ast.E_id flag)
+
+let set_flag = Ast.S_expr (Ast.E_assign (Ast.E_id flag, Ast.E_int 1))
+
+(* Rewrite one statement; returns the replacement list. *)
+let rec rewrite_stmt (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.S_return None -> [ set_flag ]
+  | Ast.S_return (Some e) ->
+    [ Ast.S_expr (Ast.E_assign (Ast.E_id retv, e)); set_flag ]
+  | Ast.S_if (c, a, b) -> [ Ast.S_if (c, rewrite_stmts a, rewrite_stmts b) ]
+  | Ast.S_block b -> [ Ast.S_block (rewrite_stmts b) ]
+  | Ast.S_while (c, b) when stmts_may_return b ->
+    [ Ast.S_while (Ast.E_bin (Ast.Bland, c, not_flag), rewrite_stmts b) ]
+  | Ast.S_do_while (b, c) when stmts_may_return b ->
+    [ Ast.S_do_while (rewrite_stmts b, Ast.E_bin (Ast.Bland, c, not_flag)) ]
+  | Ast.S_for (h, b) when stmts_may_return b ->
+    (* for -> { init; while (cond && !flag) { body'; if (!flag) step; } } *)
+    let cond = match h.f_cond with Some c -> c | None -> Ast.E_int 1 in
+    let step =
+      match h.f_step with Some e -> [ Ast.S_if (not_flag, [ Ast.S_expr e ], []) ] | None -> []
+    in
+    let while_ =
+      Ast.S_while
+        (Ast.E_bin (Ast.Bland, cond, not_flag), rewrite_stmts b @ step)
+    in
+    [ Ast.S_block (Option.to_list h.f_init @ [ while_ ]) ]
+  | Ast.S_omp_for (_, b) when stmts_may_return b ->
+    invalid_arg "return inside #pragma omp parallel for is not supported"
+  | Ast.S_decl _ | Ast.S_expr _ | Ast.S_sync | Ast.S_launch _ | Ast.S_for _
+  | Ast.S_while _ | Ast.S_do_while _ | Ast.S_omp_for _ ->
+    [ s ]
+
+(* Rewrite a statement list, guarding the remainder after each may-return
+   statement. *)
+and rewrite_stmts (l : Ast.stmt list) : Ast.stmt list =
+  match l with
+  | [] -> []
+  | s :: rest ->
+    let s' = rewrite_stmt s in
+    let rest' = rewrite_stmts rest in
+    if stmt_may_return s && rest' <> [] then
+      s' @ [ Ast.S_if (not_flag, rest', []) ]
+    else s' @ rest'
+
+(* Is [return] already only in the trivial position (last top-level
+   statement, or absent)?  Then no rewriting is needed. *)
+let trivial (body : Ast.stmt list) =
+  let rec check = function
+    | [] -> true
+    | [ Ast.S_return _ ] -> true
+    | s :: rest -> (not (stmt_may_return s)) && check rest
+  in
+  check body
+
+let eliminate (f : Ast.func) : Ast.func =
+  if trivial f.fn_body then f
+  else begin
+    let decls =
+      Ast.S_decl
+        { d_type = Ast.Tint; d_shared = false; d_name = flag; d_dims = []
+        ; d_init = Some (Ast.E_int 0)
+        }
+      ::
+      (if f.fn_ret = Ast.Tvoid then []
+       else
+         [ Ast.S_decl
+             { d_type = f.fn_ret; d_shared = false; d_name = retv
+             ; d_dims = []
+             ; d_init = Some (Ast.E_int 0)
+             }
+         ])
+    in
+    let body = rewrite_stmts f.fn_body in
+    let final_return =
+      if f.fn_ret = Ast.Tvoid then []
+      else [ Ast.S_return (Some (Ast.E_id retv)) ]
+    in
+    { f with fn_body = decls @ body @ final_return }
+  end

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Effect Float Int32 Ir List Mem Op Types Value

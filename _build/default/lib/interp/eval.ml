@@ -1,0 +1,481 @@
+(* The GPU-semantics interpreter: ground truth for every transformation.
+
+   Parallel loops over blocks run block-by-block; the threads of a block
+   run as cooperative fibers (OCaml 5 effect handlers) that all stop at
+   each [polygeist.barrier] before any proceeds — exactly CUDA's
+   __syncthreads contract, at barrier granularity.  OpenMP constructs are
+   interpreted with a configurable team size: every team thread executes
+   the whole [omp.parallel] region, worksharing loops execute static
+   contiguous chunks, and [omp.barrier] synchronizes the team.
+
+   Divergent barriers (not all threads reaching the same barrier) raise,
+   which turns CUDA undefined behaviour into a test failure. *)
+
+open Ir
+
+exception Return_exc of Mem.rv option
+
+type _ Effect.t += Sync : unit Effect.t
+
+(* Execution statistics, also used as a sanity check against the static
+   cost model. *)
+type stats =
+  { mutable ops : int
+  ; mutable loads : int
+  ; mutable stores : int
+  ; mutable flops : int
+  ; mutable barriers : int
+  }
+
+let new_stats () = { ops = 0; loads = 0; stores = 0; flops = 0; barriers = 0 }
+
+type env =
+  { tbl : Mem.rv Value.Tbl.t
+  ; parent : env option
+  }
+
+let new_env ?parent () = { tbl = Value.Tbl.create 32; parent }
+
+let rec lookup env (v : Value.t) : Mem.rv =
+  match Value.Tbl.find_opt env.tbl v with
+  | Some rv -> rv
+  | None -> begin
+    match env.parent with
+    | Some p -> lookup p v
+    | None -> Mem.fail "unbound SSA value %s" (Value.to_string v)
+  end
+
+let bind env (v : Value.t) rv = Value.Tbl.replace env.tbl v rv
+
+type state =
+  { modul : Op.op
+  ; stats : stats
+  ; team_size : int (* interpreted OpenMP team size *)
+  ; mutable team_rank : int (* rank of the currently-executing team thread *)
+  ; mutable in_team : bool
+  }
+
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let eval_const = function
+  | Op.Cint (n, _) -> Mem.Int n
+  | Op.Cfloat (f, Types.F32) -> Mem.Flt (f32 f)
+  | Op.Cfloat (f, _) -> Mem.Flt f
+
+let is_float_value (v : Value.t) =
+  match v.typ with
+  | Types.Scalar d -> Types.is_float_dtype d
+  | Types.Memref _ -> false
+
+let eval_binop kind ~is_float a b : Mem.rv =
+  if is_float then begin
+    let x = Mem.as_float a and y = Mem.as_float b in
+    let r =
+      match kind with
+      | Op.Add -> x +. y
+      | Op.Sub -> x -. y
+      | Op.Mul -> x *. y
+      | Op.Div -> x /. y
+      | Op.Rem -> Float.rem x y
+      | Op.Min -> Float.min x y
+      | Op.Max -> Float.max x y
+      | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr ->
+        Mem.fail "bitwise op on float"
+    in
+    Mem.Flt r
+  end
+  else begin
+    let x = Mem.as_int a and y = Mem.as_int b in
+    let r =
+      match kind with
+      | Op.Add -> x + y
+      | Op.Sub -> x - y
+      | Op.Mul -> x * y
+      | Op.Div -> if y = 0 then Mem.fail "integer division by zero" else x / y
+      | Op.Rem -> if y = 0 then Mem.fail "integer modulo by zero" else x mod y
+      | Op.Min -> min x y
+      | Op.Max -> max x y
+      | Op.And -> x land y
+      | Op.Or -> x lor y
+      | Op.Xor -> x lxor y
+      | Op.Shl -> x lsl y
+      | Op.Shr -> x asr y
+    in
+    Mem.Int r
+  end
+
+let eval_cmp pred ~is_float a b : Mem.rv =
+  let c =
+    if is_float then begin
+      let x = Mem.as_float a and y = Mem.as_float b in
+      match pred with
+      | Op.Eq -> x = y
+      | Op.Ne -> x <> y
+      | Op.Lt -> x < y
+      | Op.Le -> x <= y
+      | Op.Gt -> x > y
+      | Op.Ge -> x >= y
+    end
+    else begin
+      let x = Mem.as_int a and y = Mem.as_int b in
+      match pred with
+      | Op.Eq -> x = y
+      | Op.Ne -> x <> y
+      | Op.Lt -> x < y
+      | Op.Le -> x <= y
+      | Op.Gt -> x > y
+      | Op.Ge -> x >= y
+    end
+  in
+  Mem.Int (if c then 1 else 0)
+
+let eval_math fn (args : Mem.rv list) : Mem.rv =
+  match fn, args with
+  | Op.Neg, [ a ] -> Mem.Flt (-.Mem.as_float a)
+  | Op.Not, [ a ] -> Mem.Int (if Mem.as_int a = 0 then 1 else 0)
+  | Op.Sqrt, [ a ] -> Mem.Flt (sqrt (Mem.as_float a))
+  | Op.Exp, [ a ] -> Mem.Flt (exp (Mem.as_float a))
+  | Op.Log, [ a ] -> Mem.Flt (log (Mem.as_float a))
+  | Op.Log2, [ a ] -> Mem.Flt (log (Mem.as_float a) /. log 2.0)
+  | Op.Fabs, [ a ] -> Mem.Flt (Float.abs (Mem.as_float a))
+  | Op.Floor, [ a ] -> Mem.Flt (Float.floor (Mem.as_float a))
+  | Op.Sin, [ a ] -> Mem.Flt (sin (Mem.as_float a))
+  | Op.Cos, [ a ] -> Mem.Flt (cos (Mem.as_float a))
+  | Op.Tanh, [ a ] -> Mem.Flt (tanh (Mem.as_float a))
+  | Op.Erf, [ a ] ->
+    (* Abramowitz–Stegun approximation; plenty for test kernels. *)
+    let x = Mem.as_float a in
+    let s = if x < 0.0 then -1.0 else 1.0 in
+    let x = Float.abs x in
+    let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+    let y =
+      1.0
+      -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+           -. 0.284496736)
+          *. t
+          +. 0.254829592)
+         *. t
+         *. exp (-.x *. x)
+    in
+    Mem.Flt (s *. y)
+  | Op.Pow, [ a; b ] -> Mem.Flt (Float.pow (Mem.as_float a) (Mem.as_float b))
+  | _ -> Mem.fail "math %s: bad arity" (Op.math_to_string fn)
+
+let eval_cast dtype (v : Mem.rv) : Mem.rv =
+  match dtype with
+  | Types.F32 -> Mem.Flt (f32 (Mem.as_float v))
+  | Types.F64 -> Mem.Flt (Mem.as_float v)
+  | Types.I1 -> Mem.Int (if Mem.as_int_or_trunc v <> 0 then 1 else 0)
+  | Types.I32 | Types.I64 | Types.Index -> Mem.Int (Mem.as_int_or_trunc v)
+
+(* --- fiber scheduling for barrier semantics --- *)
+
+type fiber_status =
+  | Finished
+  | Suspended of (unit, fiber_status) Effect.Deep.continuation
+
+let start_fiber (f : unit -> unit) : fiber_status =
+  Effect.Deep.match_with f ()
+    { retc = (fun () -> Finished)
+    ; exnc = raise
+    ; effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sync ->
+            Some
+              (fun (k : (a, fiber_status) Effect.Deep.continuation) ->
+                Suspended k)
+          | _ -> None)
+    }
+
+(* Run a set of logical threads to completion, synchronizing them at every
+   Sync effect.  Threads run in index order within each barrier interval
+   (deterministic).  [before_slice i] runs before thread [i] starts or
+   resumes — used to re-establish per-thread interpreter state such as the
+   OpenMP team rank. *)
+let run_threads ?(before_slice = fun (_ : int) -> ()) (thunks : (unit -> unit) array) =
+  let statuses =
+    Array.mapi
+      (fun i f ->
+        before_slice i;
+        start_fiber f)
+      thunks
+  in
+  let all_done a = Array.for_all (fun s -> s = Finished) a in
+  let current = ref statuses in
+  while not (all_done !current) do
+    let finished = Array.exists (fun s -> s = Finished) !current in
+    if finished then
+      Mem.fail
+        "barrier divergence: some threads finished while others wait at a \
+         barrier";
+    current :=
+      Array.mapi
+        (fun i s ->
+          match s with
+          | Suspended k ->
+            before_slice i;
+            Effect.Deep.continue k ()
+          | Finished -> Finished)
+        !current
+  done
+
+(* --- the interpreter --- *)
+
+let rec exec_ops (st : state) (env : env) (ops : Op.op list) : unit =
+  List.iter (exec_op st env) ops
+
+and exec_op (st : state) (env : env) (op : Op.op) : unit =
+  st.stats.ops <- st.stats.ops + 1;
+  match op.kind with
+  | Op.Module | Op.Func _ -> Mem.fail "cannot execute module/func as a statement"
+  | Op.Yield -> ()
+  | Op.Condition -> Mem.fail "scf.condition outside while handling"
+  | Op.Constant c -> bind env (Op.result op) (eval_const c)
+  | Op.Binop kind ->
+    let a = lookup env op.operands.(0) in
+    let b = lookup env op.operands.(1) in
+    let isf = is_float_value op.operands.(0) in
+    if isf then st.stats.flops <- st.stats.flops + 1;
+    bind env (Op.result op) (eval_binop kind ~is_float:isf a b)
+  | Op.Cmp pred ->
+    let a = lookup env op.operands.(0) in
+    let b = lookup env op.operands.(1) in
+    bind env (Op.result op)
+      (eval_cmp pred ~is_float:(is_float_value op.operands.(0)) a b)
+  | Op.Select ->
+    let c = Mem.as_int (lookup env op.operands.(0)) in
+    bind env (Op.result op)
+      (lookup env (if c <> 0 then op.operands.(1) else op.operands.(2)))
+  | Op.Cast d -> bind env (Op.result op) (eval_cast d (lookup env op.operands.(0)))
+  | Op.Math fn ->
+    st.stats.flops <- st.stats.flops + 1;
+    let args = Array.to_list (Array.map (lookup env) op.operands) in
+    bind env (Op.result op) (eval_math fn args)
+  | Op.Alloc | Op.Alloca -> begin
+    match (Op.result op).typ with
+    | Types.Memref { elem; shape; _ } ->
+      let dyn = ref (Array.to_list (Array.map (lookup env) op.operands)) in
+      let dims =
+        List.map
+          (fun d ->
+            match d with
+            | Some n -> n
+            | None -> begin
+              match !dyn with
+              | v :: rest ->
+                dyn := rest;
+                Mem.as_int v
+              | [] -> Mem.fail "alloc: missing dynamic size"
+            end)
+          shape
+      in
+      bind env (Op.result op) (Mem.Buf (Mem.alloc_buffer elem (Array.of_list dims)))
+    | Types.Scalar _ -> Mem.fail "alloc of non-memref"
+  end
+  | Op.Dealloc -> ()
+  | Op.Load ->
+    st.stats.loads <- st.stats.loads + 1;
+    let b = Mem.as_buf (lookup env op.operands.(0)) in
+    let idxs =
+      Array.init
+        (Array.length op.operands - 1)
+        (fun i -> Mem.as_int (lookup env op.operands.(i + 1)))
+    in
+    bind env (Op.result op) (Mem.load b idxs)
+  | Op.Store ->
+    st.stats.stores <- st.stats.stores + 1;
+    let v = lookup env op.operands.(0) in
+    let b = Mem.as_buf (lookup env op.operands.(1)) in
+    let idxs =
+      Array.init
+        (Array.length op.operands - 2)
+        (fun i -> Mem.as_int (lookup env op.operands.(i + 2)))
+    in
+    Mem.store b idxs v
+  | Op.Copy ->
+    let src = Mem.as_buf (lookup env op.operands.(0)) in
+    let dst = Mem.as_buf (lookup env op.operands.(1)) in
+    Mem.copy ~src ~dst
+  | Op.Dim i ->
+    let b = Mem.as_buf (lookup env op.operands.(0)) in
+    bind env (Op.result op) (Mem.Int b.dims.(i))
+  | Op.For ->
+    let lo = Mem.as_int (lookup env (Op.for_lo op)) in
+    let hi = Mem.as_int (lookup env (Op.for_hi op)) in
+    let step = Mem.as_int (lookup env (Op.for_step op)) in
+    if step <= 0 then Mem.fail "scf.for: non-positive step %d" step;
+    let iv = Op.for_iv op in
+    let i = ref lo in
+    while !i < hi do
+      let env' = new_env ~parent:env () in
+      bind env' iv (Mem.Int !i);
+      exec_ops st env' op.regions.(0).body;
+      i := !i + step
+    done
+  | Op.While ->
+    let rec loop () =
+      let env' = new_env ~parent:env () in
+      let cond_region = op.regions.(0).body in
+      let rec run_cond = function
+        | [] -> Mem.fail "while cond region missing scf.condition"
+        | [ ({ Op.kind = Op.Condition; _ } as c) ] ->
+          Mem.as_int (lookup env' c.operands.(0)) <> 0
+        | o :: rest ->
+          exec_op st env' o;
+          run_cond rest
+      in
+      if run_cond cond_region then begin
+        let env'' = new_env ~parent:env () in
+        exec_ops st env'' op.regions.(1).body;
+        loop ()
+      end
+    in
+    loop ()
+  | Op.If ->
+    let c = Mem.as_int (lookup env op.operands.(0)) in
+    let region = if c <> 0 then op.regions.(0) else op.regions.(1) in
+    let env' = new_env ~parent:env () in
+    exec_ops st env' region.body
+  | Op.Parallel kind -> exec_parallel st env op kind
+  | Op.Barrier ->
+    st.stats.barriers <- st.stats.barriers + 1;
+    Effect.perform Sync
+  | Op.Call name -> begin
+    let callee =
+      match Op.find_func st.modul name with
+      | Some f -> f
+      | None -> Mem.fail "call to unknown function @%s" name
+    in
+    let args = Array.map (lookup env) op.operands in
+    match call_func st callee args with
+    | Some rv when Array.length op.results = 1 -> bind env (Op.result op) rv
+    | Some _ -> ()
+    | None ->
+      if Array.length op.results = 1 then
+        Mem.fail "function @%s returned no value" name
+  end
+  | Op.Return ->
+    let v =
+      if Array.length op.operands = 1 then Some (lookup env op.operands.(0))
+      else None
+    in
+    raise (Return_exc v)
+  | Op.OmpParallel -> exec_omp_parallel st env op
+  | Op.OmpWsloop -> exec_wsloop st env op
+  | Op.OmpBarrier ->
+    st.stats.barriers <- st.stats.barriers + 1;
+    if st.in_team then Effect.perform Sync
+
+(* Enumerate the (multi-dimensional) iteration space of a parallel op. *)
+and par_space env (op : Op.op) : int array list =
+  let n = Op.par_dims op in
+  let lo = Array.init n (fun i -> Mem.as_int (lookup env (Op.par_lo op i))) in
+  let hi = Array.init n (fun i -> Mem.as_int (lookup env (Op.par_hi op i))) in
+  let step =
+    Array.init n (fun i -> Mem.as_int (lookup env (Op.par_step op i)))
+  in
+  Array.iteri
+    (fun i s -> if s <= 0 then Mem.fail "parallel: non-positive step %d" i)
+    step;
+  let rec build dim acc =
+    if dim < 0 then [ acc ]
+    else begin
+      let out = ref [] in
+      let v = ref lo.(dim) in
+      while !v < hi.(dim) do
+        out := !out @ build (dim - 1) (!v :: acc);
+        v := !v + step.(dim)
+      done;
+      !out
+    end
+  in
+  List.map Array.of_list (build (n - 1) [])
+
+and exec_parallel st env (op : Op.op) (kind : Op.par_kind) : unit =
+  let space = par_space env op in
+  let ivs = op.regions.(0).rargs in
+  match kind with
+  | Op.Block when Op.contains_barrier_region op.regions.(0) ->
+    (* Cooperative fibers synchronizing at barriers. *)
+    let thunks =
+      List.map
+        (fun idx () ->
+          let env' = new_env ~parent:env () in
+          Array.iteri (fun i _ -> bind env' ivs.(i) (Mem.Int idx.(i))) ivs;
+          exec_ops st env' op.regions.(0).body)
+        space
+    in
+    run_threads (Array.of_list thunks)
+  | Op.Grid | Op.Block | Op.Flat ->
+    (* No synchronization inside: iterations run in order. *)
+    List.iter
+      (fun idx ->
+        let env' = new_env ~parent:env () in
+        Array.iteri (fun i _ -> bind env' ivs.(i) (Mem.Int idx.(i))) ivs;
+        exec_ops st env' op.regions.(0).body)
+      space
+
+and exec_omp_parallel st env (op : Op.op) : unit =
+  let t = st.team_size in
+  let was_team = st.in_team in
+  let was_rank = st.team_rank in
+  st.in_team <- true;
+  let thunks =
+    Array.init t (fun _rank () ->
+        let env' = new_env ~parent:env () in
+        exec_ops st env' op.regions.(0).body)
+  in
+  (* The scheduler re-establishes the executing thread's rank before every
+     slice, so worksharing loops after a barrier still read the right
+     rank. *)
+  run_threads ~before_slice:(fun rank -> st.team_rank <- rank) thunks;
+  st.in_team <- was_team;
+  st.team_rank <- was_rank
+
+and exec_wsloop st env (op : Op.op) : unit =
+  let space = par_space env op in
+  let ivs = op.regions.(0).rargs in
+  let iters = Array.of_list space in
+  let n = Array.length iters in
+  let lo, hi =
+    if st.in_team then begin
+      (* static contiguous chunking across the team *)
+      let t = st.team_size in
+      let rank = st.team_rank in
+      let chunk = (n + t - 1) / t in
+      (min n (rank * chunk), min n ((rank * chunk) + chunk))
+    end
+    else (0, n)
+  in
+  for i = lo to hi - 1 do
+    let env' = new_env ~parent:env () in
+    Array.iteri (fun d _ -> bind env' ivs.(d) (Mem.Int iters.(i).(d))) ivs;
+    exec_ops st env' op.regions.(0).body
+  done
+
+and call_func st (f : Op.op) (args : Mem.rv array) : Mem.rv option =
+  let env = new_env () in
+  let params = f.regions.(0).rargs in
+  if Array.length params <> Array.length args then
+    Mem.fail "@%s: arity mismatch" (Op.func_name f);
+  Array.iteri (fun i p -> bind env p args.(i)) params;
+  match exec_ops st env f.regions.(0).body with
+  | () -> None
+  | exception Return_exc v -> v
+
+(* --- public API --- *)
+
+let create ?(team_size = 4) (modul : Op.op) : state =
+  { modul; stats = new_stats (); team_size; team_rank = 0; in_team = false }
+
+let run ?(team_size = 4) (modul : Op.op) (name : string)
+    (args : Mem.rv list) : Mem.rv option * stats =
+  let st = create ~team_size modul in
+  let f =
+    match Op.find_func modul name with
+    | Some f -> f
+    | None -> Mem.fail "no function @%s in module" name
+  in
+  let r = call_func st f (Array.of_list args) in
+  (r, st.stats)

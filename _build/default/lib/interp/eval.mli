@@ -1,0 +1,25 @@
+(** The GPU-semantics interpreter: ground truth for every transformation.
+
+    Block-parallel loops run their threads as cooperative fibers (OCaml 5
+    effect handlers) that all stop at each [polygeist.barrier] before any
+    proceeds; OpenMP constructs run with a configurable team size, static
+    worksharing chunks and explicit [omp.barrier] joins.  Divergent
+    barriers (CUDA UB) and out-of-bounds accesses raise. *)
+
+type stats =
+  { mutable ops : int
+  ; mutable loads : int
+  ; mutable stores : int
+  ; mutable flops : int
+  ; mutable barriers : int
+  }
+
+type state
+
+val create : ?team_size:int -> Ir.Op.op -> state
+
+(** [run ?team_size modul fname args] interprets the named host function;
+    returns its result (if any) and the execution statistics.
+    @raise Mem.Runtime_error on memory faults, barrier divergence, etc. *)
+val run :
+  ?team_size:int -> Ir.Op.op -> string -> Mem.rv list -> Mem.rv option * stats

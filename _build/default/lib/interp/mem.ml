@@ -1,0 +1,115 @@
+(* Runtime memory: buffers backing memrefs, and runtime scalar values. *)
+
+open Ir
+
+type data =
+  | Fdata of float array
+  | Idata of int array
+
+type buffer =
+  { elem : Types.dtype
+  ; dims : int array
+  ; data : data
+  ; bufid : int
+  }
+
+type rv =
+  | Int of int (* all integer dtypes; I1 is 0/1 *)
+  | Flt of float
+  | Buf of buffer
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let buf_counter = ref 0
+
+let alloc_buffer elem dims =
+  incr buf_counter;
+  let size = Array.fold_left ( * ) 1 dims in
+  let data =
+    if Types.is_float_dtype elem then Fdata (Array.make size 0.0)
+    else Idata (Array.make size 0)
+  in
+  { elem; dims; data; bufid = !buf_counter }
+
+let size (b : buffer) = Array.fold_left ( * ) 1 b.dims
+
+(* Row-major linearization with bounds checking. *)
+let linear_index (b : buffer) (idxs : int array) =
+  let n = Array.length b.dims in
+  if Array.length idxs <> n then
+    fail "buffer #%d: rank mismatch (%d indices for rank %d)" b.bufid
+      (Array.length idxs) n;
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    let ix = idxs.(i) in
+    if ix < 0 || ix >= b.dims.(i) then
+      fail "buffer #%d: index %d out of bounds [0,%d) in dim %d" b.bufid ix
+        b.dims.(i) i;
+    off := (!off * b.dims.(i)) + ix
+  done;
+  !off
+
+let load (b : buffer) idxs : rv =
+  let i = linear_index b idxs in
+  match b.data with
+  | Fdata a -> Flt a.(i)
+  | Idata a -> Int a.(i)
+
+let store (b : buffer) idxs (v : rv) =
+  let i = linear_index b idxs in
+  match b.data, v with
+  | Fdata a, Flt f -> a.(i) <- f
+  | Fdata a, Int n -> a.(i) <- float_of_int n
+  | Idata a, Int n -> a.(i) <- n
+  | Idata a, Flt f -> a.(i) <- int_of_float f
+  | _, Buf _ -> fail "cannot store a buffer into a buffer"
+
+let copy ~(src : buffer) ~(dst : buffer) =
+  if size src <> size dst then fail "copy: size mismatch";
+  match src.data, dst.data with
+  | Fdata s, Fdata d -> Array.blit s 0 d 0 (Array.length s)
+  | Idata s, Idata d -> Array.blit s 0 d 0 (Array.length s)
+  | _ -> fail "copy: element type mismatch"
+
+let as_int = function
+  | Int n -> n
+  | Flt f -> fail "expected integer value, got float %g" f
+  | Buf _ -> fail "expected integer value, got buffer"
+
+(* Integer view with C-style truncation for floats (used by casts). *)
+let as_int_or_trunc = function
+  | Int n -> n
+  | Flt f -> int_of_float f
+  | Buf _ -> fail "expected scalar value, got buffer"
+
+let as_float = function
+  | Flt f -> f
+  | Int n -> float_of_int n
+  | Buf _ -> fail "expected float value, got buffer"
+
+let as_buf = function
+  | Buf b -> b
+  | Int _ | Flt _ -> fail "expected buffer value"
+
+(* Convenience constructors for tests and drivers. *)
+let of_float_array ?(dims = [||]) (a : float array) =
+  incr buf_counter;
+  let dims = if dims = [||] then [| Array.length a |] else dims in
+  { elem = Types.F32; dims; data = Fdata a; bufid = !buf_counter }
+
+let of_int_array ?(dims = [||]) (a : int array) =
+  incr buf_counter;
+  let dims = if dims = [||] then [| Array.length a |] else dims in
+  { elem = Types.Index; dims; data = Idata a; bufid = !buf_counter }
+
+let float_contents (b : buffer) =
+  match b.data with
+  | Fdata a -> Array.copy a
+  | Idata a -> Array.map float_of_int a
+
+let int_contents (b : buffer) =
+  match b.data with
+  | Idata a -> Array.copy a
+  | Fdata a -> Array.map int_of_float a

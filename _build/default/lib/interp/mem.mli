@@ -1,0 +1,39 @@
+(** Runtime memory for the interpreter: buffers backing memrefs and
+    runtime scalar values.  Loads/stores are bounds-checked, so
+    transformation bugs surface as failures instead of silent
+    corruption. *)
+
+type data =
+  | Fdata of float array
+  | Idata of int array
+
+type buffer =
+  { elem : Ir.Types.dtype
+  ; dims : int array
+  ; data : data
+  ; bufid : int
+  }
+
+type rv =
+  | Int of int
+  | Flt of float
+  | Buf of buffer
+
+exception Runtime_error of string
+
+(** Raise {!Runtime_error} with a formatted message. *)
+val fail : ('a, unit, string, 'b) format4 -> 'a
+
+val alloc_buffer : Ir.Types.dtype -> int array -> buffer
+val size : buffer -> int
+val load : buffer -> int array -> rv
+val store : buffer -> int array -> rv -> unit
+val copy : src:buffer -> dst:buffer -> unit
+val as_int : rv -> int
+val as_int_or_trunc : rv -> int
+val as_float : rv -> float
+val as_buf : rv -> buffer
+val of_float_array : ?dims:int array -> float array -> buffer
+val of_int_array : ?dims:int array -> int array -> buffer
+val float_contents : buffer -> float array
+val int_contents : buffer -> int array

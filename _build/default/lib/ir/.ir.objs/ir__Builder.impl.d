@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array List Op Printf Types Value

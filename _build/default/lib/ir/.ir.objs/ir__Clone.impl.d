@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Array List Op Value

@@ -1,0 +1,1 @@
+lib/ir/clone.mli: Op Value

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Hashtbl Int Map Printf Set Types

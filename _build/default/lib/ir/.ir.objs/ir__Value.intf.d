@@ -1,0 +1,1 @@
+lib/ir/value.mli: Hashtbl Map Set Types

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array List Op Printer Printf String Types Value

@@ -1,0 +1,50 @@
+(* Deep copy of ops/regions with SSA value remapping.
+
+   Cloning allocates fresh result values and region arguments and rewrites
+   every operand through the substitution table, so the clone is a valid
+   independent piece of IR.  The substitution table can be pre-seeded to
+   redirect free uses (e.g. replace an induction variable when duplicating
+   a loop body into a new loop). *)
+
+type subst = Value.t Value.Tbl.t
+
+let create_subst () : subst = Value.Tbl.create 64
+
+let add_subst (s : subst) ~from ~to_ = Value.Tbl.replace s from to_
+
+let lookup (s : subst) v =
+  match Value.Tbl.find_opt s v with Some v' -> v' | None -> v
+
+let rec clone_op (s : subst) (op : Op.op) : Op.op =
+  let operands = Array.map (lookup s) op.operands in
+  let results =
+    Array.map
+      (fun (r : Value.t) ->
+        let r' = Value.fresh ?name:r.name r.typ in
+        Value.Tbl.replace s r r';
+        r')
+      op.results
+  in
+  (* Results must be remapped before regions are cloned: ops inside a
+     region may not reference sibling results lexically later, but region
+     args must be fresh before the body is visited. *)
+  let regions = Array.map (clone_region s) op.regions in
+  Op.mk op.kind ~operands ~results ~regions ~attrs:op.attrs
+
+and clone_region (s : subst) (r : Op.region) : Op.region =
+  let rargs =
+    Array.map
+      (fun (a : Value.t) ->
+        let a' = Value.fresh ?name:a.name a.typ in
+        Value.Tbl.replace s a a';
+        a')
+      r.rargs
+  in
+  let body = List.map (clone_op s) r.body in
+  { rargs; body }
+
+let clone_op_fresh op = clone_op (create_subst ()) op
+
+(* Clone a list of ops sharing one substitution (so defs in earlier ops are
+   visible to later ones). *)
+let clone_ops (s : subst) ops = List.map (clone_op s) ops

@@ -1,0 +1,28 @@
+(** Deep copy of ops/regions with SSA value remapping.
+
+    Cloning allocates fresh result values and region arguments and
+    rewrites every operand through the substitution table, so the clone
+    is valid independent IR.  Pre-seed the table to redirect free uses
+    (e.g. replace an induction variable when moving a loop body under a
+    new loop). *)
+
+type subst = Value.t Value.Tbl.t
+
+val create_subst : unit -> subst
+val add_subst : subst -> from:Value.t -> to_:Value.t -> unit
+
+(** Identity on unmapped values. *)
+val lookup : subst -> Value.t -> Value.t
+
+(** Clone one op; results are remapped in [subst] so later clones see
+    them. *)
+val clone_op : subst -> Op.op -> Op.op
+
+val clone_region : subst -> Op.region -> Op.region
+
+(** Clone with a fresh private substitution. *)
+val clone_op_fresh : Op.op -> Op.op
+
+(** Clone a list sharing one substitution (defs in earlier ops are
+    visible to later ones). *)
+val clone_ops : subst -> Op.op list -> Op.op list

@@ -1,0 +1,184 @@
+(** Operations of the mini-MLIR.
+
+    An operation has operands (SSA uses), results (SSA definitions),
+    nested regions and attributes.  Regions carry block arguments (loop
+    induction variables, function parameters) and a straight-line body —
+    the IR is restricted to {e structured} control flow, like the paper's
+    SCF-level representation, so no basic-block CFG exists.
+
+    Dialects are encoded in {!kind}:
+    - arith/math: [Constant], [Binop], [Cmp], [Select], [Cast], [Math]
+    - memref: [Alloc], [Alloca], [Dealloc], [Load], [Store], [Copy], [Dim]
+    - scf: [For], [While], [If], [Parallel]
+    - func: [Func], [Call], [Return]
+    - polygeist: [Barrier]
+    - omp: [OmpParallel], [OmpWsloop], [OmpBarrier] *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Min
+  | Max
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type cmp_pred =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type math_fn =
+  | Sqrt
+  | Exp
+  | Log
+  | Fabs
+  | Floor
+  | Neg
+  | Not
+  | Sin
+  | Cos
+  | Tanh
+  | Erf
+  | Pow (** two operands *)
+  | Log2
+
+type const =
+  | Cint of int * Types.dtype
+  | Cfloat of float * Types.dtype
+
+(** Which level of the SIMT hierarchy a parallel loop iterates: [Grid]
+    ranges over blocks, [Block] over the threads of one block (the level
+    barriers synchronize), [Flat] is a generic/collapsed parallel loop
+    with no synchronization inside. *)
+type par_kind =
+  | Grid
+  | Block
+  | Flat
+
+type attr =
+  | Aint of int
+  | Afloat of float
+  | Astr of string
+  | Abool of bool
+
+type kind =
+  | Module
+  | Func of
+      { name : string
+      ; ret : Types.typ option
+      ; is_kernel : bool
+      }
+  | Return
+  | Call of string
+  | Constant of const
+  | Binop of binop
+  | Cmp of cmp_pred
+  | Select
+  | Cast of Types.dtype
+  | Math of math_fn
+  | Alloc (** heap; operands are the dynamic extents *)
+  | Alloca (** stack; static shape only *)
+  | Dealloc
+  | Load (** operands: memref, indices... *)
+  | Store (** operands: value, memref, indices... *)
+  | Copy (** operands: src, dst *)
+  | Dim of int
+  | For (** operands: lo, hi, step; one region arg: the iv *)
+  | While (** regions: cond (ends in [Condition]), body *)
+  | If (** operand: cond (i1); regions: then, else *)
+  | Parallel of par_kind
+    (** operands: lbs, ubs, steps (n each); region args: the n ivs *)
+  | Barrier (** [polygeist.barrier] *)
+  | Yield
+  | Condition (** operand: i1; terminator of a While cond region *)
+  | OmpParallel (** region executed by every thread of the team *)
+  | OmpWsloop
+    (** like [Parallel Flat] but iterations are shared across the team;
+        carries NO implicit trailing barrier *)
+  | OmpBarrier
+
+type op =
+  { oid : int (** unique id; op identity *)
+  ; kind : kind
+  ; mutable operands : Value.t array
+  ; results : Value.t array
+  ; mutable regions : region array
+  ; mutable attrs : (string * attr) list
+  }
+
+and region =
+  { mutable rargs : Value.t array
+  ; mutable body : op list
+  }
+
+(** Allocate an op with a fresh [oid]. *)
+val mk :
+  ?operands:Value.t array ->
+  ?results:Value.t array ->
+  ?regions:region array ->
+  ?attrs:(string * attr) list ->
+  kind ->
+  op
+
+val region : ?args:Value.t array -> op list -> region
+
+val attr : op -> string -> attr option
+val attr_int : op -> string -> int option
+val attr_bool : op -> string -> bool option
+val attr_str : op -> string -> string option
+val set_attr : op -> string -> attr -> unit
+
+(** The op's single result. @raise Invalid_argument otherwise. *)
+val result : op -> Value.t
+
+(** Accessors for [Parallel]/[OmpWsloop] bounds (n = number of ivs). *)
+val par_dims : op -> int
+
+val par_lo : op -> int -> Value.t
+val par_hi : op -> int -> Value.t
+val par_step : op -> int -> Value.t
+
+(** Accessors for [For]. *)
+val for_lo : op -> Value.t
+
+val for_hi : op -> Value.t
+val for_step : op -> Value.t
+val for_iv : op -> Value.t
+
+val body_region : op -> region
+val is_terminatorless_region_op : op -> bool
+
+(** Pre-order traversal of the op and everything nested inside it. *)
+val iter : (op -> unit) -> op -> unit
+
+val iter_region : (op -> unit) -> region -> unit
+
+(** Post-order traversal (children first). *)
+val iter_post : (op -> unit) -> op -> unit
+
+val exists : (op -> bool) -> op -> bool
+val region_exists : (op -> bool) -> region -> bool
+val contains_barrier_region : region -> bool
+val contains_barrier : op -> bool
+
+(** Functions of a module, in order. @raise Invalid_argument otherwise. *)
+val funcs : op -> op list
+
+val find_func : op -> string -> op option
+
+(** @raise Invalid_argument if not a [Func]. *)
+val func_name : op -> string
+
+val binop_to_string : binop -> string
+val cmp_to_string : cmp_pred -> string
+val math_to_string : math_fn -> string
+val par_kind_to_string : par_kind -> string

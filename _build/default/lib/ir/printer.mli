@@ -1,0 +1,6 @@
+(** MLIR-flavoured textual printer, used for golden tests, debugging and
+    the CLI's [--emit-ir] mode.  The format is write-only; programs are
+    constructed through {!Builder} or the CUDA frontend. *)
+
+val op_to_string : Op.op -> string
+val region_to_string : Op.region -> string

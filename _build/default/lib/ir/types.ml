@@ -1,0 +1,82 @@
+(* Types for the mini-MLIR used throughout the transpiler.
+
+   The type system intentionally mirrors the subset of MLIR that the
+   Polygeist GPU-to-CPU pipeline manipulates: scalar types and
+   multi-dimensional memory references with a memory space. *)
+
+type dtype =
+  | I1
+  | I32
+  | I64
+  | Index
+  | F32
+  | F64
+
+(* Memory space of a memref.  [Shared] corresponds to CUDA [__shared__]
+   memory: after the Sec. III lowering it becomes a stack allocation scoped
+   to the block-parallel loop.  [Local] is per-thread scratch. *)
+type space =
+  | Global
+  | Shared
+  | Local
+
+type typ =
+  | Scalar of dtype
+  (* [shape] entries are [Some n] for static dimensions and [None] for
+     dynamic ones (MLIR's [?]). *)
+  | Memref of
+      { elem : dtype
+      ; shape : int option list
+      ; space : space
+      }
+
+let is_float_dtype = function
+  | F32 | F64 -> true
+  | I1 | I32 | I64 | Index -> false
+
+let is_int_dtype d = not (is_float_dtype d)
+
+let dtype_bytes = function
+  | I1 -> 1
+  | I32 | F32 -> 4
+  | I64 | F64 | Index -> 8
+
+let memref ?(space = Global) elem shape = Memref { elem; shape; space }
+
+let dtype_to_string = function
+  | I1 -> "i1"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Index -> "index"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let space_to_string = function
+  | Global -> ""
+  | Shared -> ", 3"
+  | Local -> ", 5"
+
+let to_string = function
+  | Scalar d -> dtype_to_string d
+  | Memref { elem; shape; space } ->
+    let dims =
+      List.map
+        (function Some n -> string_of_int n ^ "x" | None -> "?x")
+        shape
+    in
+    Printf.sprintf "memref<%s%s%s>" (String.concat "" dims)
+      (dtype_to_string elem) (space_to_string space)
+
+let equal (a : typ) (b : typ) = a = b
+
+let elem_dtype = function
+  | Memref { elem; _ } -> elem
+  | Scalar _ -> invalid_arg "Types.elem_dtype: not a memref"
+
+let scalar_dtype = function
+  | Scalar d -> d
+  | Memref _ -> invalid_arg "Types.scalar_dtype: not a scalar"
+
+let rank = function
+  | Memref { shape; _ } -> List.length shape
+  | Scalar _ -> invalid_arg "Types.rank: not a memref"

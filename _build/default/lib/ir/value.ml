@@ -1,0 +1,43 @@
+(* SSA values.  Identity is the unique [id]; [name] is only a printing
+   hint.  Values are created by [Builder] (op results and region
+   arguments). *)
+
+type t =
+  { id : int
+  ; typ : Types.typ
+  ; name : string option
+  }
+
+let counter = ref 0
+
+let fresh ?name typ =
+  incr counter;
+  { id = !counter; typ; name }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash a = a.id
+
+let to_string v =
+  match v.name with
+  | Some n -> Printf.sprintf "%%%s_%d" n v.id
+  | None -> Printf.sprintf "%%%d" v.id
+
+module Map = Map.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+module Set = Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)

@@ -1,0 +1,23 @@
+(** SSA values.  Identity is the unique [id]; [name] is only a printing
+    hint.  Values are created by {!Builder} (op results) and by region
+    construction (block arguments). *)
+
+type t =
+  { id : int
+  ; typ : Types.typ
+  ; name : string option
+  }
+
+(** Allocate a fresh value with a new unique id. *)
+val fresh : ?name:string -> Types.typ -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Printed form, e.g. [%tid_42]. *)
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

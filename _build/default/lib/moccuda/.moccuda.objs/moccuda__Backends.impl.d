@@ -1,0 +1,1 @@
+lib/moccuda/backends.ml: Conv Layers Nll_kernel Opcost Runtime Tensor Tensorlib

@@ -1,0 +1,1 @@
+lib/moccuda/backends.mli: Runtime Tensorlib

@@ -1,0 +1,1 @@
+lib/moccuda/cudart.ml: Array Hashtbl Option Queue Tensor Tensorlib

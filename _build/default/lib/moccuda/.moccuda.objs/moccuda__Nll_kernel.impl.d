@@ -1,0 +1,1 @@
+lib/moccuda/nll_kernel.ml: Array Core Cudafe Interp Ir Lazy Printf Tensor Tensorlib

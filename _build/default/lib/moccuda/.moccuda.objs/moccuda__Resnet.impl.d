@@ -1,0 +1,1 @@
+lib/moccuda/resnet.ml: Array Backends Conv Layers List Opcost Runtime Tensor Tensorlib

@@ -1,0 +1,1 @@
+lib/moccuda/resnet.mli: Backends Runtime Tensorlib

@@ -1,0 +1,40 @@
+(** ResNet-50 structure (53 convolutions at 224x224) and the Fig. 15
+    synthetic-training throughput harness, plus a miniature functional
+    model used for backend-agreement tests. *)
+
+type conv_layer =
+  { c_in : int
+  ; c_out : int
+  ; ksize : int
+  ; stride : int
+  ; hw : int
+  }
+
+val conv_layers : conv_layer list
+val n_convs : int
+val conv_shape : batch:int -> conv_layer -> Tensorlib.Conv.shape
+
+(** Simulated cost of one training step (forward + backward). *)
+val step_cost :
+  Backends.t -> Runtime.Machine.t -> batch:int -> Tensorlib.Opcost.t
+
+(** Images per second of synthetic training (the Benchmarker metric). *)
+val throughput :
+  Backends.t -> Runtime.Machine.t -> batch:int -> threads:int -> float
+
+type mini_model =
+  { stem_w : Tensorlib.Tensor.t
+  ; block_w1 : Tensorlib.Tensor.t
+  ; block_w2 : Tensorlib.Tensor.t
+  ; fc_w : Tensorlib.Tensor.t
+  }
+
+val mini_model : channels:int -> mini_model
+
+(** Forward pass of the miniature network; returns the NLL loss. *)
+val mini_forward :
+  Backends.t ->
+  mini_model ->
+  images:Tensorlib.Tensor.t ->
+  targets:int array ->
+  float

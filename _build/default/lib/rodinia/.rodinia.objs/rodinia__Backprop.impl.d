@@ -1,0 +1,1 @@
+lib/rodinia/backprop.ml: Bench_def Printf

@@ -1,0 +1,1 @@
+lib/rodinia/bench_def.mli: Interp Runtime

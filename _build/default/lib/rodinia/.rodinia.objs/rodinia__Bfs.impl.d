@@ -1,0 +1,1 @@
+lib/rodinia/bfs.ml: Array Bench_def Interp List

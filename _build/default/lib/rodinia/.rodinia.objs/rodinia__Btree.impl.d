@@ -1,0 +1,1 @@
+lib/rodinia/btree.ml: Array Bench_def Interp Printf

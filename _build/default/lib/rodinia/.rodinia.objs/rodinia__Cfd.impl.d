@@ -1,0 +1,1 @@
+lib/rodinia/cfd.ml: Array Bench_def Interp Printf

@@ -1,0 +1,1 @@
+lib/rodinia/hotspot.ml: Bench_def Printf

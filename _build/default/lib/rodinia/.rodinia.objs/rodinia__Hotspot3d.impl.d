@@ -1,0 +1,1 @@
+lib/rodinia/hotspot3d.ml: Bench_def

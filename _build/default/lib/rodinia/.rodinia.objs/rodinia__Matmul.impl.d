@@ -1,0 +1,1 @@
+lib/rodinia/matmul.ml: Bench_def Printf

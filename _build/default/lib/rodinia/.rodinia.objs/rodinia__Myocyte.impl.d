@@ -1,0 +1,1 @@
+lib/rodinia/myocyte.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/rodinia/nw.ml: Array Bench_def Interp Printf

@@ -1,0 +1,1 @@
+lib/rodinia/particlefilter.ml: Bench_def Printf

@@ -1,0 +1,1 @@
+lib/rodinia/registry.ml: Backprop Bench_def Bfs Btree Cfd Hotspot Hotspot3d List Lud Matmul Myocyte Nw Particlefilter Pathfinder Srad_v1 Srad_v2 Streamcluster

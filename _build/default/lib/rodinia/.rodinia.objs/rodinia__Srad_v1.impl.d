@@ -1,0 +1,1 @@
+lib/rodinia/srad_v1.ml: Array Bench_def Interp

@@ -1,0 +1,1 @@
+lib/rodinia/srad_v2.ml: Array Bench_def Interp Printf

@@ -1,0 +1,1 @@
+lib/rodinia/streamcluster.ml: Bench_def

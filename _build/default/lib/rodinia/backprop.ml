@@ -1,0 +1,119 @@
+(* Rodinia backprop: neural-network layer forward pass (the Fig. 9 kernel,
+   with its redundant barriers and shared-memory round trips) and the
+   weight-adjustment kernel. *)
+
+(* block: 16 (ty: rows of the hidden layer) x 16 (tx: input columns) *)
+let h = 16
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void layerforward(float* input, float* input_weights,
+                             float* partial_sum, int in, int hid) {
+  __shared__ float input_node[%d];
+  __shared__ float weight_matrix[%d][%d];
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int index = (hid + 1) * %d * by + (hid + 1) * ty + tx + 1 + (hid + 1);
+  int index_in = %d * by + ty + 1;
+  if (tx == 0)
+    input_node[ty] = input[index_in];
+  __syncthreads();
+  weight_matrix[ty][tx] = input_weights[index];
+  __syncthreads();
+  weight_matrix[ty][tx] = weight_matrix[ty][tx] * input_node[ty];
+  __syncthreads();
+  for (int i = 1; i <= %d; i++) {
+    int power_two = (int)powf(2.0f, (float)i);
+    int half_power = (int)powf(2.0f, (float)(i - 1));
+    if (ty %% power_two == 0)
+      weight_matrix[ty][tx] = weight_matrix[ty][tx]
+                            + weight_matrix[ty + half_power][tx];
+    __syncthreads();
+  }
+  input_weights[index] = weight_matrix[ty][tx];
+  __syncthreads();
+  if (tx == 0)
+    partial_sum[by * hid + ty] = weight_matrix[tx][ty];
+}
+
+__global__ void adjust_weights(float* delta, int hid, float* ly, int in,
+                               float* w, float* oldw) {
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int index = (hid + 1) * %d * by + (hid + 1) * ty + tx + 1 + (hid + 1);
+  int index_y = %d * by + ty + 1;
+  int index_x = tx + 1;
+  w[index] = w[index] + 0.3f * delta[index_x] * ly[index_y]
+           + 0.3f * oldw[index];
+  oldw[index] = 0.3f * delta[index_x] * ly[index_y] + 0.3f * oldw[index];
+}
+
+void run(float* input, float* input_weights, float* partial_sum,
+         float* delta, float* oldw, int in, int hid) {
+  layerforward<<<dim3(1, in / %d), dim3(%d, %d)>>>(
+      input, input_weights, partial_sum, in, hid);
+  adjust_weights<<<dim3(1, in / %d), dim3(%d, %d)>>>(
+      delta, hid, input, in, input_weights, oldw);
+}
+|}
+    h h h h h 4 h h h h h h h h
+
+let omp_src =
+  Printf.sprintf
+    {|
+void run(float* input, float* input_weights, float* partial_sum,
+         float* delta, float* oldw, int in, int hid) {
+  #pragma omp parallel for
+  for (int j = 1; j <= hid; j++) {
+    float sum = 0.0f;
+    for (int i = 1; i <= in; i++) {
+      sum += input_weights[(hid + 1) * i + j] * input[i];
+    }
+    partial_sum[j - 1] = sum;
+  }
+  #pragma omp parallel for
+  for (int j = 1; j <= hid; j++) {
+    for (int i = 1; i <= in; i++) {
+      float dw = 0.3f * delta[j] * input[i]
+               + 0.3f * oldw[(hid + 1) * i + j];
+      input_weights[(hid + 1) * i + j] += dw;
+      oldw[(hid + 1) * i + j] = dw;
+    }
+  }
+}
+|}
+
+(* The two implementations intentionally differ (linear array and blocked
+   reduction vs. double loop — the paper calls this out), so they are not
+   numerically comparable; correctness is checked differentially per
+   implementation. *)
+
+let bench : Bench_def.t =
+  { name = "backprop"
+  ; description = "neural net layer forward + weight adjustment (Fig. 9)"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun n ->
+        (* n = input layer size, multiple of 16; hid = 16 *)
+        let hid = h in
+        let wsize = (n + 1 + 1) * (hid + 1) in
+        { Bench_def.buffers =
+            [| Bench_def.fbuf 3 (n + 1)
+             ; Bench_def.fbuf 7 wsize
+             ; Bench_def.fzero (n / h * hid)
+             ; Bench_def.fbuf 9 (hid + 1)
+             ; Bench_def.fzero wsize
+            |]
+        ; scalars = [ n; hid ]
+        })
+  ; test_size = 32
+  ; paper_size = 65536
+  ; cost_scalars = (fun n -> [ n; h ])
+  ; n_buffers = 5
+  }

@@ -1,0 +1,137 @@
+(* Rodinia bfs: frontier-based breadth-first search over a CSR graph.
+   Two kernels per level, launched from a host loop that polls a stop
+   flag — the classic host/device ping-pong the unified representation
+   optimizes across. *)
+
+let cuda_src =
+  {|
+__global__ void bfs_kernel(int* frontier, int* next, int* visited,
+                           int* offsets, int* edges, int* cost, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n && frontier[tid]) {
+    frontier[tid] = 0;
+    for (int i = offsets[tid]; i < offsets[tid + 1]; i++) {
+      int id = edges[i];
+      if (!visited[id]) {
+        cost[id] = cost[tid] + 1;
+        next[id] = 1;
+      }
+    }
+  }
+}
+
+__global__ void bfs_kernel2(int* frontier, int* next, int* visited,
+                            int* stop, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n && next[tid]) {
+    frontier[tid] = 1;
+    visited[tid] = 1;
+    next[tid] = 0;
+    stop[0] = 1;
+  }
+}
+
+void run(int* frontier, int* next, int* visited, int* offsets, int* edges,
+         int* cost, int* stop, int n) {
+  int cont = 1;
+  while (cont) {
+    stop[0] = 0;
+    bfs_kernel<<<(n + 63) / 64, 64>>>(frontier, next, visited, offsets,
+                                      edges, cost, n);
+    bfs_kernel2<<<(n + 63) / 64, 64>>>(frontier, next, visited, stop, n);
+    cont = stop[0];
+  }
+}
+|}
+
+let omp_src =
+  {|
+void run(int* frontier, int* next, int* visited, int* offsets, int* edges,
+         int* cost, int* stop, int n) {
+  int cont = 1;
+  while (cont) {
+    stop[0] = 0;
+    #pragma omp parallel for
+    for (int tid = 0; tid < n; tid++) {
+      if (frontier[tid]) {
+        frontier[tid] = 0;
+        for (int i = offsets[tid]; i < offsets[tid + 1]; i++) {
+          int id = edges[i];
+          if (!visited[id]) {
+            cost[id] = cost[tid] + 1;
+            next[id] = 1;
+          }
+        }
+      }
+    }
+    #pragma omp parallel for
+    for (int tid = 0; tid < n; tid++) {
+      if (next[tid]) {
+        frontier[tid] = 1;
+        visited[tid] = 1;
+        next[tid] = 0;
+        stop[0] = 1;
+      }
+    }
+    cont = stop[0];
+  }
+}
+|}
+
+(* Deterministic sparse graph: ring + a few long-range chords, CSR. *)
+let make_graph n =
+  let adj = Array.init n (fun i -> [ (i + 1) mod n; (i + n - 1) mod n ]) in
+  for i = 0 to (n / 4) - 1 do
+    let a = i * 4 mod n and b = (i * 7) + 3 in
+    let b = b mod n in
+    if a <> b then begin
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b)
+    end
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + List.length adj.(i)
+  done;
+  let edges = Array.make offsets.(n) 0 in
+  let k = ref 0 in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun e ->
+          edges.(!k) <- e;
+          incr k)
+        l)
+    adj;
+  (offsets, edges)
+
+let bench : Bench_def.t =
+  { name = "bfs"
+  ; description = "frontier BFS over a CSR graph"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = false
+  ; mk_workload =
+      (fun n ->
+        let offsets, edges = make_graph n in
+        let frontier = Array.make n 0 in
+        frontier.(0) <- 1;
+        let visited = Array.make n 0 in
+        visited.(0) <- 1;
+        { Bench_def.buffers =
+            [| Interp.Mem.of_int_array frontier
+             ; Bench_def.izero n
+             ; Interp.Mem.of_int_array visited
+             ; Interp.Mem.of_int_array offsets
+             ; Interp.Mem.of_int_array edges
+             ; Bench_def.izero n
+             ; Bench_def.izero 1
+            |]
+        ; scalars = [ n ]
+        })
+  ; test_size = 64
+  ; paper_size = 1_000_000
+  ; cost_scalars = (fun n -> [ n ])
+  ; n_buffers = 7
+  }

@@ -1,0 +1,115 @@
+(* Rodinia b+tree: the findK kernel — each thread answers one key query
+   by walking an implicit k-ary search tree laid out level by level in an
+   array.  Pointer-chasing loads, no synchronization. *)
+
+let fanout = 4
+let levels = 5 (* fanout^levels leaves *)
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void findK(int* keys, int* tree, int* values, int* results,
+                      int nq, int nleaves) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < nq) {
+    int key = keys[tid];
+    int node = 0;
+    int base = 0;
+    int width = 1;
+    for (int level = 0; level < %d; level++) {
+      int child = 0;
+      for (int c = 1; c < %d; c++) {
+        if (key >= tree[base + node * %d + c - 1]) child = c;
+      }
+      base = base + width * %d;
+      node = node * %d + child;
+      width = width * %d;
+    }
+    results[tid] = values[node];
+  }
+}
+void run(int* keys, int* tree, int* values, int* results, int nq,
+         int nleaves) {
+  findK<<<(nq + 63) / 64, 64>>>(keys, tree, values, results, nq, nleaves);
+}
+|}
+    levels fanout (fanout - 1) (fanout - 1) fanout fanout
+
+let omp_src =
+  Printf.sprintf
+    {|
+void run(int* keys, int* tree, int* values, int* results, int nq,
+         int nleaves) {
+  #pragma omp parallel for
+  for (int tid = 0; tid < nq; tid++) {
+    int key = keys[tid];
+    int node = 0;
+    int base = 0;
+    int width = 1;
+    for (int level = 0; level < %d; level++) {
+      int child = 0;
+      for (int c = 1; c < %d; c++) {
+        if (key >= tree[base + node * %d + c - 1]) child = c;
+      }
+      base = base + width * %d;
+      node = node * %d + child;
+      width = width * %d;
+    }
+    results[tid] = values[node];
+  }
+}
+|}
+    levels fanout (fanout - 1) (fanout - 1) fanout fanout
+
+(* Tree with separator keys for a sorted leaf array 0..nleaves-1. *)
+let make_tree () =
+  let nleaves = int_of_float (float_of_int fanout ** float_of_int levels) in
+  (* total internal nodes across levels: 1 + f + f^2 + ... + f^(levels-1) *)
+  let total_nodes =
+    let rec go l acc w = if l = 0 then acc else go (l - 1) (acc + w) (w * fanout) in
+    go levels 0 1
+  in
+  let tree = Array.make (total_nodes * (fanout - 1)) 0 in
+  let base = ref 0 in
+  let width = ref 1 in
+  for _level = 0 to levels - 1 do
+    let leaves_per_node = nleaves / !width in
+    for node = 0 to !width - 1 do
+      for c = 1 to fanout - 1 do
+        tree.((!base + node) * (fanout - 1) + (c - 1)) <-
+          (node * leaves_per_node) + (c * leaves_per_node / fanout)
+      done
+    done;
+    base := !base + !width;
+    width := !width * fanout
+  done;
+  (tree, nleaves)
+
+let bench : Bench_def.t =
+  { name = "b+tree"
+  ; description = "k-ary search-tree range/point queries (findK)"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = false
+  ; mk_workload =
+      (fun nq ->
+        let tree, nleaves = make_tree () in
+        let r = Bench_def.frand 71 in
+        let keys =
+          Array.init nq (fun _ -> int_of_float (r () *. float_of_int nleaves))
+        in
+        let values = Array.init nleaves (fun i -> i * 3) in
+        { Bench_def.buffers =
+            [| Interp.Mem.of_int_array keys
+             ; Interp.Mem.of_int_array tree
+             ; Interp.Mem.of_int_array values
+             ; Bench_def.izero nq
+            |]
+        ; scalars = [ nq; nleaves ]
+        })
+  ; test_size = 64
+  ; paper_size = 65536
+  ; cost_scalars = (fun n -> [ n; 1024 ])
+  ; n_buffers = 4
+  }

@@ -1,0 +1,133 @@
+(* Rodinia cfd (euler3d): the compute_flux kernel — per-cell accumulation
+   of fluxes over the four surrounding elements, five conservative
+   variables per cell.  Flop-dense, irregular (indirect) loads, no
+   synchronization. *)
+
+let nvar = 5
+let nnb = 4
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void compute_flux(float* variables, int* neighbors,
+                             float* normals, float* fluxes, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float density = variables[i * %d];
+    float mx = variables[i * %d + 1];
+    float my = variables[i * %d + 2];
+    float energy = variables[i * %d + 4];
+    float fd = 0.0f;
+    float fx = 0.0f;
+    float fy = 0.0f;
+    float fe = 0.0f;
+    for (int j = 0; j < %d; j++) {
+      int nb = neighbors[i * %d + j];
+      if (nb >= 0) {
+        float nnx = normals[(i * %d + j) * 2];
+        float nny = normals[(i * %d + j) * 2 + 1];
+        float nd = variables[nb * %d];
+        float nmx = variables[nb * %d + 1];
+        float nmy = variables[nb * %d + 2];
+        float ne = variables[nb * %d + 4];
+        float p = 0.4f * (ne - 0.5f * (nmx * nmx + nmy * nmy) / nd);
+        fd += nnx * nmx + nny * nmy;
+        fx += nnx * (nmx * nmx / nd + p);
+        fy += nny * (nmy * nmy / nd + p);
+        fe += nnx * nmx * (ne + p) / nd + nny * nmy * (ne + p) / nd;
+      }
+    }
+    fluxes[i * %d] = density + 0.1f * fd;
+    fluxes[i * %d + 1] = mx + 0.1f * fx;
+    fluxes[i * %d + 2] = my + 0.1f * fy;
+    fluxes[i * %d + 4] = energy + 0.1f * fe;
+    fluxes[i * %d + 3] = 0.0f;
+  }
+}
+void run(float* variables, int* neighbors, float* normals, float* fluxes,
+         int n) {
+  compute_flux<<<(n + 63) / 64, 64>>>(variables, neighbors, normals,
+                                      fluxes, n);
+}
+|}
+    nvar nvar nvar nvar nnb nnb nnb nnb nvar nvar nvar nvar nvar nvar nvar
+    nvar nvar
+
+let omp_src =
+  Printf.sprintf
+    {|
+void run(float* variables, int* neighbors, float* normals, float* fluxes,
+         int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    float density = variables[i * %d];
+    float mx = variables[i * %d + 1];
+    float my = variables[i * %d + 2];
+    float energy = variables[i * %d + 4];
+    float fd = 0.0f;
+    float fx = 0.0f;
+    float fy = 0.0f;
+    float fe = 0.0f;
+    for (int j = 0; j < %d; j++) {
+      int nb = neighbors[i * %d + j];
+      if (nb >= 0) {
+        float nnx = normals[(i * %d + j) * 2];
+        float nny = normals[(i * %d + j) * 2 + 1];
+        float nd = variables[nb * %d];
+        float nmx = variables[nb * %d + 1];
+        float nmy = variables[nb * %d + 2];
+        float ne = variables[nb * %d + 4];
+        float p = 0.4f * (ne - 0.5f * (nmx * nmx + nmy * nmy) / nd);
+        fd += nnx * nmx + nny * nmy;
+        fx += nnx * (nmx * nmx / nd + p);
+        fy += nny * (nmy * nmy / nd + p);
+        fe += nnx * nmx * (ne + p) / nd + nny * nmy * (ne + p) / nd;
+      }
+    }
+    fluxes[i * %d] = density + 0.1f * fd;
+    fluxes[i * %d + 1] = mx + 0.1f * fx;
+    fluxes[i * %d + 2] = my + 0.1f * fy;
+    fluxes[i * %d + 4] = energy + 0.1f * fe;
+    fluxes[i * %d + 3] = 0.0f;
+  }
+}
+|}
+    nvar nvar nvar nvar nnb nnb nnb nnb nvar nvar nvar nvar nvar nvar nvar
+    nvar nvar
+
+let bench : Bench_def.t =
+  { name = "cfd"
+  ; description = "euler3d compute_flux: per-cell neighbor flux accumulation"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = false
+  ; mk_workload =
+      (fun n ->
+        let r = Bench_def.frand 61 in
+        let variables =
+          Array.init (n * nvar) (fun i ->
+              if i mod nvar = 0 then 1.0 +. r () else r ())
+        in
+        let neighbors =
+          Array.init (n * nnb) (fun i ->
+              let cell = i / nnb and j = i mod nnb in
+              match j with
+              | 0 -> if cell = 0 then -1 else cell - 1
+              | 1 -> if cell = n - 1 then -1 else cell + 1
+              | 2 -> (cell + 7) mod n
+              | _ -> (cell + n - 7) mod n)
+        in
+        { Bench_def.buffers =
+            [| Interp.Mem.of_float_array variables
+             ; Interp.Mem.of_int_array neighbors
+             ; Bench_def.fbuf 67 (n * nnb * 2)
+             ; Bench_def.fzero (n * nvar)
+            |]
+        ; scalars = [ n ]
+        })
+  ; test_size = 64
+  ; paper_size = 97_000
+  ; cost_scalars = (fun n -> [ n ])
+  ; n_buffers = 4
+  }

@@ -1,0 +1,92 @@
+(* Rodinia hotspot: 2-D thermal stencil with shared-memory tiling.  Each
+   block stages its tile (plus ghost handling at the borders) into shared
+   memory, synchronizes, and computes — the CUDA code does strictly more
+   work than the plain OpenMP sweep, which is why the paper reports the
+   transpiled version losing to the native one here. *)
+
+let tile = 8
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void hotspot_kernel(float* temp_in, float* temp_out,
+                               float* power, int n) {
+  __shared__ float t[%d][%d];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int col = blockIdx.x * %d + tx;
+  int row = blockIdx.y * %d + ty;
+  int c = row * n + col;
+  t[ty][tx] = temp_in[c];
+  __syncthreads();
+  float center = t[ty][tx];
+  float west = tx == 0 ? (col == 0 ? center : temp_in[c - 1]) : t[ty][tx - 1];
+  float east = tx == %d - 1 ? (col == n - 1 ? center : temp_in[c + 1]) : t[ty][tx + 1];
+  float north = ty == 0 ? (row == 0 ? center : temp_in[c - n]) : t[ty - 1][tx];
+  float south = ty == %d - 1 ? (row == n - 1 ? center : temp_in[c + n]) : t[ty + 1][tx];
+  temp_out[c] = center
+              + 0.2f * (west + east + north + south - 4.0f * center)
+              + 0.05f * power[c];
+}
+void run(float* temp_in, float* temp_out, float* power, int n, int steps) {
+  for (int s = 0; s < steps; s++) {
+    hotspot_kernel<<<dim3(n / %d, n / %d), dim3(%d, %d)>>>(
+        temp_in, temp_out, power, n);
+    hotspot_kernel<<<dim3(n / %d, n / %d), dim3(%d, %d)>>>(
+        temp_out, temp_in, power, n);
+  }
+}
+|}
+    tile tile tile tile tile tile tile tile tile tile tile tile tile tile
+
+let omp_src =
+  {|
+void run(float* temp_in, float* temp_out, float* power, int n, int steps) {
+  for (int s = 0; s < steps; s++) {
+    for (int half = 0; half < 2; half++) {
+      #pragma omp parallel for
+      for (int row = 0; row < n; row++) {
+        for (int col = 0; col < n; col++) {
+          int c = row * n + col;
+          float center = half == 0 ? temp_in[c] : temp_out[c];
+          float west = col == 0 ? center
+                     : (half == 0 ? temp_in[c - 1] : temp_out[c - 1]);
+          float east = col == n - 1 ? center
+                     : (half == 0 ? temp_in[c + 1] : temp_out[c + 1]);
+          float north = row == 0 ? center
+                      : (half == 0 ? temp_in[c - n] : temp_out[c - n]);
+          float south = row == n - 1 ? center
+                      : (half == 0 ? temp_in[c + n] : temp_out[c + n]);
+          float v = center
+                  + 0.2f * (west + east + north + south - 4.0f * center)
+                  + 0.05f * power[c];
+          if (half == 0) temp_out[c] = v;
+          else temp_in[c] = v;
+        }
+      }
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "hotspot"
+  ; description = "2-D thermal stencil with shared-memory tiling"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun n ->
+        { Bench_def.buffers =
+            [| Bench_def.fbuf 81 (n * n)
+             ; Bench_def.fzero (n * n)
+             ; Bench_def.fbuf 83 (n * n)
+            |]
+        ; scalars = [ n; 2 ]
+        })
+  ; test_size = 16
+  ; paper_size = 1024
+  ; cost_scalars = (fun n -> [ n; 30 ])
+  ; n_buffers = 3
+  }

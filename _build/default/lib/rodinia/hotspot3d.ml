@@ -1,0 +1,88 @@
+(* Rodinia hotspot3D: 7-point 3-D thermal stencil, ping-pong buffers, no
+   shared memory.  The CUDA version maps x/y to the launch and walks z in
+   a serial loop, like the original. *)
+
+let cuda_src =
+  {|
+__global__ void hotspot3d_kernel(float* tin, float* tout, float* power,
+                                 int nx, int ny, int nz) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      int c = i + nx * (j + ny * k);
+      float center = tin[c];
+      float west = i == 0 ? center : tin[c - 1];
+      float east = i == nx - 1 ? center : tin[c + 1];
+      float north = j == 0 ? center : tin[c - nx];
+      float south = j == ny - 1 ? center : tin[c + nx];
+      float bottom = k == 0 ? center : tin[c - nx * ny];
+      float top = k == nz - 1 ? center : tin[c + nx * ny];
+      tout[c] = 0.4f * center
+              + 0.1f * (west + east + north + south + bottom + top)
+              + 0.05f * power[c];
+    }
+  }
+}
+void run(float* tin, float* tout, float* power, int nx, int ny, int nz,
+         int steps) {
+  for (int s = 0; s < steps; s++) {
+    hotspot3d_kernel<<<dim3((nx + 7) / 8, (ny + 7) / 8), dim3(8, 8)>>>(
+        tin, tout, power, nx, ny, nz);
+    hotspot3d_kernel<<<dim3((nx + 7) / 8, (ny + 7) / 8), dim3(8, 8)>>>(
+        tout, tin, power, nx, ny, nz);
+  }
+}
+|}
+
+let omp_src =
+  {|
+void run(float* tin, float* tout, float* power, int nx, int ny, int nz,
+         int steps) {
+  for (int s = 0; s < steps; s++) {
+    for (int half = 0; half < 2; half++) {
+      #pragma omp parallel for
+      for (int j = 0; j < ny; j++) {
+        for (int i = 0; i < nx; i++) {
+          for (int k = 0; k < nz; k++) {
+            int c = i + nx * (j + ny * k);
+            float center = half == 0 ? tin[c] : tout[c];
+            float west = i == 0 ? center : (half == 0 ? tin[c - 1] : tout[c - 1]);
+            float east = i == nx - 1 ? center : (half == 0 ? tin[c + 1] : tout[c + 1]);
+            float north = j == 0 ? center : (half == 0 ? tin[c - nx] : tout[c - nx]);
+            float south = j == ny - 1 ? center : (half == 0 ? tin[c + nx] : tout[c + nx]);
+            float bottom = k == 0 ? center : (half == 0 ? tin[c - nx * ny] : tout[c - nx * ny]);
+            float top = k == nz - 1 ? center : (half == 0 ? tin[c + nx * ny] : tout[c + nx * ny]);
+            float v = 0.4f * center
+                    + 0.1f * (west + east + north + south + bottom + top)
+                    + 0.05f * power[c];
+            if (half == 0) tout[c] = v;
+            else tin[c] = v;
+          }
+        }
+      }
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "hotspot3D"
+  ; description = "7-point 3-D thermal stencil with ping-pong buffers"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = false
+  ; mk_workload =
+      (fun n ->
+        let nz = 4 in
+        let sz = n * n * nz in
+        { Bench_def.buffers =
+            [| Bench_def.fbuf 51 sz; Bench_def.fzero sz; Bench_def.fbuf 53 sz |]
+        ; scalars = [ n; n; nz; 2 ]
+        })
+  ; test_size = 8
+  ; paper_size = 512
+  ; cost_scalars = (fun n -> [ n; n; 8; 10 ])
+  ; n_buffers = 3
+  }

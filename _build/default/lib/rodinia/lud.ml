@@ -1,0 +1,135 @@
+(* Rodinia lud: blocked LU decomposition.  Three kernels per block step —
+   diagonal (one block factorizes the pivot tile in shared memory with a
+   barrier per pivot), perimeter (row/column panels), internal (trailing
+   matmul-like update staged through shared memory).  The heavy use of
+   shared-memory staging is why the paper reports the transpiled version
+   trailing the plain OpenMP loop nest. *)
+
+let b = 8
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void lud_diagonal(float* m, int n, int offset) {
+  __shared__ float tile[%d][%d];
+  int tx = threadIdx.x;
+  for (int i = 0; i < %d; i++) {
+    tile[i][tx] = m[(offset + i) * n + offset + tx];
+  }
+  __syncthreads();
+  for (int k = 0; k < %d - 1; k++) {
+    if (tx > k) {
+      tile[tx][k] = tile[tx][k] / tile[k][k];
+      for (int j = k + 1; j < %d; j++) {
+        tile[tx][j] = tile[tx][j] - tile[tx][k] * tile[k][j];
+      }
+    }
+    __syncthreads();
+  }
+  for (int i = 0; i < %d; i++) {
+    m[(offset + i) * n + offset + tx] = tile[i][tx];
+  }
+}
+
+__global__ void lud_perimeter(float* m, int n, int offset) {
+  __shared__ float diag[%d][%d];
+  int bx = blockIdx.x;
+  int tx = threadIdx.x;
+  for (int i = 0; i < %d; i++) {
+    diag[i][tx] = m[(offset + i) * n + offset + tx];
+  }
+  __syncthreads();
+  int col0 = offset + (bx + 1) * %d;
+  if (col0 < n) {
+    for (int i = 1; i < %d; i++) {
+      float s = m[(offset + i) * n + col0 + tx];
+      for (int k = 0; k < i; k++) {
+        s = s - diag[i][k] * m[(offset + k) * n + col0 + tx];
+      }
+      m[(offset + i) * n + col0 + tx] = s;
+    }
+    for (int i = 0; i < %d; i++) {
+      float s = m[(col0 + tx) * n + offset + i];
+      for (int k = 0; k < i; k++) {
+        s = s - m[(col0 + tx) * n + offset + k] * diag[k][i];
+      }
+      m[(col0 + tx) * n + offset + i] = s / diag[i][i];
+    }
+  }
+}
+
+__global__ void lud_internal(float* m, int n, int offset) {
+  __shared__ float row_tile[%d][%d];
+  __shared__ float col_tile[%d][%d];
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row0 = offset + (by + 1) * %d;
+  int col0 = offset + (bx + 1) * %d;
+  if (row0 < n && col0 < n) {
+    row_tile[ty][tx] = m[(offset + ty) * n + col0 + tx];
+    col_tile[ty][tx] = m[(row0 + ty) * n + offset + tx];
+    __syncthreads();
+    float s = 0.0f;
+    for (int k = 0; k < %d; k++) {
+      s += col_tile[ty][k] * row_tile[k][tx];
+    }
+    m[(row0 + ty) * n + col0 + tx] -= s;
+  }
+}
+
+void run(float* m, int n) {
+  int nb = n / %d;
+  for (int step = 0; step < nb; step++) {
+    int offset = step * %d;
+    lud_diagonal<<<1, %d>>>(m, n, offset);
+    if (step < nb - 1) {
+      lud_perimeter<<<nb - step - 1, %d>>>(m, n, offset);
+      lud_internal<<<dim3(nb - step - 1, nb - step - 1), dim3(%d, %d)>>>(
+          m, n, offset);
+    }
+  }
+}
+|}
+    b b b b b b b b b b b b b b b b b b b b b b b b b
+
+let omp_src =
+  {|
+void run(float* m, int n) {
+  for (int k = 0; k < n - 1; k++) {
+    #pragma omp parallel for
+    for (int i = k + 1; i < n; i++) {
+      m[i * n + k] = m[i * n + k] / m[k * n + k];
+      for (int j = k + 1; j < n; j++) {
+        m[i * n + j] = m[i * n + j] - m[i * n + k] * m[k * n + j];
+      }
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "lud"
+  ; description = "blocked LU decomposition (diagonal/perimeter/internal)"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun n ->
+        (* diagonally dominant so the factorization is well-behaved *)
+        let r = Bench_def.frand 111 in
+        let m =
+          Array.init (n * n) (fun i ->
+              let row = i / n and col = i mod n in
+              if row = col then 10.0 +. r () else r () *. 0.5)
+        in
+        { Bench_def.buffers = [| Interp.Mem.of_float_array m |]
+        ; scalars = [ n ]
+        })
+  ; test_size = 16
+  ; paper_size = 1024
+  ; cost_scalars = (fun n -> [ n ])
+  ; n_buffers = 1
+  }

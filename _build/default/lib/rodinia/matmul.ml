@@ -1,0 +1,72 @@
+(* Tiled shared-memory matrix multiplication — the kernel of the MCUDA
+   comparison (Fig. 12).  8x8 tiles staged through shared memory with two
+   __syncthreads per tile step, the canonical barrier-in-loop pattern. *)
+
+let tile = 8
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void mm(float* C, float* A, float* B, int n) {
+  __shared__ float As[%d][%d];
+  __shared__ float Bs[%d][%d];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = blockIdx.y * %d + ty;
+  int col = blockIdx.x * %d + tx;
+  float acc = 0.0f;
+  for (int t = 0; t < n / %d; t++) {
+    As[ty][tx] = A[row * n + t * %d + tx];
+    Bs[ty][tx] = B[(t * %d + ty) * n + col];
+    __syncthreads();
+    for (int k = 0; k < %d; k++) {
+      acc += As[ty][k] * Bs[k][tx];
+    }
+    __syncthreads();
+  }
+  C[row * n + col] = acc;
+}
+void run(float* C, float* A, float* B, int n) {
+  mm<<<dim3(n / %d, n / %d), dim3(%d, %d)>>>(C, A, B, n);
+}
+|}
+    tile tile tile tile tile tile tile tile tile tile tile tile tile tile
+
+(* The hand-written OpenMP version parallelizes the row loop. *)
+let omp_src =
+  {|
+void run(float* C, float* A, float* B, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      float acc = 0.0f;
+      for (int k = 0; k < n; k++) {
+        acc += A[i * n + k] * B[k * n + j];
+      }
+      C[i * n + j] = acc;
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "matmul"
+  ; description = "tiled shared-memory matrix multiplication (Fig. 12)"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun n ->
+        { Bench_def.buffers =
+            [| Bench_def.fzero (n * n)
+             ; Bench_def.fbuf 11 (n * n)
+             ; Bench_def.fbuf 23 (n * n)
+            |]
+        ; scalars = [ n ]
+        })
+  ; test_size = 16
+  ; paper_size = 1024
+  ; cost_scalars = (fun n -> [ n ])
+  ; n_buffers = 3
+  }

@@ -1,0 +1,60 @@
+(* Rodinia myocyte: cardiac myocyte ODE integration — transcendental-heavy
+   per-thread work with almost no memory traffic, the compute-bound
+   extreme of the suite. *)
+
+let cuda_src =
+  {|
+__global__ void solver(float* y, float* out, int n, int iters) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    float v = y[tid];
+    float w = y[tid] * 0.5f;
+    for (int i = 0; i < iters; i++) {
+      float dv = expf(0.0f - v) * sinf(w) - v * 0.05f + cosf(v) * 0.3f;
+      float dw = (v - w) * 0.25f - expf(0.0f - w) * 0.1f;
+      v = v + 0.01f * dv;
+      w = w + 0.01f * dw;
+    }
+    out[tid] = v + w;
+  }
+}
+void run(float* y, float* out, int n, int iters) {
+  solver<<<(n + 31) / 32, 32>>>(y, out, n, iters);
+}
+|}
+
+let omp_src =
+  {|
+void run(float* y, float* out, int n, int iters) {
+  #pragma omp parallel for
+  for (int tid = 0; tid < n; tid++) {
+    float v = y[tid];
+    float w = y[tid] * 0.5f;
+    for (int i = 0; i < iters; i++) {
+      float dv = expf(0.0f - v) * sinf(w) - v * 0.05f + cosf(v) * 0.3f;
+      float dw = (v - w) * 0.25f - expf(0.0f - w) * 0.1f;
+      v = v + 0.01f * dv;
+      w = w + 0.01f * dw;
+    }
+    out[tid] = v + w;
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "myocyte"
+  ; description = "ODE integration, transcendental-heavy per-thread work"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = false
+  ; mk_workload =
+      (fun n ->
+        { Bench_def.buffers = [| Bench_def.fbuf 5 n; Bench_def.fzero n |]
+        ; scalars = [ n; 10 ]
+        })
+  ; test_size = 32
+  ; paper_size = 8192
+  ; cost_scalars = (fun n -> [ n; 1000 ])
+  ; n_buffers = 2
+  }

@@ -1,0 +1,101 @@
+(* Rodinia nw (Needleman-Wunsch): sequence alignment by wavefront dynamic
+   programming.  The CUDA version walks anti-diagonals of 8x8 tiles; each
+   tile is computed in shared memory with one barrier per in-tile
+   diagonal.  The OpenMP version parallelizes each global anti-diagonal
+   directly. *)
+
+let tile = 8
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void nw_kernel(int* score, int* ref, int n, int diag, int penalty) {
+  __shared__ int s[%d + 1][%d + 1];
+  int tx = threadIdx.x;
+  int bx = blockIdx.x;
+  int tiles = (n - 1) / %d;
+  int tile_row = diag - bx;
+  int tile_col = bx;
+  if (tile_row >= 0 && tile_row < tiles && tile_col < tiles) {
+    int row0 = tile_row * %d;
+    int col0 = tile_col * %d;
+    if (tx == 0) s[0][0] = score[row0 * (n) + col0];
+    s[tx + 1][0] = score[(row0 + tx + 1) * n + col0];
+    s[0][tx + 1] = score[row0 * n + col0 + tx + 1];
+    __syncthreads();
+    for (int d = 0; d < 2 * %d - 1; d++) {
+      int i = tx + 1;
+      int j = d - tx + 1;
+      if (j >= 1 && j <= %d) {
+        int m = s[i - 1][j - 1] + ref[(row0 + i) * n + col0 + j];
+        int del = s[i - 1][j] - penalty;
+        int ins = s[i][j - 1] - penalty;
+        s[i][j] = max(m, max(del, ins));
+      }
+      __syncthreads();
+    }
+    score[(row0 + tx + 1) * n + col0 + tx + 1] = s[tx + 1][tx + 1];
+    for (int j = 1; j <= %d; j++) {
+      score[(row0 + tx + 1) * n + col0 + j] = s[tx + 1][j];
+    }
+  }
+}
+void run(int* score, int* ref, int n, int penalty) {
+  int tiles = (n - 1) / %d;
+  for (int diag = 0; diag < 2 * tiles - 1; diag++) {
+    int width = diag < tiles ? diag + 1 : 2 * tiles - 1 - diag;
+    nw_kernel<<<diag + 1, %d>>>(score, ref, n, diag, penalty);
+  }
+}
+|}
+    tile tile tile tile tile tile tile tile tile tile
+
+let omp_src =
+  {|
+void run(int* score, int* ref, int n, int penalty) {
+  for (int diag = 2; diag <= 2 * (n - 1); diag++) {
+    #pragma omp parallel for
+    for (int i = 1; i < n; i++) {
+      int j = diag - i;
+      if (j >= 1 && j < n) {
+        int m = score[(i - 1) * n + j - 1] + ref[i * n + j];
+        int del = score[(i - 1) * n + j] - penalty;
+        int ins = score[i * n + j - 1] - penalty;
+        int best = m;
+        if (del > best) best = del;
+        if (ins > best) best = ins;
+        score[i * n + j] = best;
+      }
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "nw"
+  ; description = "Needleman-Wunsch wavefront alignment"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun n ->
+        (* n-1 must be a multiple of the tile size *)
+        let r = Bench_def.frand 101 in
+        let refm =
+          Array.init (n * n) (fun _ -> int_of_float (r () *. 10.0) - 4)
+        in
+        let score = Array.make (n * n) 0 in
+        for i = 0 to n - 1 do
+          score.(i * n) <- -i;
+          score.(i) <- -i
+        done;
+        { Bench_def.buffers =
+            [| Interp.Mem.of_int_array score; Interp.Mem.of_int_array refm |]
+        ; scalars = [ n; 2 ]
+        })
+  ; test_size = 17
+  ; paper_size = 2049
+  ; cost_scalars = (fun n -> [ n; 10 ])
+  ; n_buffers = 2
+  }

@@ -1,0 +1,83 @@
+(* Rodinia particlefilter: the weight-normalization phase.  The CUDA code
+   performs the block-level sum with __syncthreads tree reductions inside
+   one kernel; the OpenMP reference expresses the same dependence
+   structure with separate parallel-for loops — the contrast the paper
+   credits for the transpiled version's speedup once the barriers are
+   optimized. *)
+
+let block = 64
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void sum_weights(float* weights, float* partial, int n) {
+  __shared__ float buf[%d];
+  int t = threadIdx.x;
+  int i = blockIdx.x * %d + t;
+  if (i < n) buf[t] = weights[i];
+  else buf[t] = 0.0f;
+  __syncthreads();
+  for (int s = %d / 2; s > 0; s = s / 2) {
+    if (t < s) buf[t] += buf[t + s];
+    __syncthreads();
+  }
+  if (t == 0) partial[blockIdx.x] = buf[0];
+}
+
+__global__ void normalize_weights(float* weights, float* partial,
+                                  int nblocks, int n) {
+  __shared__ float total[1];
+  int t = threadIdx.x;
+  int i = blockIdx.x * %d + t;
+  if (t == 0) {
+    float s = 0.0f;
+    for (int b = 0; b < nblocks; b++) {
+      s += partial[b];
+    }
+    total[0] = s;
+  }
+  __syncthreads();
+  if (i < n) weights[i] = weights[i] / total[0];
+}
+
+void run(float* weights, float* partial, int n) {
+  int nblocks = (n + %d - 1) / %d;
+  sum_weights<<<nblocks, %d>>>(weights, partial, n);
+  normalize_weights<<<nblocks, %d>>>(weights, partial, nblocks, n);
+}
+|}
+    block block block block block block block block
+
+let omp_src =
+  {|
+void run(float* weights, float* partial, int n) {
+  partial[0] = 0.0f;
+  for (int i = 0; i < n; i++) {
+    partial[0] += weights[i];
+  }
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    weights[i] = weights[i] / partial[0];
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "particlefilter"
+  ; description = "particle weight normalization (reduction + scale)"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun n ->
+        let nblocks = (n + block - 1) / block in
+        { Bench_def.buffers =
+            [| Bench_def.fbuf 121 n; Bench_def.fzero nblocks |]
+        ; scalars = [ n ]
+        })
+  ; test_size = 128
+  ; paper_size = 400_000
+  ; cost_scalars = (fun n -> [ n ])
+  ; n_buffers = 2
+  }

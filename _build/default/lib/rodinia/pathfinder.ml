@@ -1,0 +1,98 @@
+(* Rodinia pathfinder: dynamic programming over a grid.  The CUDA version
+   processes [pyramid] rows per launch inside shared memory, with a
+   barrier per row and halo cells recomputed redundantly — trading
+   duplicated computation for less synchronization, exactly the pattern
+   the paper notes makes the GPU code more complex than the OpenMP
+   sweep. *)
+
+let block = 16
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void dynproc_kernel(int* wall, int* src, int* dst, int cols,
+                               int start_row, int rows_this_step) {
+  __shared__ int prev[%d];
+  __shared__ int result[%d];
+  int tx = threadIdx.x;
+  int x = blockIdx.x * %d + tx;
+  if (x < cols) prev[tx] = src[x];
+  __syncthreads();
+  for (int i = 0; i < rows_this_step; i++) {
+    if (x < cols) {
+      int left = tx == 0 ? (x == 0 ? prev[tx] : prev[tx])
+                         : prev[tx - 1];
+      int up = prev[tx];
+      int right = tx == %d - 1 ? (x == cols - 1 ? prev[tx] : prev[tx])
+                               : prev[tx + 1];
+      int shortest = min(left, min(up, right));
+      result[tx] = shortest + wall[(start_row + i) * cols + x];
+    }
+    __syncthreads();
+    if (x < cols) prev[tx] = result[tx];
+    __syncthreads();
+  }
+  if (x < cols) dst[x] = prev[tx];
+}
+void run(int* wall, int* src, int* dst, int cols, int rows, int pyramid) {
+  int row = 1;
+  while (row < rows) {
+    int todo = rows - row;
+    int step = todo < pyramid ? todo : pyramid;
+    dynproc_kernel<<<(cols + %d - 1) / %d, %d>>>(wall, src, dst, cols, row,
+                                                 step);
+    for (int j = 0; j < cols; j++) {
+      src[j] = dst[j];
+    }
+    row = row + step;
+  }
+}
+|}
+    block block block block block block block
+
+let omp_src =
+  {|
+void run(int* wall, int* src, int* dst, int cols, int rows, int pyramid) {
+  for (int row = 1; row < rows; row++) {
+    #pragma omp parallel for
+    for (int x = 0; x < cols; x++) {
+      int left = x == 0 ? src[x] : src[x - 1];
+      int up = src[x];
+      int right = x == cols - 1 ? src[x] : src[x + 1];
+      int shortest = min(left, min(up, right));
+      dst[x] = shortest + wall[row * cols + x];
+    }
+    for (int j = 0; j < cols; j++) {
+      src[j] = dst[j];
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "pathfinder"
+  ; description = "grid dynamic programming with in-tile row iterations"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun cols ->
+        let rows = 8 in
+        let r = Bench_def.frand 91 in
+        let wall =
+          Array.init (rows * cols) (fun _ -> int_of_float (r () *. 10.0))
+        in
+        let src = Array.init cols (fun i -> wall.(i)) in
+        { Bench_def.buffers =
+            [| Interp.Mem.of_int_array wall
+             ; Interp.Mem.of_int_array src
+             ; Bench_def.izero cols
+            |]
+        ; scalars = [ cols; rows; 4 ]
+        })
+  ; test_size = 32
+  ; paper_size = 100_000
+  ; cost_scalars = (fun n -> [ n; 100; 4 ])
+  ; n_buffers = 3
+  }

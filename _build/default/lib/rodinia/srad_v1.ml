@@ -1,0 +1,149 @@
+(* Rodinia srad_v1: speckle-reducing anisotropic diffusion, variant 1 —
+   two stencil kernels per iteration (diffusion coefficient, then update)
+   plus host-side statistics, no shared memory. *)
+
+let cuda_src =
+  {|
+__global__ void srad1(float* img, float* c, float* dn, float* ds, float* dw,
+                      float* de, int rows, int cols, float q0sqr) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < rows * cols) {
+    int r = i / cols;
+    int col = i - r * cols;
+    float jc = img[i];
+    float n = r == 0 ? 0.0f : img[i - cols] - jc;
+    float s = r == rows - 1 ? 0.0f : img[i + cols] - jc;
+    float w = col == 0 ? 0.0f : img[i - 1] - jc;
+    float e = col == cols - 1 ? 0.0f : img[i + 1] - jc;
+    float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+    float l = (n + s + w + e) / jc;
+    float num = 0.5f * g2 - 0.0625f * l * l;
+    float den = 1.0f + 0.25f * l;
+    float qsqr = num / (den * den);
+    den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+    float cval = 1.0f / (1.0f + den);
+    if (cval < 0.0f) cval = 0.0f;
+    if (cval > 1.0f) cval = 1.0f;
+    c[i] = cval;
+    dn[i] = n;
+    ds[i] = s;
+    dw[i] = w;
+    de[i] = e;
+  }
+}
+
+__global__ void srad2(float* img, float* c, float* dn, float* ds, float* dw,
+                      float* de, int rows, int cols, float lambda) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < rows * cols) {
+    int r = i / cols;
+    int col = i - r * cols;
+    float cn = c[i];
+    float cs = r == rows - 1 ? c[i] : c[i + cols];
+    float cw = c[i];
+    float ce = col == cols - 1 ? c[i] : c[i + 1];
+    float d = cn * dn[i] + cs * ds[i] + cw * dw[i] + ce * de[i];
+    img[i] = img[i] + 0.25f * lambda * d;
+  }
+}
+
+void run(float* img, float* c, float* dn, float* ds, float* dw, float* de,
+         int rows, int cols, int iters) {
+  for (int it = 0; it < iters; it++) {
+    float total = 0.0f;
+    float total2 = 0.0f;
+    for (int i = 0; i < rows * cols; i++) {
+      total += img[i];
+      total2 += img[i] * img[i];
+    }
+    float mean = total / (float)(rows * cols);
+    float var = total2 / (float)(rows * cols) - mean * mean;
+    float q0sqr = var / (mean * mean);
+    srad1<<<(rows * cols + 63) / 64, 64>>>(img, c, dn, ds, dw, de, rows,
+                                           cols, q0sqr);
+    srad2<<<(rows * cols + 63) / 64, 64>>>(img, c, dn, ds, dw, de, rows,
+                                           cols, 0.5f);
+  }
+}
+|}
+
+let omp_src =
+  {|
+void run(float* img, float* c, float* dn, float* ds, float* dw, float* de,
+         int rows, int cols, int iters) {
+  for (int it = 0; it < iters; it++) {
+    float total = 0.0f;
+    float total2 = 0.0f;
+    for (int i = 0; i < rows * cols; i++) {
+      total += img[i];
+      total2 += img[i] * img[i];
+    }
+    float mean = total / (float)(rows * cols);
+    float var = total2 / (float)(rows * cols) - mean * mean;
+    float q0sqr = var / (mean * mean);
+    #pragma omp parallel for
+    for (int i = 0; i < rows * cols; i++) {
+      int r = i / cols;
+      int col = i - r * cols;
+      float jc = img[i];
+      float n = r == 0 ? 0.0f : img[i - cols] - jc;
+      float s = r == rows - 1 ? 0.0f : img[i + cols] - jc;
+      float w = col == 0 ? 0.0f : img[i - 1] - jc;
+      float e = col == cols - 1 ? 0.0f : img[i + 1] - jc;
+      float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+      float l = (n + s + w + e) / jc;
+      float num = 0.5f * g2 - 0.0625f * l * l;
+      float den = 1.0f + 0.25f * l;
+      float qsqr = num / (den * den);
+      den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+      float cval = 1.0f / (1.0f + den);
+      if (cval < 0.0f) cval = 0.0f;
+      if (cval > 1.0f) cval = 1.0f;
+      c[i] = cval;
+      dn[i] = n;
+      ds[i] = s;
+      dw[i] = w;
+      de[i] = e;
+    }
+    #pragma omp parallel for
+    for (int i = 0; i < rows * cols; i++) {
+      int r = i / cols;
+      int col = i - r * cols;
+      float cn = c[i];
+      float cs = r == rows - 1 ? c[i] : c[i + cols];
+      float cw = c[i];
+      float ce = col == cols - 1 ? c[i] : c[i + 1];
+      float d = cn * dn[i] + cs * ds[i] + cw * dw[i] + ce * de[i];
+      img[i] = img[i] + 0.25f * 0.5f * d;
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "srad_v1"
+  ; description = "speckle-reducing anisotropic diffusion, v1"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = false
+  ; mk_workload =
+      (fun n ->
+        let sz = n * n in
+        let r = Bench_def.frand 131 in
+        let img = Array.init sz (fun _ -> 1.0 +. r ()) in
+        { Bench_def.buffers =
+            [| Interp.Mem.of_float_array img
+             ; Bench_def.fzero sz
+             ; Bench_def.fzero sz
+             ; Bench_def.fzero sz
+             ; Bench_def.fzero sz
+             ; Bench_def.fzero sz
+            |]
+        ; scalars = [ n; n; 2 ]
+        })
+  ; test_size = 12
+  ; paper_size = 2048
+  ; cost_scalars = (fun n -> [ n; n; 100 ])
+  ; n_buffers = 6
+  }

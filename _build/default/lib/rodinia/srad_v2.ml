@@ -1,0 +1,163 @@
+(* Rodinia srad_v2: the shared-memory variant — the image statistics are
+   computed on the device with block-level tree reductions (barriers), and
+   the stencils stage data through shared tiles.  The extra staging work
+   is why the paper reports this variant slower than the native OpenMP
+   code once transpiled. *)
+
+let block = 64
+let tile = 8
+
+let cuda_src =
+  Printf.sprintf
+    {|
+__global__ void reduce_stats(float* img, float* sums, float* sums2, int n) {
+  __shared__ float bufa[%d];
+  __shared__ float bufb[%d];
+  int t = threadIdx.x;
+  int i = blockIdx.x * %d + t;
+  if (i < n) {
+    bufa[t] = img[i];
+    bufb[t] = img[i] * img[i];
+  } else {
+    bufa[t] = 0.0f;
+    bufb[t] = 0.0f;
+  }
+  __syncthreads();
+  for (int s = %d / 2; s > 0; s = s / 2) {
+    if (t < s) {
+      bufa[t] += bufa[t + s];
+      bufb[t] += bufb[t + s];
+    }
+    __syncthreads();
+  }
+  if (t == 0) {
+    sums[blockIdx.x] = bufa[0];
+    sums2[blockIdx.x] = bufb[0];
+  }
+}
+
+__global__ void srad_tile(float* img, float* out, int rows, int cols,
+                          float q0sqr, float lambda) {
+  __shared__ float t[%d][%d];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int col = blockIdx.x * %d + tx;
+  int row = blockIdx.y * %d + ty;
+  int i = row * cols + col;
+  t[ty][tx] = img[i];
+  __syncthreads();
+  float jc = t[ty][tx];
+  float n = row == 0 ? 0.0f
+          : (ty == 0 ? img[i - cols] : t[ty - 1][tx]) - jc;
+  float s = row == rows - 1 ? 0.0f
+          : (ty == %d - 1 ? img[i + cols] : t[ty + 1][tx]) - jc;
+  float w = col == 0 ? 0.0f
+          : (tx == 0 ? img[i - 1] : t[ty][tx - 1]) - jc;
+  float e = col == cols - 1 ? 0.0f
+          : (tx == %d - 1 ? img[i + 1] : t[ty][tx + 1]) - jc;
+  float g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+  float l = (n + s + w + e) / jc;
+  float num = 0.5f * g2 - 0.0625f * l * l;
+  float den = 1.0f + 0.25f * l;
+  float qsqr = num / (den * den);
+  den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+  float cval = 1.0f / (1.0f + den);
+  if (cval < 0.0f) cval = 0.0f;
+  if (cval > 1.0f) cval = 1.0f;
+  out[i] = img[i] + 0.25f * lambda * cval * (n + s + w + e);
+}
+
+void run(float* img, float* out, float* sums, float* sums2, int rows,
+         int cols, int iters) {
+  int n = rows * cols;
+  int nblocks = (n + %d - 1) / %d;
+  for (int it = 0; it < iters; it++) {
+    reduce_stats<<<nblocks, %d>>>(img, sums, sums2, n);
+    float total = 0.0f;
+    float total2 = 0.0f;
+    for (int b = 0; b < nblocks; b++) {
+      total += sums[b];
+      total2 += sums2[b];
+    }
+    float mean = total / (float)n;
+    float var = total2 / (float)n - mean * mean;
+    float q0sqr = var / (mean * mean);
+    srad_tile<<<dim3(cols / %d, rows / %d), dim3(%d, %d)>>>(
+        img, out, rows, cols, q0sqr, 0.5f);
+    for (int i = 0; i < n; i++) {
+      img[i] = out[i];
+    }
+  }
+}
+|}
+    block block block block tile tile tile tile tile tile block block block
+    tile tile tile tile
+
+let omp_src =
+  {|
+void run(float* img, float* out, float* sums, float* sums2, int rows,
+         int cols, int iters) {
+  int n = rows * cols;
+  for (int it = 0; it < iters; it++) {
+    float total = 0.0f;
+    float total2 = 0.0f;
+    for (int i = 0; i < n; i++) {
+      total += img[i];
+      total2 += img[i] * img[i];
+    }
+    float mean = total / (float)n;
+    float var = total2 / (float)n - mean * mean;
+    float q0sqr = var / (mean * mean);
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+      int r = i / cols;
+      int col = i - r * cols;
+      float jc = img[i];
+      float nn = r == 0 ? 0.0f : img[i - cols] - jc;
+      float ss = r == rows - 1 ? 0.0f : img[i + cols] - jc;
+      float ww = col == 0 ? 0.0f : img[i - 1] - jc;
+      float ee = col == cols - 1 ? 0.0f : img[i + 1] - jc;
+      float g2 = (nn * nn + ss * ss + ww * ww + ee * ee) / (jc * jc);
+      float l = (nn + ss + ww + ee) / jc;
+      float num = 0.5f * g2 - 0.0625f * l * l;
+      float den = 1.0f + 0.25f * l;
+      float qsqr = num / (den * den);
+      den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+      float cval = 1.0f / (1.0f + den);
+      if (cval < 0.0f) cval = 0.0f;
+      if (cval > 1.0f) cval = 1.0f;
+      out[i] = img[i] + 0.25f * 0.5f * cval * (nn + ss + ww + ee);
+    }
+    for (int i = 0; i < n; i++) {
+      img[i] = out[i];
+    }
+  }
+}
+|}
+
+let bench : Bench_def.t =
+  { name = "srad_v2"
+  ; description = "SRAD v2: device-side reductions and shared-tile stencil"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = true
+  ; mk_workload =
+      (fun n ->
+        let sz = n * n in
+        let r = Bench_def.frand 141 in
+        let img = Array.init sz (fun _ -> 1.0 +. r ()) in
+        let nblocks = (sz + block - 1) / block in
+        { Bench_def.buffers =
+            [| Interp.Mem.of_float_array img
+             ; Bench_def.fzero sz
+             ; Bench_def.fzero nblocks
+             ; Bench_def.fzero nblocks
+            |]
+        ; scalars = [ n; n; 2 ]
+        })
+  ; test_size = 16
+  ; paper_size = 2048
+  ; cost_scalars = (fun n -> [ n; n; 100 ])
+  ; n_buffers = 4
+  }

@@ -1,0 +1,70 @@
+(* Rodinia streamcluster: the pgain kernel — for every point, the cost
+   delta of opening a candidate center (a dim-dimensional distance
+   computation against the current assignment).  Bandwidth-bound, no
+   synchronization. *)
+
+let cuda_src =
+  {|
+__global__ void pgain_kernel(float* points, float* center, float* assign_cost,
+                             float* delta, int n, int dim) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    float d = 0.0f;
+    for (int j = 0; j < dim; j++) {
+      float diff = points[tid * dim + j] - center[j];
+      d += diff * diff;
+    }
+    float gain = assign_cost[tid] - d;
+    if (gain > 0.0f) delta[tid] = gain;
+    else delta[tid] = 0.0f;
+  }
+}
+void run(float* points, float* center, float* assign_cost, float* delta,
+         int n, int dim) {
+  pgain_kernel<<<(n + 63) / 64, 64>>>(points, center, assign_cost, delta,
+                                      n, dim);
+}
+|}
+
+let omp_src =
+  {|
+void run(float* points, float* center, float* assign_cost, float* delta,
+         int n, int dim) {
+  #pragma omp parallel for
+  for (int tid = 0; tid < n; tid++) {
+    float d = 0.0f;
+    for (int j = 0; j < dim; j++) {
+      float diff = points[tid * dim + j] - center[j];
+      d += diff * diff;
+    }
+    float gain = assign_cost[tid] - d;
+    if (gain > 0.0f) delta[tid] = gain;
+    else delta[tid] = 0.0f;
+  }
+}
+|}
+
+let dim = 8
+
+let bench : Bench_def.t =
+  { name = "streamcluster"
+  ; description = "pgain distance kernel of streaming k-median"
+  ; cuda_src
+  ; omp_src = Some omp_src
+  ; entry = "run"
+  ; has_barrier = false
+  ; mk_workload =
+      (fun n ->
+        { Bench_def.buffers =
+            [| Bench_def.fbuf 31 (n * dim)
+             ; Bench_def.fbuf 37 dim
+             ; Bench_def.fbuf 41 n
+             ; Bench_def.fzero n
+            |]
+        ; scalars = [ n; dim ]
+        })
+  ; test_size = 64
+  ; paper_size = 65536
+  ; cost_scalars = (fun n -> [ n; 32 ])
+  ; n_buffers = 4
+  }

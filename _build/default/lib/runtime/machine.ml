@@ -1,0 +1,88 @@
+(* Machine models for the simulated-time runtime.
+
+   The container this reproduction runs in has a single physical core, so
+   thread-scaling results cannot be wall-clock measurements (DESIGN.md,
+   substitution table).  Instead, lowered programs are costed by an
+   analytic model parameterized by the machine descriptions below.  The
+   parameters are shared by every benchmark and never tuned per-figure;
+   the relative effects the paper attributes performance to are all
+   represented:
+
+   - thread-team startup cost (why OpenMP region fusion/hoisting help),
+   - nested-team startup and oversubscription (why serializing inner
+     parallel loops beats nested parallelism),
+   - finite memory bandwidth shared by all cores (why scaling flattens,
+     and why GEMM-style kernels win on HBM machines),
+   - per-worksharing-loop scheduling and barrier costs,
+   - false-sharing penalty for fine-grained nested parallel writes. *)
+
+type t =
+  { name : string
+  ; cores : int
+  ; flop_ns : float (* ns per scalar arithmetic op, single thread *)
+  ; mem_ns_per_byte : float (* ns per byte when out of cache, single stream *)
+  ; cache_ns_per_byte : float (* ns per byte for cache-resident traffic:
+                                  shared-memory tiles and the thread-private
+                                  spill slabs barrier fission creates *)
+  ; bandwidth_gbs : float (* total sustained memory bandwidth, GB/s *)
+  ; cache_bytes : int (* last-level cache per socket *)
+  ; spawn_ns : float (* omp.parallel team startup *)
+  ; nested_spawn_ns : float (* nested team startup (hotter path, TLS…) *)
+  ; barrier_ns : float (* per-thread cost of one omp.barrier *)
+  ; chunk_ns : float (* per-wsloop scheduling overhead *)
+  ; alloc_ns : float (* heap allocation *)
+  ; false_sharing_mult : float (* byte-cost multiplier for nested inner
+                                   parallel writes on adjacent addresses *)
+  ; simd_width : int (* lanes a hand-vectorized inner kernel (GEMM) uses *)
+  ; short_vector_eff : float
+    (* arithmetic efficiency of short-vector / strided kernels (direct
+       convolution inner loops) relative to streaming GEMM kernels.  High
+       on AVX2-era x86 where oneDNN is battle-tuned; low on A64FX SVE,
+       where the Fujitsu port leaves much of the peak unused — the
+       mechanism behind the paper's Fig. 15 gap. *)
+  }
+
+(* AWS c6i-like dual-socket Xeon (the paper's Rodinia testbed): many
+   cores, deep caches, commodity DRAM bandwidth. *)
+let commodity =
+  { name = "commodity-x86"
+  ; cores = 32
+  ; flop_ns = 0.35
+  ; mem_ns_per_byte = 0.12
+  ; cache_ns_per_byte = 0.02
+  ; bandwidth_gbs = 140.0
+  ; cache_bytes = 54 * 1024 * 1024
+  ; spawn_ns = 3_500.0
+  ; nested_spawn_ns = 600.0
+  ; barrier_ns = 450.0
+  ; chunk_ns = 220.0
+  ; alloc_ns = 400.0
+  ; false_sharing_mult = 1.05
+  ; simd_width = 8
+  ; short_vector_eff = 0.7
+  }
+
+(* Fugaku A64FX-like: many slower cores, HBM2 bandwidth, small caches —
+   the machine where GPU-style, bandwidth-hungry kernels shine. *)
+let a64fx =
+  { name = "a64fx"
+  ; cores = 48
+  ; flop_ns = 0.55
+  ; mem_ns_per_byte = 0.09
+  ; cache_ns_per_byte = 0.025
+  ; bandwidth_gbs = 1024.0
+  ; cache_bytes = 32 * 1024 * 1024
+  ; spawn_ns = 5_000.0
+  ; nested_spawn_ns = 900.0
+  ; barrier_ns = 600.0
+  ; chunk_ns = 300.0
+  ; alloc_ns = 500.0
+  ; false_sharing_mult = 1.05
+  ; simd_width = 16
+  ; short_vector_eff = 0.28
+  }
+
+let by_name = function
+  | "commodity" | "commodity-x86" -> commodity
+  | "a64fx" | "fugaku" -> a64fx
+  | s -> invalid_arg ("unknown machine model: " ^ s)

@@ -1,0 +1,1 @@
+lib/tensor/conv.ml: Array Float Gemm Opcost Runtime Tensor

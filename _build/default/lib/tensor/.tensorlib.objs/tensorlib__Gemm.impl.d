@@ -1,0 +1,1 @@
+lib/tensor/gemm.ml: Array Float Opcost Tensor

@@ -1,0 +1,1 @@
+lib/tensor/layers.ml: Array Float Gemm Opcost Tensor

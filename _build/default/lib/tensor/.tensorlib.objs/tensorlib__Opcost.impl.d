@@ -1,0 +1,1 @@
+lib/tensor/opcost.ml: Float Runtime

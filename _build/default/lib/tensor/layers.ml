@@ -1,0 +1,150 @@
+(* The non-convolution layers ResNet-50 needs (Sec. V-B): batch
+   normalization, ReLU, max pooling, the final linear layer, softmax, and
+   the negative log-likelihood loss.  Each has a compute implementation
+   and a cost descriptor. *)
+
+let f = float_of_int
+
+(* --- ReLU --- *)
+
+let relu (t : Tensor.t) : Tensor.t =
+  Tensor.of_array (Array.copy t.Tensor.shape)
+    (Array.map (fun x -> if x > 0.0 then x else 0.0) t.Tensor.data)
+
+let cost_relu (numel : int) : Opcost.t =
+  { Opcost.vflops = f numel
+  ; sflops = 0.0
+  ; stream_bytes = 8.0 *. f numel
+  ; latency_bytes = 0.0
+  ; launches = 1
+  }
+
+(* --- batch normalization (inference form) --- *)
+
+let batchnorm ~(gamma : float array) ~(beta : float array)
+    ~(mean : float array) ~(var : float array) (t : Tensor.t) : Tensor.t =
+  let out = Tensor.copy t in
+  let n = t.Tensor.shape.(0) and c = t.Tensor.shape.(1) in
+  let hw = t.Tensor.shape.(2) * t.Tensor.shape.(3) in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let scale = gamma.(ci) /. sqrt (var.(ci) +. 1e-5) in
+      let shift = beta.(ci) -. (scale *. mean.(ci)) in
+      let base = ((ni * c) + ci) * hw in
+      for i = 0 to hw - 1 do
+        out.Tensor.data.(base + i) <-
+          (scale *. t.Tensor.data.(base + i)) +. shift
+      done
+    done
+  done;
+  out
+
+let cost_batchnorm (numel : int) : Opcost.t =
+  { Opcost.vflops = 2.0 *. f numel
+  ; sflops = 0.0
+  ; stream_bytes = 8.0 *. f numel
+  ; latency_bytes = 0.0
+  ; launches = 1
+  }
+
+(* --- max pooling --- *)
+
+let maxpool ~(size : int) ~(stride : int) (t : Tensor.t) : Tensor.t =
+  let n = t.Tensor.shape.(0) and c = t.Tensor.shape.(1) in
+  let h = t.Tensor.shape.(2) and w = t.Tensor.shape.(3) in
+  let oh = ((h - size) / stride) + 1 and ow = ((w - size) / stride) + 1 in
+  let out = Tensor.create [| n; c; oh; ow |] in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      for y = 0 to oh - 1 do
+        for x = 0 to ow - 1 do
+          let m = ref neg_infinity in
+          for dy = 0 to size - 1 do
+            for dx = 0 to size - 1 do
+              m :=
+                Float.max !m
+                  (Tensor.get4 t ni ci ((y * stride) + dy) ((x * stride) + dx))
+            done
+          done;
+          Tensor.set4 out ni ci y x !m
+        done
+      done
+    done
+  done;
+  out
+
+let cost_maxpool ~(size : int) (numel_out : int) : Opcost.t =
+  { Opcost.vflops = f (numel_out * size * size)
+  ; sflops = 0.0
+  ; stream_bytes = 4.0 *. f (numel_out * ((size * size) + 1))
+  ; latency_bytes = 0.0
+  ; launches = 1
+  }
+
+(* --- linear --- *)
+
+let linear ~(weight : Tensor.t) (t : Tensor.t) : Tensor.t =
+  (* t: N x F, weight: O x F *)
+  let n = t.Tensor.shape.(0) and fdim = t.Tensor.shape.(1) in
+  let o = weight.Tensor.shape.(0) in
+  let out = Tensor.create [| n; o |] in
+  for ni = 0 to n - 1 do
+    for oi = 0 to o - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to fdim - 1 do
+        acc := !acc +. (Tensor.get2 t ni k *. Tensor.get2 weight oi k)
+      done;
+      Tensor.set2 out ni oi !acc
+    done
+  done;
+  out
+
+let cost_linear ~(n : int) ~(infeat : int) ~(outfeat : int) : Opcost.t =
+  Gemm.cost ~m:n ~n:outfeat ~k:infeat
+
+(* --- softmax (rows) --- *)
+
+let softmax (t : Tensor.t) : Tensor.t =
+  let n = t.Tensor.shape.(0) and c = t.Tensor.shape.(1) in
+  let out = Tensor.copy t in
+  for i = 0 to n - 1 do
+    let m = ref neg_infinity in
+    for j = 0 to c - 1 do
+      m := Float.max !m (Tensor.get2 t i j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to c - 1 do
+      z := !z +. exp (Tensor.get2 t i j -. !m)
+    done;
+    for j = 0 to c - 1 do
+      Tensor.set2 out i j (exp (Tensor.get2 t i j -. !m) /. !z)
+    done
+  done;
+  out
+
+let cost_softmax (numel : int) : Opcost.t =
+  { Opcost.vflops = 0.0
+  ; sflops = 8.0 *. f numel
+  ; stream_bytes = 8.0 *. f numel
+  ; latency_bytes = 0.0
+  ; launches = 1
+  }
+
+(* --- negative log-likelihood loss (the ClassNLLCriterion kernel) --- *)
+
+(* Reference implementation: mean of -log p[target] over the batch. *)
+let nll_loss ~(log_probs : Tensor.t) ~(targets : int array) : float =
+  let n = log_probs.Tensor.shape.(0) in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc -. Tensor.get2 log_probs i targets.(i)
+  done;
+  !acc /. f n
+
+let cost_nll (batch : int) : Opcost.t =
+  { Opcost.vflops = 0.0
+  ; sflops = 2.0 *. f batch
+  ; stream_bytes = 8.0 *. f batch
+  ; latency_bytes = 0.0
+  ; launches = 1
+  }

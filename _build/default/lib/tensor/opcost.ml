@@ -1,0 +1,55 @@
+(* Cost descriptors for tensor operations.
+
+   Each backend reports how much work an op does and how it touches
+   memory; the machine model turns that into simulated wall time:
+
+   - [vflops] at the machine's vectorized rate (hand-tuned kernels such
+     as GEMM use the full SIMD width);
+   - [sflops] at the scalar rate (naive loop nests, per-row softmax);
+   - [stream_bytes]: sequential, prefetchable traffic charged against the
+     machine's *total* bandwidth — this is where HBM machines shine;
+   - [latency_bytes]: cache/latency-bound traffic charged at the per-core
+     byte cost — blocking tuned for large caches produces this kind of
+     access, which cannot exploit HBM (the paper's oneDNN-on-A64FX
+     observation);
+   - [launches]: kernel-launch / parallel-region entries. *)
+
+type t =
+  { vflops : float
+  ; sflops : float
+  ; stream_bytes : float
+  ; latency_bytes : float
+  ; launches : int
+  }
+
+let zero =
+  { vflops = 0.0; sflops = 0.0; stream_bytes = 0.0; latency_bytes = 0.0
+  ; launches = 0
+  }
+
+let ( ++ ) a b =
+  { vflops = a.vflops +. b.vflops
+  ; sflops = a.sflops +. b.sflops
+  ; stream_bytes = a.stream_bytes +. b.stream_bytes
+  ; latency_bytes = a.latency_bytes +. b.latency_bytes
+  ; launches = a.launches + b.launches
+  }
+
+(* Force all arithmetic to the scalar rate (the native PyTorch CPU
+   backend's unvectorized kernels). *)
+let scalarize (c : t) = { c with vflops = 0.0; sflops = c.sflops +. c.vflops }
+
+(* Simulated seconds on [machine] with [threads] worker threads. *)
+let seconds (machine : Runtime.Machine.t) ~(threads : int) (c : t) : float =
+  let ns = 1e-9 in
+  let t = float_of_int (max 1 (min threads machine.cores)) in
+  let flop_time =
+    (c.vflops *. machine.flop_ns /. float_of_int machine.simd_width)
+    +. (c.sflops *. machine.flop_ns)
+  in
+  let compute = flop_time *. ns /. t in
+  let stream = c.stream_bytes /. (machine.bandwidth_gbs *. 1e9) in
+  let stream_floor = c.stream_bytes *. machine.mem_ns_per_byte *. ns /. t in
+  let latency = c.latency_bytes *. machine.mem_ns_per_byte *. ns /. t in
+  let overhead = float_of_int c.launches *. machine.spawn_ns *. ns in
+  Float.max compute (Float.max stream stream_floor) +. latency +. overhead

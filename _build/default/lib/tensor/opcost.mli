@@ -1,0 +1,23 @@
+(** Cost descriptors for tensor operations: vectorized and scalar flops,
+    streaming traffic (charged against total machine bandwidth — where
+    HBM machines shine), latency-bound traffic (charged at the per-core
+    byte cost — cache-blocked access that cannot exploit HBM), and
+    kernel-launch overheads. *)
+
+type t =
+  { vflops : float
+  ; sflops : float
+  ; stream_bytes : float
+  ; latency_bytes : float
+  ; launches : int
+  }
+
+val zero : t
+val ( ++ ) : t -> t -> t
+
+(** Force all arithmetic to the scalar rate (the native PyTorch CPU
+    backend's unvectorized kernels). *)
+val scalarize : t -> t
+
+(** Simulated wall seconds on the machine with the given thread count. *)
+val seconds : Runtime.Machine.t -> threads:int -> t -> float

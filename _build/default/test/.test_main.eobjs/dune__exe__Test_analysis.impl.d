@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Analysis Array Core Cudafe Effects Info Ir List Op Option QCheck QCheck_alcotest Types Value

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Cudafe Interp Ir List Option Printer Printf String Verifier

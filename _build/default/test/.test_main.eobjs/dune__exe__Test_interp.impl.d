@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Cudafe Interp Ir List Op Option Printf QCheck QCheck_alcotest String Types Verifier

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Clone Ir List Op Printer Rewrite String Types Value Verifier

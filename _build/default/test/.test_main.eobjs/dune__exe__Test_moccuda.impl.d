@@ -1,0 +1,1 @@
+test/test_moccuda.ml: Alcotest Array Conv Float Gemm Layers List Moccuda Option Printf Runtime Tensor Tensorlib

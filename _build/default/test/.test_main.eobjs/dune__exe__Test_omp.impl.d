@@ -1,0 +1,1 @@
+test/test_omp.ml: Alcotest Analysis Array Core Cudafe Float Interp Ir List Op Printer Printf Rodinia Runtime Verifier

@@ -1,0 +1,1 @@
+test/test_random.ml: Array Core Cudafe Float Interp Ir List Mcuda Printf QCheck QCheck_alcotest Random String

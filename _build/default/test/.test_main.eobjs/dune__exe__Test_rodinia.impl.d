@@ -1,0 +1,1 @@
+test/test_rodinia.ml: Alcotest Core Cudafe Float Interp Ir List Mcuda Op Rodinia Verifier

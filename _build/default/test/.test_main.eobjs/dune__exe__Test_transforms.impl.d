@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Analysis Array Core Cudafe Float Interp Ir List Op Option Printer Printf Verifier

@@ -1,0 +1,248 @@
+(* Analysis-layer tests: affine derivation, the per-dimension cross-thread
+   verdicts (validated by brute force over small domains), barrier
+   interval sets, call effect summaries, and aliasing. *)
+
+open Ir
+open Analysis
+
+(* --- affine expression algebra --- *)
+
+let v1 = Value.fresh ~name:"a" (Types.Scalar Types.Index)
+let v2 = Value.fresh ~name:"b" (Types.Scalar Types.Index)
+
+let test_affine_algebra () =
+  let open Affine in
+  let e = add (scale 3 (var v1)) (add (var v2) (const 5)) in
+  Alcotest.(check int) "coeff a" 3 (coeff e v1);
+  Alcotest.(check int) "coeff b" 1 (coeff e v2);
+  Alcotest.(check int) "const" 5 e.const;
+  let z = sub e e in
+  Alcotest.(check bool) "x - x = 0" true (is_const z && z.const = 0);
+  Alcotest.(check bool) "equal reflexive" true (equal e e);
+  Alcotest.(check bool) "scale 0" true (is_const (scale 0 e))
+
+(* Brute-force validation of [compare_dim]: enumerate two affine
+   expressions over one thread iv (domain 0..7) plus one shared symbol
+   (domain 0..3), and check the verdict against exhaustive evaluation. *)
+let test_compare_dim_brute_force =
+  QCheck.Test.make ~name:"compare_dim agrees with brute force" ~count:500
+    QCheck.(
+      tup4
+        (pair (int_range (-3) 3) (int_range (-3) 3)) (* tid coeffs *)
+        (pair (int_range (-2) 2) (int_range (-2) 2)) (* sym coeffs *)
+        (pair (int_range (-4) 4) (int_range (-4) 4)) (* consts *)
+        unit)
+    (fun ((ca, cb), (sa, sb), (ka, kb), ()) ->
+      let tid = Value.fresh ~name:"t" (Types.Scalar Types.Index) in
+      let sym = Value.fresh ~name:"s" (Types.Scalar Types.Index) in
+      let open Affine in
+      let mk c s k = add (scale c (var tid)) (add (scale s (var sym)) (const k)) in
+      let ea = mk ca sa ka and eb = mk cb sb kb in
+      let tids = Value.Set.singleton tid in
+      let verdict = compare_dim ~tids ea eb in
+      (* brute force: can the two expressions be equal with t1 <> t2 under
+         some shared symbol value?  and does equality force t1 = t2? *)
+      let eval c s k t sv = (c * t) + (s * sv) + k in
+      let can_equal_diff = ref false in
+      let equal_forces_t = ref true in
+      for sv = 0 to 3 do
+        for t1 = 0 to 7 do
+          for t2 = 0 to 7 do
+            if eval ca sa ka t1 sv = eval cb sb kb t2 sv then begin
+              if t1 <> t2 then can_equal_diff := true;
+              if t1 <> t2 then equal_forces_t := false
+            end
+          done
+        done
+      done;
+      match verdict with
+      | Disjoint ->
+        (* claims never equal under ANY valuation: check none found (also
+           with equal threads) *)
+        let any_equal = ref false in
+        for sv = 0 to 3 do
+          for t = 0 to 7 do
+            if eval ca sa ka t sv = eval cb sb kb t sv then any_equal := true
+          done
+        done;
+        (* Disjoint must at least rule out the cross-thread case *)
+        (not !can_equal_diff) && not !any_equal
+      | Forces s when Value.Set.mem tid s ->
+        (* claims cross-thread equality impossible *)
+        !equal_forces_t
+      | Forces _ | Maybe -> true (* conservative answers are always sound *))
+
+(* --- effects / barrier intervals on a concrete kernel --- *)
+
+let build_kernel src =
+  let m = Cudafe.Codegen.compile src in
+  Core.Canonicalize.run m;
+  Core.Cse.run m;
+  ignore (Core.Mem2reg.run m);
+  Core.Canonicalize.run m;
+  m
+
+let find_block_par m =
+  let found = ref None in
+  Op.iter
+    (fun o -> if o.Op.kind = Op.Parallel Op.Block then found := Some o)
+    m;
+  Option.get !found
+
+let find_barriers m =
+  let acc = ref [] in
+  Op.iter (fun o -> if o.Op.kind = Op.Barrier then acc := o :: !acc) m;
+  List.rev !acc
+
+let test_barrier_intervals_stop_at_barriers () =
+  let m =
+    build_kernel
+      {|
+__global__ void k(float* a, float* b, float* c) {
+  int t = threadIdx.x;
+  a[t] = 1.0f;
+  __syncthreads();
+  b[t] = 2.0f;
+  __syncthreads();
+  c[t] = 3.0f;
+}
+void launch(float* a, float* b, float* c) { k<<<1, 8>>>(a, b, c); }
+|}
+  in
+  let par = find_block_par m in
+  let info = Info.build m in
+  let ctx = Effects.make_ctx ~modul:m ~par info in
+  match find_barriers m with
+  | [ b1; b2 ] ->
+    let before1, after1 = Effects.barrier_intervals ctx ~par b1 in
+    let bases accs =
+      List.filter_map (fun (a : Effects.access) -> a.Effects.base) accs
+      |> List.map (fun (v : Value.t) -> Option.value ~default:"?" v.Value.name)
+      |> List.sort_uniq compare
+    in
+    Alcotest.(check (list string)) "before b1 touches a" [ "a" ] (bases before1);
+    Alcotest.(check (list string)) "after b1 stops at b2" [ "b" ] (bases after1);
+    let before2, after2 = Effects.barrier_intervals ctx ~par b2 in
+    Alcotest.(check (list string)) "before b2" [ "b" ] (bases before2);
+    Alcotest.(check (list string)) "after b2" [ "c" ] (bases after2)
+  | l -> Alcotest.failf "expected 2 barriers, got %d" (List.length l)
+
+let test_loop_wrap_included () =
+  (* the interval of an in-loop barrier must include the loop entry path:
+     the pre-loop write to s2 is visible before the in-loop barrier *)
+  let m =
+    build_kernel
+      {|
+__global__ void k(float* s2) {
+  int t = threadIdx.x;
+  s2[t] = 1.0f;
+  for (int i = 0; i < 2; i++) {
+    __syncthreads();
+  }
+}
+void launch(float* s2) { k<<<1, 8>>>(s2); }
+|}
+  in
+  let par = find_block_par m in
+  let info = Info.build m in
+  let ctx = Effects.make_ctx ~modul:m ~par info in
+  match find_barriers m with
+  | [ b ] ->
+    let before, _ = Effects.barrier_intervals ctx ~par b in
+    Alcotest.(check bool) "pre-loop write visible" true
+      (List.exists
+         (fun (a : Effects.access) -> a.Effects.acc_kind = Effects.Write)
+         before)
+  | l -> Alcotest.failf "expected 1 barrier, got %d" (List.length l)
+
+(* --- call summaries --- *)
+
+let test_call_summaries () =
+  let src =
+    {|
+__device__ float reader(float* p, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; i++) s += p[i];
+  return s;
+}
+__device__ void writer(float* q, float v) { q[0] = v; }
+__device__ float chained(float* p, float* q, int n) {
+  float s = reader(p, n);
+  writer(q, s);
+  return s;
+}
+void dummy(float* p, float* q, int n) {
+  float x = chained(p, q, n);
+  q[1] = x;
+}
+|}
+  in
+  let m = Cudafe.Codegen.compile src in
+  let tbl = Effects.new_summaries () in
+  let reader_sum = Effects.summarize m tbl "reader" in
+  Alcotest.(check bool) "reader only reads param 0" true
+    (List.for_all
+       (fun (it : Effects.summary_item) ->
+         it.Effects.s_kind = Effects.Read && it.Effects.s_param = Some 0)
+       reader_sum
+     && reader_sum <> []);
+  let chained_sum = Effects.summarize m tbl "chained" in
+  Alcotest.(check bool) "chained reads p and writes q" true
+    (List.exists
+       (fun (it : Effects.summary_item) ->
+         it.Effects.s_kind = Effects.Read && it.Effects.s_param = Some 0)
+       chained_sum
+     && List.exists
+          (fun (it : Effects.summary_item) ->
+            it.Effects.s_kind = Effects.Write && it.Effects.s_param = Some 1)
+          chained_sum)
+
+(* --- aliasing --- *)
+
+let test_alias_rules () =
+  let src =
+    {|
+void f(float* p, float* q, int n) {
+  float* a = (float*)malloc(n * sizeof(float));
+  float* b = (float*)malloc(n * sizeof(float));
+  a[0] = p[0];
+  b[0] = q[0];
+  free(a);
+  free(b);
+}
+|}
+  in
+  let m = Cudafe.Codegen.compile src in
+  let info = Info.build m in
+  let f = Option.get (Op.find_func m "f") in
+  let params = f.Op.regions.(0).rargs in
+  let allocs = ref [] in
+  Op.iter
+    (fun o -> if o.Op.kind = Op.Alloc then allocs := Op.result o :: !allocs)
+    m;
+  (match !allocs with
+   | [ b; a ] ->
+     Alcotest.(check bool) "distinct allocs don't alias" false
+       (Effects.bases_may_alias info a b);
+     Alcotest.(check bool) "alloc vs param don't alias" false
+       (Effects.bases_may_alias info a params.(0));
+     Alcotest.(check bool) "distinct params assumed noalias" false
+       (Effects.bases_may_alias info params.(0) params.(1));
+     Alcotest.(check bool) "same base aliases" true
+       (Effects.bases_may_alias info a a)
+   | l -> Alcotest.failf "expected 2 allocs, got %d" (List.length l));
+  (* Info utilities *)
+  let par_of v = Info.defining_op info v in
+  Alcotest.(check bool) "param has no defining op" true
+    (par_of params.(0) = None)
+
+let tests =
+  [ Alcotest.test_case "affine algebra" `Quick test_affine_algebra
+  ; QCheck_alcotest.to_alcotest test_compare_dim_brute_force
+  ; Alcotest.test_case "barrier intervals stop at barriers" `Quick
+      test_barrier_intervals_stop_at_barriers
+  ; Alcotest.test_case "loop entry path included" `Quick
+      test_loop_wrap_included
+  ; Alcotest.test_case "call summaries" `Quick test_call_summaries
+  ; Alcotest.test_case "alias rules" `Quick test_alias_rules
+  ]

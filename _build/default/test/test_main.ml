@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "polygeist-cpu"
+    [ ("ir", Test_ir.tests)
+    ; ("frontend", Test_frontend.tests)
+    ; ("interp", Test_interp.tests)
+    ; ("transforms", Test_transforms.tests)
+    ; ("omp", Test_omp.tests)
+    ; ("rodinia", Test_rodinia.tests)
+    ; ("moccuda", Test_moccuda.tests)
+    ; ("random", Test_random.tests)
+    ; ("analysis", Test_analysis.tests)
+    ]

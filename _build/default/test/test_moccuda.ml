@@ -1,0 +1,155 @@
+(* Tensor / MocCUDA tests: the conv backends agree numerically, the
+   transpiled NLL kernel matches the reference loss, the CUDART emulation
+   behaves, and the cost model reproduces the Fig.-15 ordering on the
+   A64FX machine model. *)
+
+open Tensorlib
+
+let feq = Alcotest.(check (float 1e-4))
+
+let test_gemm_blocked_matches_naive () =
+  let a = Tensor.rand 1 [| 13; 17 |] in
+  let b = Tensor.rand 2 [| 17; 9 |] in
+  let c1 = Tensor.create [| 13; 9 |] in
+  let c2 = Tensor.create [| 13; 9 |] in
+  Gemm.naive ~a ~b ~c:c1;
+  Gemm.blocked ~tile:4 ~a ~b ~c:c2 ();
+  Alcotest.(check bool) "identical" true (Tensor.max_abs_diff c1 c2 < 1e-9)
+
+let test_conv_backends_agree () =
+  let input = Tensor.rand 3 [| 2; 3; 9; 9 |] in
+  let weight = Tensor.rand 4 [| 4; 3; 3; 3 |] in
+  List.iter
+    (fun p ->
+      let reference = Conv.naive ~input ~weight ~p in
+      let gemm = Conv.im2col_gemm ~input ~weight ~p in
+      Alcotest.(check bool)
+        (Printf.sprintf "stride %d pad %d" p.Conv.stride p.Conv.pad)
+        true
+        (Tensor.max_abs_diff reference gemm < 1e-6))
+    [ { Conv.stride = 1; pad = 1 }; { Conv.stride = 2; pad = 1 }
+    ; { Conv.stride = 1; pad = 0 } ]
+
+let test_nll_kernel_matches_reference () =
+  let n = 20 and classes = 10 in
+  let probs = Tensor.rand 7 [| n; classes |] in
+  let log_probs =
+    Tensor.of_array [| n; classes |]
+      (Array.map (fun x -> log (Float.abs x +. 0.1)) probs.Tensor.data)
+  in
+  let targets = Array.init n (fun i -> (i * 3) mod classes) in
+  let expected = Layers.nll_loss ~log_probs ~targets in
+  let got = Moccuda.Nll_kernel.forward ~log_probs ~targets in
+  feq "loss" expected got;
+  (* gradient: -1/n at target positions, 0 elsewhere *)
+  let grad = Moccuda.Nll_kernel.backward ~n ~nclasses:classes ~targets in
+  for i = 0 to n - 1 do
+    for j = 0 to classes - 1 do
+      let expect = if j = targets.(i) then -1.0 /. float_of_int n else 0.0 in
+      feq (Printf.sprintf "grad[%d][%d]" i j) expect (Tensor.get2 grad i j)
+    done
+  done
+
+let test_mini_resnet_backends_agree () =
+  let m = Moccuda.Resnet.mini_model ~channels:4 in
+  let images = Tensor.rand 10 [| 2; 3; 8; 8 |] in
+  let targets = [| 3; 7 |] in
+  let losses =
+    List.map
+      (fun b -> Moccuda.Resnet.mini_forward b m ~images ~targets)
+      Moccuda.Backends.all
+  in
+  match losses with
+  | reference :: rest ->
+    List.iteri
+      (fun i l -> feq (Printf.sprintf "backend %d" (i + 1)) reference l)
+      rest
+  | [] -> assert false
+
+let test_cudart_memory_and_streams () =
+  let st = Moccuda.Cudart.create () in
+  let _, count = Moccuda.Cudart.cuda_get_device_count st in
+  Alcotest.(check int) "one device per NUMA domain" 4 count;
+  let _, props = Moccuda.Cudart.cuda_get_device_properties st 0 in
+  Alcotest.(check string)
+    "props dump" "NVIDIA GeForce RTX 2080 Ti"
+    (Option.get props).Moccuda.Cudart.prop_name;
+  let err, ptr = Moccuda.Cudart.cuda_malloc st 64 in
+  Alcotest.(check bool) "malloc ok" true (err = Moccuda.Cudart.Success);
+  let host = Array.init 16 float_of_int in
+  let err =
+    Moccuda.Cudart.cuda_memcpy st ~dst:(`Device ptr) ~src:(`Host host)
+      ~count:64 Moccuda.Cudart.Host_to_device
+  in
+  Alcotest.(check bool) "h2d ok" true (err = Moccuda.Cudart.Success);
+  let back = Array.make 16 0.0 in
+  let _ =
+    Moccuda.Cudart.cuda_memcpy st ~dst:(`Host back) ~src:(`Device ptr)
+      ~count:64 Moccuda.Cudart.Device_to_host
+  in
+  Alcotest.(check bool) "roundtrip" true (back = host);
+  (* stream ordering *)
+  let _, sid = Moccuda.Cudart.cuda_stream_create st in
+  let log = ref [] in
+  ignore (Moccuda.Cudart.enqueue st sid (fun () -> log := 1 :: !log));
+  ignore (Moccuda.Cudart.enqueue st sid (fun () -> log := 2 :: !log));
+  Alcotest.(check (list int)) "lazy until sync" [] !log;
+  ignore (Moccuda.Cudart.cuda_stream_synchronize st sid);
+  Alcotest.(check (list int)) "FIFO order" [ 2; 1 ] !log;
+  Alcotest.(check bool) "free ok" true
+    (Moccuda.Cudart.cuda_free st ptr = Moccuda.Cudart.Success);
+  Alcotest.(check bool) "double free rejected" true
+    (Moccuda.Cudart.cuda_free st ptr = Moccuda.Cudart.Invalid_value)
+
+(* Fig. 15 shape: on the A64FX model MocCUDA beats tuned oneDNN clearly
+   (paper: geomean 2.7x, min 1.2x, max 4.5x), and the native backend is
+   far slower than everything. *)
+let test_fig15_ordering_on_a64fx () =
+  let machine = Runtime.Machine.a64fx in
+  List.iter
+    (fun batch ->
+      let t b = Moccuda.Resnet.throughput b machine ~batch ~threads:12 in
+      let moc = t Moccuda.Backends.Moccuda_polygeist in
+      let onednn = t Moccuda.Backends.One_dnn in
+      let native = t Moccuda.Backends.Native in
+      let ratio = moc /. onednn in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch %d: moc/onednn = %.2f in [1.2, 6]" batch ratio)
+        true
+        (ratio >= 1.2 && ratio <= 6.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "batch %d: native slowest (%.1f vs %.1f)" batch native
+           onednn)
+        true (native < onednn))
+    [ 1; 4; 12 ]
+
+let test_expert_close_to_polygeist () =
+  let machine = Runtime.Machine.a64fx in
+  let t b = Moccuda.Resnet.throughput b machine ~batch:8 ~threads:12 in
+  let e = t Moccuda.Backends.Moccuda_expert in
+  let p = t Moccuda.Backends.Moccuda_polygeist in
+  Alcotest.(check bool)
+    (Printf.sprintf "expert %.1f ~ polygeist %.1f" e p)
+    true
+    (p /. e > 0.85 && p /. e <= 1.0)
+
+let test_resnet50_has_53_convs () =
+  (* 1 stem + 3*3+1 + 4*3+1 + 6*3+1 + 3*3+1 = 53 *)
+  Alcotest.(check int) "conv count" 53 Moccuda.Resnet.n_convs
+
+let tests =
+  [ Alcotest.test_case "blocked gemm = naive" `Quick
+      test_gemm_blocked_matches_naive
+  ; Alcotest.test_case "conv backends agree" `Quick test_conv_backends_agree
+  ; Alcotest.test_case "transpiled NLL kernel" `Quick
+      test_nll_kernel_matches_reference
+  ; Alcotest.test_case "mini resnet backends agree" `Quick
+      test_mini_resnet_backends_agree
+  ; Alcotest.test_case "cudart memory and streams" `Quick
+      test_cudart_memory_and_streams
+  ; Alcotest.test_case "fig15 ordering on a64fx" `Quick
+      test_fig15_ordering_on_a64fx
+  ; Alcotest.test_case "expert ~ polygeist" `Quick
+      test_expert_close_to_polygeist
+  ; Alcotest.test_case "resnet50 conv count" `Quick test_resnet50_has_53_convs
+  ]
