@@ -1,11 +1,15 @@
 (* polygeist-cpu: the command-line driver, mirroring the paper's drop-in
    usage (Sec. III-C).  It accepts a mini-CUDA file and, like the real
    tool, [-cuda-lower] selects GPU-to-CPU translation while [-cpuify]
-   picks the lowering/optimization recipe.
+   picks the lowering/optimization recipe.  [-check] runs the static
+   kernel sanitizer (races, barrier divergence, shared-memory init)
+   instead of lowering.
 
      polygeist-cpu kernel.cu -cuda-lower -emit-ir
      polygeist-cpu kernel.cu -cuda-lower -cpuify=inner-serial -run main 1024
-     polygeist-cpu kernel.cu -mcuda -time 32 *)
+     polygeist-cpu kernel.cu -mcuda -time 32
+     polygeist-cpu kernel.cu -check
+     polygeist-cpu kernel.cu -check-after-each-pass *)
 
 open Cmdliner
 
@@ -13,6 +17,80 @@ type cpuify_mode =
   | Inner_serial
   | Inner_parallel
   | No_opt
+
+(* The checks compare index expressions syntactically, so give them the
+   same normalized IR the barrier optimizations see. *)
+let cleanup (m : Ir.Op.op) : unit =
+  Core.Canonicalize.run m;
+  Core.Cse.run m;
+  ignore (Core.Mem2reg.run m);
+  Core.Canonicalize.run m
+
+let print_diags ~file diags =
+  List.iter
+    (fun d -> print_endline (Analysis.Diag.to_string ~file d))
+    diags
+
+(* -check: frontend, cleanup, sanitize; nonzero exit iff errors. *)
+let check_source ~file (m : Ir.Op.op) : (unit, [ `Msg of string ]) result =
+  cleanup m;
+  let diags = Analysis.Kernelcheck.check_module m in
+  print_diags ~file diags;
+  let errs = List.filter Analysis.Diag.is_error diags in
+  if diags = [] then begin
+    Printf.printf "%s: no issues found\n" file;
+    Ok ()
+  end
+  else if errs = [] then Ok ()
+  else
+    Error
+      (`Msg
+        (Printf.sprintf "kernel check failed: %d error(s) in %s"
+           (List.length errs) file))
+
+(* -check-after-each-pass: run the full cpuify pipeline one pass at a
+   time, re-verifying the IR and re-running the race check after every
+   pass — a definite race must never APPEAR mid-pipeline in a race-free
+   program, so any new one is a miscompilation. *)
+let check_after_each_pass ~file (m : Ir.Op.op) :
+  (unit, [ `Msg of string ]) result =
+  let stage name =
+    match Ir.Verifier.verify_result m with
+    | Error e ->
+      Error (`Msg (Printf.sprintf "IR does not verify after %s: %s" name e))
+    | Ok () ->
+      let races =
+        List.filter Analysis.Diag.is_error
+          (Analysis.Kernelcheck.check_module_races m)
+      in
+      if races = [] then Ok ()
+      else begin
+        print_diags ~file races;
+        Error
+          (`Msg
+            (if name = "frontend" then
+               Printf.sprintf
+                 "input kernel already has %d data race(s); fix them before \
+                  lowering"
+                 (List.length races)
+             else
+               Printf.sprintf "race introduced by pass %s (%d diagnostic(s))"
+                 name (List.length races)))
+      end
+  in
+  let rec go = function
+    | [] ->
+      Printf.printf "%s: pipeline clean (verifier + race check after every \
+                     pass)\n" file;
+      Ok ()
+    | (name, f) :: rest -> begin
+      f m;
+      match stage name with Ok () -> go rest | Error _ as e -> e
+    end
+  in
+  match stage "frontend" with
+  | Error _ as e -> e
+  | Ok () -> go (Core.Cpuify.pipeline_stages ())
 
 let build ~(mcuda : bool) ~(cuda_lower : bool) ~(mode : cpuify_mode)
     (src : string) : Ir.Op.op =
@@ -36,85 +114,112 @@ let build ~(mcuda : bool) ~(cuda_lower : bool) ~(mode : cpuify_mode)
    | Error e -> failwith ("internal error: lowered IR does not verify: " ^ e));
   m
 
-let run_entry (m : Ir.Op.op) (entry : string) (sizes : int list) =
+let run_entry (m : Ir.Op.op) (entry : string) (sizes : int list) :
+  (unit, [ `Msg of string ]) result =
   (* integer arguments are passed through; every pointer parameter gets a
      zero-initialized float/int buffer of the first size argument *)
-  let f =
-    match Ir.Op.find_func m entry with
-    | Some f -> f
-    | None -> failwith ("no function @" ^ entry)
-  in
-  let default_n = match sizes with n :: _ -> n | [] -> 64 in
-  let sizes = ref sizes in
-  let args =
-    Array.to_list f.Ir.Op.regions.(0).rargs
-    |> List.map (fun (p : Ir.Value.t) ->
-        match p.Ir.Value.typ with
-        | Ir.Types.Memref { elem; _ } ->
-          if Ir.Types.is_float_dtype elem then
-            Interp.Mem.Buf (Interp.Mem.of_float_array (Array.make default_n 0.0))
-          else Interp.Mem.Buf (Interp.Mem.of_int_array (Array.make default_n 0))
-        | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
-          match !sizes with
-          | n :: rest ->
-            sizes := rest;
-            Interp.Mem.Int n
-          | [] -> Interp.Mem.Int default_n
-        end
-        | Ir.Types.Scalar _ -> Interp.Mem.Flt 1.0)
-  in
-  let _, stats = Interp.Eval.run m entry args in
-  Printf.printf
-    "executed @%s: %d ops, %d loads, %d stores, %d barrier waits\n" entry
-    stats.Interp.Eval.ops stats.Interp.Eval.loads stats.Interp.Eval.stores
-    stats.Interp.Eval.barriers
-
-let main file cuda_lower mcuda cpuify emit_ir run_name sizes time_threads
-    machine =
-  let src = In_channel.with_open_text file In_channel.input_all in
-  let mode =
-    match cpuify with
-    | "inner-serial" -> Inner_serial
-    | "inner-parallel" -> Inner_parallel
-    | "no-opt" -> No_opt
-    | other -> failwith ("unknown -cpuify mode: " ^ other)
-  in
-  let m = build ~mcuda ~cuda_lower:(cuda_lower || mcuda) ~mode src in
-  if emit_ir then print_string (Ir.Printer.op_to_string m);
-  (match run_name with
-   | Some entry -> run_entry m entry sizes
-   | None -> ());
-  match time_threads with
-  | Some threads ->
-    let mach = Runtime.Machine.by_name machine in
-    let entry =
-      match run_name with
-      | Some e -> e
-      | None -> begin
-        match Ir.Op.funcs m with
-        | f :: _ -> Ir.Op.func_name f
-        | [] -> failwith "empty module"
-      end
-    in
-    let f = Option.get (Ir.Op.find_func m entry) in
+  match Ir.Op.find_func m entry with
+  | None -> Error (`Msg (Printf.sprintf "no function @%s in the module" entry))
+  | Some f ->
+    let default_n = match sizes with n :: _ -> n | [] -> 64 in
     let sizes = ref sizes in
     let args =
       Array.to_list f.Ir.Op.regions.(0).rargs
       |> List.map (fun (p : Ir.Value.t) ->
           match p.Ir.Value.typ with
+          | Ir.Types.Memref { elem; _ } ->
+            if Ir.Types.is_float_dtype elem then
+              Interp.Mem.Buf (Interp.Mem.of_float_array (Array.make default_n 0.0))
+            else Interp.Mem.Buf (Interp.Mem.of_int_array (Array.make default_n 0))
           | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
             match !sizes with
             | n :: rest ->
               sizes := rest;
-              Runtime.Cost.Ki n
-            | [] -> Runtime.Cost.Ki 1024
+              Interp.Mem.Int n
+            | [] -> Interp.Mem.Int default_n
           end
-          | _ -> Runtime.Cost.Unk)
+          | Ir.Types.Scalar _ -> Interp.Mem.Flt 1.0)
     in
-    let r = Runtime.Cost.of_func mach ~threads m entry args in
-    Printf.printf "simulated time @%s on %s with %d threads: %.4e s\n" entry
-      mach.Runtime.Machine.name threads r.Runtime.Cost.seconds
-  | None -> ()
+    let _, stats = Interp.Eval.run m entry args in
+    Printf.printf
+      "executed @%s: %d ops, %d loads, %d stores, %d barrier waits\n" entry
+      stats.Interp.Eval.ops stats.Interp.Eval.loads stats.Interp.Eval.stores
+      stats.Interp.Eval.barriers;
+    Ok ()
+
+let time_entry (m : Ir.Op.op) ~(machine : string) ~(threads : int)
+    (run_name : string option) (sizes : int list) :
+  (unit, [ `Msg of string ]) result =
+  let mach = Runtime.Machine.by_name machine in
+  let entry =
+    match run_name with
+    | Some e -> Some e
+    | None -> begin
+      match Ir.Op.funcs m with
+      | f :: _ -> Some (Ir.Op.func_name f)
+      | [] -> None
+    end
+  in
+  match entry with
+  | None -> Error (`Msg "empty module: nothing to time")
+  | Some entry -> begin
+    match Ir.Op.find_func m entry with
+    | None -> Error (`Msg (Printf.sprintf "no function @%s" entry))
+    | Some f ->
+      let sizes = ref sizes in
+      let args =
+        Array.to_list f.Ir.Op.regions.(0).rargs
+        |> List.map (fun (p : Ir.Value.t) ->
+            match p.Ir.Value.typ with
+            | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
+              match !sizes with
+              | n :: rest ->
+                sizes := rest;
+                Runtime.Cost.Ki n
+              | [] -> Runtime.Cost.Ki 1024
+            end
+            | _ -> Runtime.Cost.Unk)
+      in
+      let r = Runtime.Cost.of_func mach ~threads m entry args in
+      Printf.printf "simulated time @%s on %s with %d threads: %.4e s\n" entry
+        mach.Runtime.Machine.name threads r.Runtime.Cost.seconds;
+      Ok ()
+  end
+
+let main file cuda_lower mcuda mode emit_ir run_name sizes time_threads
+    machine check check_each : (unit, [ `Msg of string ]) result =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  if check || check_each then begin
+    (* the flags compose: with both, the full pre-lowering check gates the
+       per-pass sweep (which only re-runs the race check — divergence and
+       shared-init lose meaning mid-lowering) *)
+    let first =
+      if check then check_source ~file (Cudafe.Codegen.compile src)
+      else Ok ()
+    in
+    match first with
+    | Error _ as e -> e
+    | Ok () ->
+      if check_each then
+        check_after_each_pass ~file (Cudafe.Codegen.compile src)
+      else Ok ()
+  end
+  else begin
+    let m = build ~mcuda ~cuda_lower:(cuda_lower || mcuda) ~mode src in
+    if emit_ir then print_string (Ir.Printer.op_to_string m);
+    let ran =
+      match run_name with
+      | Some entry -> run_entry m entry sizes
+      | None -> Ok ()
+    in
+    match ran with
+    | Error _ as e -> e
+    | Ok () -> begin
+      match time_threads with
+      | Some threads -> time_entry m ~machine ~threads run_name sizes
+      | None -> Ok ()
+    end
+  end
 
 let cmd =
   let file =
@@ -130,8 +235,15 @@ let cmd =
            ~doc:"use the MCUDA-style baseline lowering instead")
   in
   let cpuify =
-    Arg.(value & opt string "inner-serial" & info [ "cpuify" ]
-           ~doc:"lowering recipe: inner-serial | inner-parallel | no-opt")
+    let modes =
+      [ ("inner-serial", Inner_serial)
+      ; ("inner-parallel", Inner_parallel)
+      ; ("no-opt", No_opt)
+      ]
+    in
+    Arg.(value & opt (enum modes) Inner_serial & info [ "cpuify" ]
+           ~doc:(Printf.sprintf "lowering recipe, one of %s"
+                   (Arg.doc_alts_enum modes)))
   in
   let emit_ir =
     Arg.(value & flag & info [ "emit-ir" ] ~doc:"print the (lowered) IR")
@@ -152,10 +264,22 @@ let cmd =
     Arg.(value & opt string "commodity" & info [ "machine" ]
            ~doc:"machine model: commodity | a64fx")
   in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"run the static kernel sanitizer (data races, barrier \
+                 divergence, uninitialized __shared__ reads) on the \
+                 pre-lowering IR and exit; nonzero exit iff errors")
+  in
+  let check_each =
+    Arg.(value & flag & info [ "check-after-each-pass" ]
+           ~doc:"run the -cpuify pipeline one pass at a time, re-running \
+                 the IR verifier and the race check after every pass")
+  in
   Cmd.v
     (Cmd.info "polygeist-cpu" ~doc:"CUDA to CPU transpiler (paper reproduction)")
     Term.(
-      const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
-      $ sizes $ time_threads $ machine)
+      term_result
+        (const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
+         $ sizes $ time_threads $ machine $ check $ check_each))
 
 let () = exit (Cmd.eval cmd)

@@ -127,7 +127,44 @@ type dim_verdict =
   | Forces of Value.Set.t
   | Maybe
 
-let compare_dim ~(tids : Value.Set.t) (a : expr) (b : expr) : dim_verdict =
+(* Multi-iv injectivity over a bounded box: f(t) = sum c_i * v_i with each
+   v_i ranging over [0, B_i).  Writing the terms in ascending |c|, f is
+   injective when every coefficient dominates the largest value the
+   smaller terms can jointly reach:
+
+     |c_k| > sum_{i<k} |c_i| * (B_i - 1)
+
+   (the mixed-radix positional argument; linearized indices like
+   [ty * BX + tx] with B_tx <= BX satisfy it).  Equality of two such
+   forms across threads then forces every iv equal. *)
+let box_injective ~(extent : Value.t -> int option) (terms : int VM.t) : bool
+    =
+  let with_extents =
+    VM.fold
+      (fun v c acc ->
+        match acc with
+        | None -> None
+        | Some l -> begin
+          match extent v with
+          | Some b when b >= 1 -> Some ((abs c, b) :: l)
+          | _ -> None
+        end)
+      terms (Some [])
+  in
+  match with_extents with
+  | None -> false
+  | Some l ->
+    let sorted = List.sort (fun (c1, _) (c2, _) -> compare c1 c2) l in
+    let reach = ref 0 in
+    List.for_all
+      (fun (c, b) ->
+        let ok = c > !reach in
+        reach := !reach + (c * (b - 1));
+        ok)
+      sorted
+
+let compare_dim ~(tids : Value.Set.t) ?extent (a : expr) (b : expr) :
+  dim_verdict =
   let split e =
     let tid, inv = VM.partition (fun v _ -> Value.Set.mem v tids) e.terms in
     (tid, { terms = inv; const = e.const })
@@ -142,7 +179,14 @@ let compare_dim ~(tids : Value.Set.t) (a : expr) (b : expr) : dim_verdict =
           && inv_diff.const = 0 then begin
     if VM.cardinal tid_a = 1 then
       Forces (Value.Set.singleton (fst (VM.choose tid_a)))
-    else Maybe
+    else begin
+      (* several ivs may compensate each other — unless the iv ranges are
+         known and the coefficients are mixed-radix injective *)
+      match extent with
+      | Some extent when box_injective ~extent tid_a ->
+        Forces (VM.fold (fun v _ s -> Value.Set.add v s) tid_a Value.Set.empty)
+      | _ -> Maybe
+    end
   end
   else Maybe
 

@@ -44,7 +44,17 @@ type dim_verdict =
   | Forces of Ir.Value.Set.t
   | Maybe
 
-val compare_dim : tids:Ir.Value.Set.t -> expr -> expr -> dim_verdict
+(** [extent] gives the static trip count of a thread iv (iv ranges over
+    [0, extent)), enabling the mixed-radix injectivity argument for
+    linearized indices over several ivs (e.g. [ty * BX + tx]): when every
+    coefficient dominates the reach of the smaller terms, equality forces
+    ALL involved ivs equal. *)
+val compare_dim :
+  tids:Ir.Value.Set.t ->
+  ?extent:(Ir.Value.t -> int option) ->
+  expr ->
+  expr ->
+  dim_verdict
 
 (** Can the two expressions coincide when evaluated in ONE thread (all
     variables shared)?  [false] only when provably a nonzero constant

@@ -1,0 +1,70 @@
+(* Diagnostics emitted by the static kernel checker (kernelcheck).
+
+   A diagnostic carries a severity, the name of the check that produced
+   it, a primary source location (from the op the frontend stamped), a
+   message, and optional notes pointing at related program points — e.g.
+   the second access of a racing pair. *)
+
+open Ir
+
+type severity =
+  | Error
+  | Warning
+
+type note =
+  { n_loc : Srcloc.t option
+  ; n_msg : string
+  }
+
+type t =
+  { severity : severity
+  ; check : string (* "race" | "divergence" | "shared-init" *)
+  ; loc : Srcloc.t option
+  ; message : string
+  ; notes : note list
+  }
+
+let mk ?loc ?(notes = []) severity check message =
+  { severity; check; loc; message; notes }
+
+let note ?loc msg = { n_loc = loc; n_msg = msg }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+
+let loc_to_string ~file = function
+  | Some l when Srcloc.is_known l ->
+    Printf.sprintf "%s:%s" file (Srcloc.to_string l)
+  | _ -> Printf.sprintf "%s:?:?" file
+
+let to_string ~file (d : t) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %s: [%s] %s"
+       (loc_to_string ~file d.loc)
+       (severity_to_string d.severity)
+       d.check d.message);
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "\n%s: note: %s" (loc_to_string ~file n.n_loc) n.n_msg))
+    d.notes;
+  Buffer.contents b
+
+let is_error d = d.severity = Error
+
+(* Stable ordering for reporting: by location, then check name. *)
+let compare_diag (a : t) (b : t) =
+  let lc =
+    match a.loc, b.loc with
+    | Some la, Some lb -> Srcloc.compare la lb
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
+  in
+  if lc <> 0 then lc
+  else
+    match compare a.check b.check with
+    | 0 -> compare a.message b.message
+    | c -> c

@@ -1,0 +1,66 @@
+(* Facade of the static kernel sanitizer.
+
+   Runs the race, barrier-divergence and shared-init checks over every
+   block-parallel region of a module and returns the merged, sorted
+   diagnostic list.
+
+   The checks read index expressions syntactically, so they are only as
+   precise as the IR is clean: callers should run the standard cleanup
+   pipeline (canonicalize, cse, mem2reg) BEFORE checking — the analysis
+   layer cannot invoke those passes itself (core depends on analysis,
+   not the other way round). *)
+
+open Ir
+
+(* Every block-parallel op of the module, in program order.  These are
+   the regions [__syncthreads] synchronizes, hence the scope of all
+   three checks. *)
+let block_pars (m : Op.op) : Op.op list =
+  let acc = ref [] in
+  Op.iter
+    (fun o ->
+      match o.Op.kind with
+      | Op.Parallel Op.Block -> acc := o :: !acc
+      | _ -> ())
+    m;
+  List.rev !acc
+
+let check_par ?report_possible (ctx : Effects.ctx) (par : Op.op) :
+  Diag.t list =
+  Race.check ?report_possible ctx par
+  @ Divergence.check ctx par
+  @ Shared_init.check ctx par
+
+(** All diagnostics for the module, sorted by source location.
+    [report_possible] also surfaces conservative maybe-races as
+    warnings (default: only definite races, divergence and
+    shared-init). *)
+let check_module ?report_possible (m : Op.op) : Diag.t list =
+  let info = Info.build m in
+  let diags =
+    List.concat_map
+      (fun par ->
+        let ctx = Effects.make_ctx ~modul:m ~par info in
+        check_par ?report_possible ctx par)
+      (block_pars m)
+  in
+  List.sort_uniq
+    (fun a b ->
+      match Diag.compare_diag a b with
+      | 0 -> compare a b
+      | c -> c)
+    diags
+
+(** Race check only, for re-running after transformation passes
+    ([-check-after-each-pass]): divergence/shared-init diagnostics lose
+    meaning mid-lowering (passes legitimately move barriers), but a
+    definite race must never appear in a race-free program. *)
+let check_module_races (m : Op.op) : Diag.t list =
+  let info = Info.build m in
+  List.concat_map
+    (fun par ->
+      let ctx = Effects.make_ctx ~modul:m ~par info in
+      Race.check ctx par)
+    (block_pars m)
+
+let has_errors (diags : Diag.t list) = List.exists Diag.is_error diags

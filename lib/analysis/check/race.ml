@@ -1,0 +1,269 @@
+(* Static cross-thread data-race check.
+
+   Two accesses race when they can touch the same address from two
+   different threads with at least one write and no barrier on any path
+   between them.  Candidate pairs come from {!Effects}: for every
+   access-bearing op, its own accesses are paired with themselves (the
+   same statement executed by several threads) and with everything
+   reachable forward of it before the next barrier
+   ({!Effects.effects_after}, which follows branch, loop-exit and
+   wrap-around paths).
+
+   Conflicts are then classified:
+
+   - [Definite]: both bases have the same known origin, every index
+     dimension is fully affine and either identically thread-invariant
+     or forced equal by the injectivity argument, and after accounting
+     for forced/pinned/unit thread ivs some thread iv remains free — so
+     two distinct threads provably collide.  Reported as an error.
+   - [Possible]: the conservative conflict test fires but the analysis
+     lost precision (unknown base, non-affine index, thread-dependent
+     guard, ...).  Suppressed by default to keep the checker quiet on
+     the benchmark suite; [~report_possible:true] surfaces them as
+     warnings. *)
+
+open Ir
+
+type strength =
+  | Definite
+  | Possible
+
+(* Static extent of a thread iv of [par] ([Some hi] when bounds are the
+   constants [0, hi)), feeding the mixed-radix injectivity argument. *)
+let tid_extent (ctx : Effects.ctx) (par : Op.op) (v : Value.t) : int option =
+  let n = Op.par_dims par in
+  let res = ref None in
+  let cint value =
+    match Info.defining_op ctx.info value with
+    | Some { Op.kind = Op.Constant (Op.Cint (c, _)); _ } -> Some c
+    | _ -> None
+  in
+  for i = 0 to n - 1 do
+    if Value.equal par.Op.regions.(0).rargs.(i) v then begin
+      match cint (Op.par_lo par i), cint (Op.par_hi par i) with
+      | Some 0, Some hi when hi > 0 -> res := Some hi
+      | _ -> ()
+    end
+  done;
+  !res
+
+(* A base allocated strictly inside the block-parallel region
+   ({!Divergence.thread_private}) is a per-thread instance: every thread
+   materializes its own copy, so two DIFFERENT threads can never touch
+   the same address through it.  The conservative conflict test does not
+   know this — it only has to be sound for barrier removal — but for
+   race reporting these are pure noise (typically loop-carried scalars
+   mem2reg cannot promote). *)
+let thread_private = Divergence.thread_private
+
+(* An access-bearing leaf op, with the guard context the plain effect
+   scan does not track: the pinned thread ivs of enclosing equality
+   guards and whether any enclosing condition is thread-dependent
+   WITHOUT pinning (such a guard may restrict execution to fewer threads
+   than the analysis assumes, so a conflict under it is never
+   definite). *)
+type leaf =
+  { l_op : Op.op
+  ; l_accs : Effects.access list
+  ; l_pinned : Value.Set.t
+  ; l_guarded : bool
+  }
+
+let collect_leaves (ctx : Effects.ctx) (taint : Value.t -> bool)
+    (par : Op.op) : leaf list =
+  let leaves = ref [] in
+  let shared_visible (a : Effects.access) =
+    match a.Effects.base with
+    | Some b -> not (thread_private ctx par b)
+    | None -> true
+  in
+  let rec go_op ~pinned ~guarded (op : Op.op) =
+    match op.Op.kind with
+    | Op.Load | Op.Store | Op.Copy | Op.Dealloc | Op.Call _ ->
+      let accs =
+        List.filter shared_visible (Effects.collect_op ctx ~pinned op)
+      in
+      if accs <> [] then
+        leaves :=
+          { l_op = op; l_accs = accs; l_pinned = pinned; l_guarded = guarded }
+          :: !leaves
+    | Op.If ->
+      let extra = Effects.pinned_by_cond ctx op.Op.operands.(0) in
+      let cond_tainted = taint op.Op.operands.(0) in
+      (* A pinning guard (tid == e) is fully accounted for by [pinned];
+         any other thread-dependent guard forfeits definiteness. *)
+      let then_guarded =
+        guarded || (cond_tainted && Value.Set.is_empty extra)
+      in
+      go_region ~pinned:(Value.Set.union pinned extra) ~guarded:then_guarded
+        op.Op.regions.(0);
+      go_region ~pinned ~guarded:(guarded || cond_tainted) op.Op.regions.(1)
+    | _ -> Array.iter (go_region ~pinned ~guarded) op.Op.regions
+  and go_region ~pinned ~guarded (r : Op.region) =
+    List.iter (go_op ~pinned ~guarded) r.body
+  in
+  go_region ~pinned:Value.Set.empty ~guarded:false par.Op.regions.(0);
+  List.rev !leaves
+
+let classify (ctx : Effects.ctx) ~(taint : Value.t -> bool)
+    ~(extent : Value.t -> int option) (a : Effects.access) (ga : bool)
+    (b : Effects.access) (gb : bool) : strength =
+  let open Effects in
+  let same_known_origin =
+    match a.base, b.base with
+    | Some ba, Some bb -> begin
+      match origin ctx.info ba, origin ctx.info bb with
+      | Ounknown, _ | _, Ounknown -> false
+      | oa, ob -> oa = ob
+    end
+    | _ -> false
+  in
+  (* The affine comparison treats every non-tid variable as having the
+     same value in both executions.  That only holds for thread-uniform
+     values (parameters, block ids, lock-step serial ivs) — a
+     thread-dependent variable (e.g. a load result) in an index keeps a
+     conflict merely possible. *)
+  let vars_ok e =
+    List.for_all
+      (fun v -> Value.Set.mem v ctx.tids || not (taint v))
+      (Affine.variables e)
+  in
+  let tid_free e =
+    List.for_all
+      (fun v -> not (Value.Set.mem v ctx.tids))
+      (Affine.variables e)
+  in
+  let definite =
+    (not ga) && (not gb) && (not a.shifted) && (not b.shifted)
+    && same_known_origin
+    &&
+    match a.idx, b.idx with
+    | Some da, Some db when List.length da = List.length db ->
+      let forced =
+        ref
+          (Value.Set.union (unit_tids ctx) (Value.Set.inter a.pinned b.pinned))
+      in
+      let ok =
+        List.for_all2
+          (fun xa xb ->
+            match xa, xb with
+            | Some ea, Some eb when vars_ok ea && vars_ok eb ->
+              if Affine.equal ea eb && tid_free ea then true
+              else begin
+                match Affine.compare_dim ~tids:ctx.tids ~extent ea eb with
+                | Affine.Forces s ->
+                  forced := Value.Set.union !forced s;
+                  true
+                | Affine.Disjoint | Affine.Maybe -> false
+              end
+            | _ -> false)
+          da db
+      in
+      (* Some thread iv remains unconstrained: two DISTINCT threads reach
+         the same address. *)
+      ok && not (Value.Set.subset ctx.tids !forced)
+    | _ -> false
+  in
+  if definite then Definite else Possible
+
+let check ?(report_possible = false) (ctx : Effects.ctx) (par : Op.op) :
+  Diag.t list =
+  let taint = Divergence.mk_taint ctx in
+  let extent = tid_extent ctx par in
+  let leaves = collect_leaves ctx taint par in
+  let table = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace table l.l_op.Op.oid l) leaves;
+  let seen = Hashtbl.create 64 in
+  let diags = ref [] in
+  let report strength (a : Effects.access) (b : Effects.access) =
+    let oid (x : Effects.access) =
+      match x.Effects.src with Some o -> o.Op.oid | None -> -1
+    in
+    let key = (min (oid a) (oid b), max (oid a) (oid b)) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      let p, q = if a.Effects.acc_kind = Effects.Write then (a, b) else (b, a) in
+      let loc_of (x : Effects.access) =
+        Option.bind x.Effects.src (fun o -> o.Op.loc)
+      in
+      let base_name =
+        match p.Effects.base with
+        | Some v -> Value.to_string v
+        | None -> "<unknown>"
+      in
+      let kindstr = function
+        | Effects.Write -> "write"
+        | Effects.Read -> "read"
+      in
+      let sev, adj =
+        match strength with
+        | Definite -> (Diag.Error, "")
+        | Possible -> (Diag.Warning, "possible ")
+      in
+      let msg =
+        Printf.sprintf
+          "%scross-thread data race on %s: %s conflicts with a %s by another \
+           thread, with no intervening barrier"
+          adj base_name (kindstr p.Effects.acc_kind)
+          (kindstr q.Effects.acc_kind)
+      in
+      let notes =
+        match p.Effects.src, q.Effects.src with
+        | Some x, Some y when x.Op.oid = y.Op.oid ->
+          [ Diag.note
+              "both accesses come from the same statement, executed by \
+               multiple threads"
+          ]
+        | _ ->
+          [ Diag.note ?loc:(loc_of q)
+              (Printf.sprintf "conflicting %s is here"
+                 (kindstr q.Effects.acc_kind))
+          ]
+      in
+      diags := Diag.mk ?loc:(loc_of p) ~notes sev "race" msg :: !diags
+    end
+  in
+  List.iter
+    (fun l ->
+      let after = Effects.effects_after ctx ~par ~shifted:false l.l_op in
+      (* The forward scan collects accesses with empty pin/guard context;
+         recover it from the leaf table via the access's source op. *)
+      let resolve (b : Effects.access) : Effects.access * bool =
+        match b.Effects.src with
+        | Some o -> begin
+          match Hashtbl.find_opt table o.Op.oid with
+          | Some lb ->
+            (* pins rely on the guard value being the same in both
+               executions; a wrap-around copy crosses an iteration
+               boundary, so drop them *)
+            let pinned =
+              if b.Effects.shifted then Value.Set.empty else lb.l_pinned
+            in
+            ({ b with Effects.pinned }, lb.l_guarded)
+          | None -> (b, true)
+        end
+        | None -> (b, true)
+      in
+      let candidates =
+        List.map (fun x -> (x, l.l_guarded)) l.l_accs
+        @ List.map resolve
+            (List.filter
+               (fun (a : Effects.access) ->
+                 match a.Effects.base with
+                 | Some b -> not (thread_private ctx par b)
+                 | None -> true)
+               after)
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun (b, gb) ->
+              if Effects.cross_thread_conflict ctx a b then begin
+                match classify ctx ~taint ~extent a l.l_guarded b gb with
+                | Definite -> report Definite a b
+                | Possible -> if report_possible then report Possible a b
+              end)
+            candidates)
+        l.l_accs)
+    leaves;
+  List.rev !diags

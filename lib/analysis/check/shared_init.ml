@@ -1,0 +1,91 @@
+(* Shared-memory initialization check.
+
+   [__shared__] memory is uninitialized at block start.  A load from a
+   shared allocation that no store can precede reads garbage.  Program
+   order within one thread is pre-order over the structured IR (a While
+   op's cond region runs first, matching the region order), and the
+   program is SPMD — every thread runs the same statement sequence — so
+   a load whose pre-order position precedes every store to the same
+   allocation reads uninitialized memory on its first execution, loops
+   or not.
+
+   Two tiers:
+   - the allocation is never written anywhere in the kernel: error;
+   - stores exist but only at later program points: warning (exclusive
+     branches can make this a false alarm, so it is not an error).
+
+   Whether an earlier store is *cross-thread visible* (separated by a
+   barrier) is the race check's business; this check only covers the
+   definitely-before-any-write reads. *)
+
+open Ir
+
+let is_shared_base (ctx : Effects.ctx) (v : Value.t) : bool =
+  match v.Value.typ with
+  | Types.Memref { space = Types.Shared; _ } -> begin
+    match Info.defining_op ctx.info v with
+    | Some { Op.kind = Op.Alloc | Op.Alloca; _ } -> true
+    | _ -> false
+  end
+  | _ -> false
+
+(* The subtree to scan: the enclosing grid-parallel op when there is one
+   (shared allocas are hoisted to block scope there), else the
+   block-parallel op itself. *)
+let scan_root (ctx : Effects.ctx) (par : Op.op) : Op.op =
+  let rec up (o : Op.op) =
+    match Info.parent ctx.info o with
+    | Some ({ Op.kind = Op.Parallel Op.Grid; _ } as g) -> g
+    | Some { Op.kind = Op.Func _ | Op.Module; _ } | None -> par
+    | Some p -> up p
+  in
+  up par
+
+let check (ctx : Effects.ctx) (par : Op.op) : Diag.t list =
+  let root = scan_root ctx par in
+  (* pre-order walk with position counter *)
+  let counter = ref 0 in
+  let first_store : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let loads : (Value.t * int * Op.op) list ref = ref [] in
+  let record_store (v : Value.t) =
+    if is_shared_base ctx v && not (Hashtbl.mem first_store v.Value.id) then
+      Hashtbl.replace first_store v.Value.id !counter
+  in
+  let record_load (v : Value.t) (op : Op.op) =
+    if is_shared_base ctx v then loads := (v, !counter, op) :: !loads
+  in
+  Op.iter
+    (fun (o : Op.op) ->
+      incr counter;
+      match o.Op.kind with
+      | Op.Load -> record_load o.Op.operands.(0) o
+      | Op.Store -> record_store o.Op.operands.(1)
+      | Op.Copy ->
+        record_load o.Op.operands.(0) o;
+        record_store o.Op.operands.(1)
+      | Op.Call _ ->
+        (* a callee may write through any shared argument: count it as a
+           store (conservatively silencing later loads) *)
+        Array.iter record_store o.Op.operands
+      | _ -> ())
+    root;
+  List.rev_map
+    (fun ((v : Value.t), pos, (op : Op.op)) ->
+      let name = Value.to_string v in
+      match Hashtbl.find_opt first_store v.Value.id with
+      | None ->
+        Some
+          (Diag.mk ?loc:op.Op.loc Diag.Error "shared-init"
+             (Printf.sprintf
+                "read of __shared__ %s, which is never written in this \
+                 kernel: shared memory is uninitialized at block start"
+                name))
+      | Some s when pos < s ->
+        Some
+          (Diag.mk ?loc:op.Op.loc Diag.Warning "shared-init"
+             (Printf.sprintf
+                "read of __shared__ %s before any write to it: the first \
+                 write appears only later in the kernel" name))
+      | Some _ -> None)
+    !loads
+  |> List.filter_map Fun.id

@@ -27,11 +27,14 @@ type access =
     (* serial-loop ivs (inside the parallel region) appearing in [idx];
        their cross-thread equality only holds within one iteration *)
   ; shifted : bool (* collected through loop wrap-around *)
+  ; src : Op.op option
+    (* the load/store/call the access was collected from, for
+       diagnostics; None for synthetic/unknown accesses *)
   }
 
 let mk_access ?base ?idx ?(pinned = Value.Set.empty)
-    ?(livs = Value.Set.empty) ?(shifted = false) acc_kind =
-  { base; acc_kind; idx; pinned; livs; shifted }
+    ?(livs = Value.Set.empty) ?(shifted = false) ?src acc_kind =
+  { base; acc_kind; idx; pinned; livs; shifted; src }
 
 let unknown_rw = [ mk_access Read; mk_access Write ]
 
@@ -245,17 +248,17 @@ let rec collect_op (ctx : ctx) ~(pinned : Value.Set.t) (op : Op.op) :
     let dims, livs =
       derive_idx ctx (Array.sub op.operands 1 (Array.length op.operands - 1))
     in
-    [ mk_access ~base:op.operands.(0) ~idx:dims ~pinned ~livs Read ]
+    [ mk_access ~base:op.operands.(0) ~idx:dims ~pinned ~livs ~src:op Read ]
   | Op.Store ->
     let dims, livs =
       derive_idx ctx (Array.sub op.operands 2 (Array.length op.operands - 2))
     in
-    [ mk_access ~base:op.operands.(1) ~idx:dims ~pinned ~livs Write ]
+    [ mk_access ~base:op.operands.(1) ~idx:dims ~pinned ~livs ~src:op Write ]
   | Op.Copy ->
-    [ mk_access ~base:op.operands.(0) ~pinned Read
-    ; mk_access ~base:op.operands.(1) ~pinned Write
+    [ mk_access ~base:op.operands.(0) ~pinned ~src:op Read
+    ; mk_access ~base:op.operands.(1) ~pinned ~src:op Write
     ]
-  | Op.Dealloc -> [ mk_access ~base:op.operands.(0) ~pinned Write ]
+  | Op.Dealloc -> [ mk_access ~base:op.operands.(0) ~pinned ~src:op Write ]
   | Op.Call name -> begin
     match ctx.modul with
     | None -> unknown_rw
@@ -264,8 +267,8 @@ let rec collect_op (ctx : ctx) ~(pinned : Value.Set.t) (op : Op.op) :
       |> List.map (fun (it : summary_item) ->
           match it.s_param with
           | Some i when i < Array.length op.operands ->
-            mk_access ~base:op.operands.(i) ~pinned it.s_kind
-          | _ -> mk_access ~pinned it.s_kind)
+            mk_access ~base:op.operands.(i) ~pinned ~src:op it.s_kind
+          | _ -> mk_access ~pinned ~src:op it.s_kind)
   end
   | Op.If ->
     let extra = pinned_by_cond ctx op.operands.(0) in

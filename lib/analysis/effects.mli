@@ -22,6 +22,9 @@ type access =
   ; livs : Ir.Value.Set.t
     (** serial-loop ivs (inside the parallel region) used in [idx] *)
   ; shifted : bool (** collected through loop wrap-around *)
+  ; src : Ir.Op.op option
+    (** the load/store/call the access was collected from, for
+        diagnostics; [None] for synthetic/unknown accesses *)
   }
 
 val mk_access :
@@ -30,6 +33,7 @@ val mk_access :
   ?pinned:Ir.Value.Set.t ->
   ?livs:Ir.Value.Set.t ->
   ?shifted:bool ->
+  ?src:Ir.Op.op ->
   kind ->
   access
 
@@ -70,12 +74,25 @@ val unit_tids : ctx -> Ir.Value.Set.t
 val derive_idx :
   ctx -> Ir.Value.t array -> Affine.expr option list * Ir.Value.Set.t
 
+(** Thread ivs pinned to an invariant value by an [if] condition: the
+    condition is an equality comparison between a bare thread iv and a
+    thread-invariant expression. *)
+val pinned_by_cond : ctx -> Ir.Value.t -> Ir.Value.Set.t
+
 (** {2 Effect collection} *)
 
 val collect_op : ctx -> pinned:Ir.Value.Set.t -> Ir.Op.op -> access list
 val collect : ctx -> Ir.Op.op list -> access list
 
 (** {2 Aliasing} *)
+
+(** Where a memref base comes from, chasing casts. *)
+type origin =
+  | Oalloc of int (** oid of the allocating op *)
+  | Oparam of int (** value id: function parameter / external value *)
+  | Ounknown
+
+val origin : Info.t -> Ir.Value.t -> origin
 
 (** May two base pointers overlap?  Distinct allocations never; an
     allocation never aliases a parameter; distinct parameters are assumed
@@ -94,6 +111,13 @@ val cross_thread_conflict : ctx -> access -> access -> bool
 val any_thread_conflict : ctx -> access -> access -> bool
 
 val conflicts_cross : ctx -> access list -> access list -> bool
+
+(** Accesses reachable strictly forward of [at] (exclusive) before the
+    next barrier / the end of [par], following branch, loop-exit and
+    wrap-around paths; wrap-around copies come back with
+    [shifted = true].  Pass [~shifted:false] at the top level. *)
+val effects_after :
+  ctx -> par:Ir.Op.op -> shifted:bool -> Ir.Op.op -> access list
 
 (** {2 Barrier interval sets} *)
 

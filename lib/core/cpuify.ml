@@ -102,21 +102,24 @@ let default_options =
   ; opt_licm = true
   }
 
-let pipeline ?(options = default_options) (m : Op.op) : unit =
-  Canonicalize.run m;
-  Cse.run m;
-  if options.opt_mem2reg then ignore (Mem2reg.run m);
-  Canonicalize.run m;
-  Cse.run m;
-  if options.opt_licm then ignore (Licm.run m);
-  if options.opt_barrier_elim then begin
-    ignore (Barrier_elim.run m);
-    ignore (Barrier_elim.hoist_edge_barriers m);
-    ignore (Barrier_elim.run m)
-  end;
-  run ~use_mincut:options.opt_mincut m;
-  Canonicalize.run m;
-  Cse.run m;
-  if options.opt_mem2reg then ignore (Mem2reg.run m);
-  if options.opt_licm then ignore (Licm.run m);
-  Canonicalize.run m
+let pipeline_stages ?(options = default_options) () :
+  (string * (Op.op -> unit)) list =
+  let opt name enabled fn = if enabled then [ (name, fn) ] else [] in
+  [ ("canonicalize", Canonicalize.run); ("cse", Cse.run) ]
+  @ opt "mem2reg" options.opt_mem2reg (fun m -> ignore (Mem2reg.run m))
+  @ [ ("canonicalize", Canonicalize.run); ("cse", Cse.run) ]
+  @ opt "licm" options.opt_licm (fun m -> ignore (Licm.run m))
+  @ opt "barrier-elim" options.opt_barrier_elim (fun m ->
+        ignore (Barrier_elim.run m);
+        ignore (Barrier_elim.hoist_edge_barriers m);
+        ignore (Barrier_elim.run m))
+  @ [ ("cpuify", run ~use_mincut:options.opt_mincut)
+    ; ("canonicalize", Canonicalize.run)
+    ; ("cse", Cse.run)
+    ]
+  @ opt "mem2reg" options.opt_mem2reg (fun m -> ignore (Mem2reg.run m))
+  @ opt "licm" options.opt_licm (fun m -> ignore (Licm.run m))
+  @ [ ("canonicalize", Canonicalize.run) ]
+
+let pipeline ?options (m : Op.op) : unit =
+  List.iter (fun (_, f) -> f m) (pipeline_stages ?options ())

@@ -17,6 +17,11 @@ type options =
 
 val default_options : options
 
+(** The passes of {!pipeline} as a named list, so drivers can interleave
+    verification or checking between them ([-check-after-each-pass]). *)
+val pipeline_stages :
+  ?options:options -> unit -> (string * (Ir.Op.op -> unit)) list
+
 (** Cleanups, barrier-specific optimizations, barrier lowering, cleanups —
     the full pipeline preceding OpenMP lowering. *)
 val pipeline : ?options:options -> Ir.Op.op -> unit

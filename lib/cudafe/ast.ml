@@ -70,7 +70,17 @@ type expr =
 (* Grid/block launch configuration: up to three extents. *)
 type dim3 = expr * expr option * expr option
 
+(* Statements carry the source position of their first token ([sloc]);
+   expressions inherit the location of their enclosing statement, which is
+   precise enough for access-level diagnostics.  Statements synthesized by
+   AST rewrites (desugaring, return elimination) reuse the location of the
+   construct they were derived from. *)
 type stmt =
+  { s : stmt_kind
+  ; sloc : Ir.Srcloc.t
+  }
+
+and stmt_kind =
   | S_decl of decl
   | S_expr of expr
   | S_if of expr * stmt list * stmt list
@@ -91,6 +101,7 @@ and decl =
   ; d_name : string
   ; d_dims : expr list (* array dimensions; [] for scalars *)
   ; d_init : expr option
+  ; d_loc : Ir.Srcloc.t
   }
 
 and for_header =
@@ -98,6 +109,12 @@ and for_header =
   ; f_cond : expr option
   ; f_step : expr option
   }
+
+(* Attach a location to a statement kind. *)
+let at sloc s = { s; sloc }
+
+(* A synthesized statement inheriting the location of [from_]. *)
+let like (from_ : stmt) s = { s; sloc = from_.sloc }
 
 type qualifier =
   | Q_global
@@ -110,6 +127,7 @@ type func =
   ; fn_name : string
   ; fn_params : (ctype * string) list
   ; fn_body : stmt list
+  ; fn_loc : Ir.Srcloc.t
   }
 
 type program = func list

@@ -47,6 +47,9 @@ type env =
   ; mutable vars : (string * varinfo) list
   ; mutable seq : Builder.Seq.t
   ; simt : simt option
+  ; mutable cur_loc : Srcloc.t
+    (* location of the statement currently being lowered; stamped onto
+       every op emitted for it *)
   }
 
 let lookup env name =
@@ -62,8 +65,13 @@ let scoped env f =
   env.vars <- saved;
   r
 
-let emit env op = ignore (Builder.Seq.emit env.seq op)
-let emitv env op = Builder.Seq.emitv env.seq op
+let locate env (op : Op.op) =
+  if op.loc = None && Srcloc.is_known env.cur_loc then
+    op.loc <- Some env.cur_loc;
+  op
+
+let emit env op = ignore (Builder.Seq.emit env.seq (locate env op))
+let emitv env op = Builder.Seq.emitv env.seq (locate env op)
 
 (* Emit into a fresh sequence, returning the op list. *)
 let in_seq env f =
@@ -153,7 +161,7 @@ let rec uses_warp_primitive (s : Ast.stmt) : bool =
     | Ast.E_index (a, l) -> in_expr a || List.exists in_expr l
     | Ast.E_int _ | Ast.E_float _ | Ast.E_id _ | Ast.E_builtin _ -> false
   in
-  match s with
+  match s.s with
   | Ast.S_decl { d_init = Some e; _ } -> in_expr e
   | Ast.S_decl _ | Ast.S_sync | Ast.S_return None -> false
   | Ast.S_expr e | Ast.S_return (Some e) -> in_expr e
@@ -253,8 +261,8 @@ let rec gen_expr env (e : Ast.expr) : Value.t * Ast.ctype =
     let b_cast, bv' = in_seq_v (fun () -> coerce env bv bt t) in
     emit env
       (Builder.if_ cb
-         (a_ops @ a_cast @ [ Builder.store av' slot [] ])
-         ~else_:(b_ops @ b_cast @ [ Builder.store bv' slot [] ]));
+         (a_ops @ a_cast @ [ locate env (Builder.store av' slot []) ])
+         ~else_:(b_ops @ b_cast @ [ locate env (Builder.store bv' slot []) ]));
     (emitv env (Builder.load slot []), t)
   | Ast.E_assign (lhs, rhs) ->
     let v, t = gen_expr env rhs in
@@ -563,7 +571,7 @@ let rec assigns_var name (s : Ast.stmt) : bool =
     | Ast.E_index (a, l) -> in_expr a || List.exists in_expr l
     | Ast.E_int _ | Ast.E_float _ | Ast.E_id _ | Ast.E_builtin _ -> false
   in
-  match s with
+  match s.s with
   | Ast.S_decl { d_init = Some e; _ } -> in_expr e
   | Ast.S_decl _ -> false
   | Ast.S_expr e -> in_expr e
@@ -595,7 +603,11 @@ let canonical_for (h : Ast.for_header) (body : Ast.stmt list) :
   canonical option =
   let var_and_lo =
     match h.f_init with
-    | Some (Ast.S_decl { d_name; d_type; d_dims = []; d_init = Some lo; d_shared = false })
+    | Some { Ast.s =
+               Ast.S_decl
+                 { d_name; d_type; d_dims = []; d_init = Some lo
+                 ; d_shared = false; _ }
+           ; _ }
       when Ast.is_integer_type d_type ->
       Some (d_name, d_type, lo)
     | _ -> None
@@ -650,7 +662,14 @@ let gen_index_expr env e =
   coerce env v t Ast.Tint
 
 let rec gen_stmt env (s : Ast.stmt) : unit =
-  match s with
+  env.cur_loc <- s.sloc;
+  (* Lowering a body mutates [cur_loc]; reinstate the statement's own
+     location before emitting its structured op. *)
+  let emit_here env op =
+    env.cur_loc <- s.sloc;
+    emit env op
+  in
+  match s.s with
   | Ast.S_decl d -> gen_decl env d
   | Ast.S_expr e -> ignore (gen_expr env e)
   | Ast.S_if (c, then_, else_) ->
@@ -662,7 +681,7 @@ let rec gen_stmt env (s : Ast.stmt) : unit =
     let else_ops =
       in_seq env (fun () -> scoped env (fun () -> List.iter (gen_stmt env) else_))
     in
-    emit env (Builder.if_ cb then_ops ~else_:else_ops)
+    emit_here env (Builder.if_ cb then_ops ~else_:else_ops)
   | Ast.S_for (h, body) -> begin
     match canonical_for h body with
     | Some c ->
@@ -676,20 +695,23 @@ let rec gen_stmt env (s : Ast.stmt) : unit =
                     bind env c.c_var (Direct (iv, c.c_type));
                     List.iter (gen_stmt env) body)))
       in
-      emit env loop
+      emit_here env loop
     | None ->
       (* generic lowering: { init; while (cond) { body; step; } } *)
       scoped env (fun () ->
           Option.iter (gen_stmt env) h.f_init;
           let cond = match h.f_cond with Some c -> c | None -> Ast.E_int 1 in
           let step =
-            match h.f_step with Some e -> [ Ast.S_expr e ] | None -> []
+            match h.f_step with
+            | Some e -> [ Ast.like s (Ast.S_expr e) ]
+            | None -> []
           in
-          gen_stmt env (Ast.S_while (cond, body @ step)))
+          gen_stmt env (Ast.like s (Ast.S_while (cond, body @ step))))
   end
   | Ast.S_while (c, body) ->
     let cond_ops =
       in_seq env (fun () ->
+          env.cur_loc <- s.sloc;
           let cv, ct = gen_expr env c in
           let cb = coerce env cv ct Ast.Tbool in
           emit env (Builder.condition cb))
@@ -697,7 +719,7 @@ let rec gen_stmt env (s : Ast.stmt) : unit =
     let body_ops =
       in_seq env (fun () -> scoped env (fun () -> List.iter (gen_stmt env) body))
     in
-    emit env (Builder.while_ ~cond_body:cond_ops ~body:body_ops)
+    emit_here env (Builder.while_ ~cond_body:cond_ops ~body:body_ops)
   | Ast.S_do_while (body, c) ->
     (* do-while maps to a while whose condition region performs the body
        first (MLIR scf.while "before" region). *)
@@ -705,11 +727,12 @@ let rec gen_stmt env (s : Ast.stmt) : unit =
       in_seq env (fun () ->
           scoped env (fun () ->
               List.iter (gen_stmt env) body;
+              env.cur_loc <- s.sloc;
               let cv, ct = gen_expr env c in
               let cb = coerce env cv ct Ast.Tbool in
               emit env (Builder.condition cb)))
     in
-    emit env (Builder.while_ ~cond_body:cond_ops ~body:[])
+    emit_here env (Builder.while_ ~cond_body:cond_ops ~body:[])
   | Ast.S_return None -> emit env (Builder.return_ [])
   | Ast.S_return (Some e) ->
     let v, _ = gen_expr env e in
@@ -734,7 +757,7 @@ let rec gen_stmt env (s : Ast.stmt) : unit =
                     bind env c.c_var (Direct (ivs.(0), c.c_type));
                     List.iter (gen_stmt env) body)))
       in
-      emit env loop
+      emit_here env loop
     | None ->
       fail "#pragma omp parallel for requires a canonical counted loop"
   end
@@ -785,6 +808,7 @@ and gen_scalar_or_array_decl env (d : Ast.decl) : unit =
   end
 
 and gen_launch env name (grid : Ast.dim3) (block : Ast.dim3) args : unit =
+  let launch_loc = env.cur_loc in
   let kernel =
     match find_fn env name with
     | Some f when f.fn_qual = Ast.Q_global -> Returns.eliminate f
@@ -820,12 +844,13 @@ and gen_launch env name (grid : Ast.dim3) (block : Ast.dim3) args : unit =
      block level, per Sec. III) and the rest. *)
   let shared_decls, rest =
     List.partition
-      (function Ast.S_decl { d_shared = true; _ } -> true | _ -> false)
+      (fun (s : Ast.stmt) ->
+        match s.s with Ast.S_decl { d_shared = true; _ } -> true | _ -> false)
       kernel.fn_body
   in
   (* Reject __shared__ nested deeper than kernel top level. *)
   let rec has_nested_shared (s : Ast.stmt) =
-    match s with
+    match s.s with
     | Ast.S_decl { d_shared = true; _ } -> true
     | Ast.S_if (_, a, b) -> List.exists has_nested_shared (a @ b)
     | Ast.S_for (_, b) | Ast.S_while (_, b) | Ast.S_do_while (b, _)
@@ -866,7 +891,8 @@ and gen_launch env name (grid : Ast.dim3) (block : Ast.dim3) args : unit =
                 (* Shared memory: one stack allocation per block. *)
                 let shared_bindings =
                   List.map
-                    (function
+                    (fun (sd : Ast.stmt) ->
+                      match sd.s with
                       | Ast.S_decl d ->
                         let dims =
                           List.map
@@ -877,6 +903,7 @@ and gen_launch env name (grid : Ast.dim3) (block : Ast.dim3) args : unit =
                                 fail "shared array dims must be constant")
                             d.d_dims
                         in
+                        env.cur_loc <- d.d_loc;
                         let a =
                           emitv env
                             (Builder.alloca ~space:Types.Shared
@@ -909,6 +936,7 @@ and gen_launch env name (grid : Ast.dim3) (block : Ast.dim3) args : unit =
                                   else bind env d.d_name (Arr (a, d.d_type)))
                                 shared_bindings;
                               (* Thread-private copies of scalar params. *)
+                              env.cur_loc <- kernel.fn_loc;
                               List.iter2
                                 (fun (pt, pn) v ->
                                   match pt with
@@ -923,8 +951,10 @@ and gen_launch env name (grid : Ast.dim3) (block : Ast.dim3) args : unit =
                                 kernel.fn_params arg_vals;
                               List.iter (gen_stmt env) rest)))
                 in
+                env.cur_loc <- launch_loc;
                 emit env block_loop)))
   in
+  env.cur_loc <- launch_loc;
   emit env grid_loop
 
 (* --- functions and modules --- *)
@@ -947,7 +977,9 @@ let gen_func (program : Ast.program) (f : Ast.func) : Op.op =
   in
   Builder.func f.fn_name params ?ret (fun args ->
       let env =
-        { program; vars = []; seq = Builder.Seq.create (); simt = None }
+        { program; vars = []; seq = Builder.Seq.create (); simt = None
+        ; cur_loc = f.fn_loc
+        }
       in
       (* Scalar parameters are mutable in C: give them slots. *)
       List.iteri

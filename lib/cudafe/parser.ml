@@ -324,6 +324,11 @@ and parse_args st =
 
 (* --- statements --- *)
 
+(* Location of the token the parser is currently looking at. *)
+let cur_loc st : Ir.Srcloc.t =
+  let t = st.toks.(st.pos) in
+  Ir.Srcloc.v ~line:t.line ~col:t.col
+
 let parse_dim3 st : Ast.dim3 =
   match peek st with
   | Lexer.KW "dim3" ->
@@ -337,6 +342,7 @@ let parse_dim3 st : Ast.dim3 =
   | _ -> (parse_expr st, None, None)
 
 let rec parse_stmt st : Ast.stmt =
+  let loc = cur_loc st in
   match peek st with
   | Lexer.PRAGMA p -> begin
     advance st;
@@ -347,17 +353,18 @@ let rec parse_stmt st : Ast.stmt =
     in
     if not is_par_for then parse_stmt st
     else begin
-      match parse_stmt st with
-      | Ast.S_for (h, body) -> Ast.S_omp_for (h, body)
+      let s = parse_stmt st in
+      match s.s with
+      | Ast.S_for (h, body) -> { s with s = Ast.S_omp_for (h, body) }
       | _ -> fail st "#pragma omp parallel for must precede a for loop"
     end
   end
   | Lexer.PUNCT "{" ->
     advance st;
-    Ast.S_block (parse_block st)
+    Ast.at loc (Ast.S_block (parse_block st))
   | Lexer.PUNCT ";" ->
     advance st;
-    Ast.S_block []
+    Ast.at loc (Ast.S_block [])
   | Lexer.KW "if" ->
     advance st;
     eat_punct st "(";
@@ -367,13 +374,13 @@ let rec parse_stmt st : Ast.stmt =
     let else_ =
       if accept_kw st "else" then parse_stmt_as_block st else []
     in
-    Ast.S_if (c, then_, else_)
+    Ast.at loc (Ast.S_if (c, then_, else_))
   | Lexer.KW "while" ->
     advance st;
     eat_punct st "(";
     let c = parse_expr st in
     eat_punct st ")";
-    Ast.S_while (c, parse_stmt_as_block st)
+    Ast.at loc (Ast.S_while (c, parse_stmt_as_block st))
   | Lexer.KW "do" ->
     advance st;
     let body = parse_stmt_as_block st in
@@ -382,18 +389,19 @@ let rec parse_stmt st : Ast.stmt =
     let c = parse_expr st in
     eat_punct st ")";
     eat_punct st ";";
-    Ast.S_do_while (body, c)
+    Ast.at loc (Ast.S_do_while (body, c))
   | Lexer.KW "for" ->
     advance st;
     eat_punct st "(";
     let init =
       if accept_punct st ";" then None
       else begin
+        let iloc = cur_loc st in
         let s =
           if is_type_start st then parse_decl_stmt st
-          else Ast.S_expr (parse_expr st)
+          else Ast.at iloc (Ast.S_expr (parse_expr st))
         in
-        (match s with Ast.S_decl _ -> () | _ -> eat_punct st ";");
+        (match s.s with Ast.S_decl _ -> () | _ -> eat_punct st ";");
         Some s
       end
     in
@@ -416,14 +424,14 @@ let rec parse_stmt st : Ast.stmt =
         Some e
     in
     let body = parse_stmt_as_block st in
-    Ast.S_for ({ f_init = init; f_cond = cond; f_step = step }, body)
+    Ast.at loc (Ast.S_for ({ f_init = init; f_cond = cond; f_step = step }, body))
   | Lexer.KW "return" ->
     advance st;
-    if accept_punct st ";" then Ast.S_return None
+    if accept_punct st ";" then Ast.at loc (Ast.S_return None)
     else begin
       let e = parse_expr st in
       eat_punct st ";";
-      Ast.S_return (Some e)
+      Ast.at loc (Ast.S_return (Some e))
     end
   | Lexer.KW "break" -> fail st "break is not supported"
   | Lexer.KW "continue" -> fail st "continue is not supported"
@@ -434,7 +442,7 @@ let rec parse_stmt st : Ast.stmt =
     eat_punct st "(";
     eat_punct st ")";
     eat_punct st ";";
-    Ast.S_sync
+    Ast.at loc Ast.S_sync
   | Lexer.IDENT name when peek2 st = Lexer.PUNCT "<<<" ->
     advance st;
     advance st;
@@ -445,16 +453,17 @@ let rec parse_stmt st : Ast.stmt =
     eat_punct st "(";
     let args = parse_args st in
     eat_punct st ";";
-    Ast.S_launch (name, grid, block, args)
+    Ast.at loc (Ast.S_launch (name, grid, block, args))
   | _ ->
     let e = parse_expr st in
     eat_punct st ";";
-    Ast.S_expr e
+    Ast.at loc (Ast.S_expr e)
 
 and parse_stmt_as_block st : Ast.stmt list =
-  match parse_stmt st with
+  let s = parse_stmt st in
+  match s.s with
   | Ast.S_block b -> b
-  | s -> [ s ]
+  | _ -> [ s ]
 
 and parse_block st : Ast.stmt list =
   let rec loop acc =
@@ -463,10 +472,12 @@ and parse_block st : Ast.stmt list =
   loop []
 
 and parse_decl_stmt st : Ast.stmt =
+  let loc = cur_loc st in
   let shared = accept_kw st "__shared__" in
   let shared = shared || accept_kw st "__shared__" in
   let t = parse_type st in
   let rec one_decl acc =
+    let dloc = cur_loc st in
     let name = expect_ident st in
     let dims = ref [] in
     while accept_punct st "[" do
@@ -481,6 +492,7 @@ and parse_decl_stmt st : Ast.stmt =
       ; d_name = name
       ; d_dims = !dims
       ; d_init = init
+      ; d_loc = dloc
       }
     in
     if accept_punct st "," then one_decl (d :: acc)
@@ -490,8 +502,10 @@ and parse_decl_stmt st : Ast.stmt =
     end
   in
   match one_decl [] with
-  | [ d ] -> Ast.S_decl d
-  | ds -> Ast.S_block (List.map (fun d -> Ast.S_decl d) ds)
+  | [ d ] -> Ast.at loc (Ast.S_decl d)
+  | ds ->
+    Ast.at loc
+      (Ast.S_block (List.map (fun d -> Ast.at d.Ast.d_loc (Ast.S_decl d)) ds))
 
 (* --- top level --- *)
 
@@ -502,6 +516,7 @@ let parse_qualifier st =
   else None
 
 let parse_func st : Ast.func =
+  let loc = cur_loc st in
   let qual = match parse_qualifier st with Some q -> q | None -> Ast.Q_host in
   let ret = parse_type st in
   let name = expect_ident st in
@@ -532,7 +547,7 @@ let parse_func st : Ast.func =
   eat_punct st "{";
   let body = parse_block st in
   { fn_qual = qual; fn_ret = ret; fn_name = name; fn_params = params
-  ; fn_body = body
+  ; fn_body = body; fn_loc = loc
   }
 
 let parse_program (src : string) : Ast.program =

@@ -10,12 +10,16 @@
    - the statements following a may-return statement are guarded by
      [if (!__ret_flag)];
    - loops whose body may return get [&& !__ret_flag] folded into their
-     condition ([for] loops are converted to [while] first). *)
+     condition ([for] loops are converted to [while] first).
+
+   Synthesized statements inherit the source location of the statement
+   they were derived from, so diagnostics still point at user code. *)
 
 let flag = "__ret_flag"
 let retv = "__ret_val"
 
-let rec stmt_may_return = function
+let rec stmt_may_return (s : Ast.stmt) =
+  match s.s with
   | Ast.S_return _ -> true
   | Ast.S_decl _ | Ast.S_expr _ | Ast.S_sync | Ast.S_launch _ -> false
   | Ast.S_if (_, a, b) -> stmts_may_return a || stmts_may_return b
@@ -27,31 +31,35 @@ and stmts_may_return l = List.exists stmt_may_return l
 
 let not_flag = Ast.E_un (Ast.Unot, Ast.E_id flag)
 
-let set_flag = Ast.S_expr (Ast.E_assign (Ast.E_id flag, Ast.E_int 1))
+let set_flag_at loc = Ast.at loc (Ast.S_expr (Ast.E_assign (Ast.E_id flag, Ast.E_int 1)))
 
 (* Rewrite one statement; returns the replacement list. *)
 let rec rewrite_stmt (s : Ast.stmt) : Ast.stmt list =
-  match s with
-  | Ast.S_return None -> [ set_flag ]
+  let like k = Ast.like s k in
+  match s.s with
+  | Ast.S_return None -> [ set_flag_at s.sloc ]
   | Ast.S_return (Some e) ->
-    [ Ast.S_expr (Ast.E_assign (Ast.E_id retv, e)); set_flag ]
-  | Ast.S_if (c, a, b) -> [ Ast.S_if (c, rewrite_stmts a, rewrite_stmts b) ]
-  | Ast.S_block b -> [ Ast.S_block (rewrite_stmts b) ]
+    [ like (Ast.S_expr (Ast.E_assign (Ast.E_id retv, e))); set_flag_at s.sloc ]
+  | Ast.S_if (c, a, b) -> [ like (Ast.S_if (c, rewrite_stmts a, rewrite_stmts b)) ]
+  | Ast.S_block b -> [ like (Ast.S_block (rewrite_stmts b)) ]
   | Ast.S_while (c, b) when stmts_may_return b ->
-    [ Ast.S_while (Ast.E_bin (Ast.Bland, c, not_flag), rewrite_stmts b) ]
+    [ like (Ast.S_while (Ast.E_bin (Ast.Bland, c, not_flag), rewrite_stmts b)) ]
   | Ast.S_do_while (b, c) when stmts_may_return b ->
-    [ Ast.S_do_while (rewrite_stmts b, Ast.E_bin (Ast.Bland, c, not_flag)) ]
+    [ like (Ast.S_do_while (rewrite_stmts b, Ast.E_bin (Ast.Bland, c, not_flag))) ]
   | Ast.S_for (h, b) when stmts_may_return b ->
     (* for -> { init; while (cond && !flag) { body'; if (!flag) step; } } *)
     let cond = match h.f_cond with Some c -> c | None -> Ast.E_int 1 in
     let step =
-      match h.f_step with Some e -> [ Ast.S_if (not_flag, [ Ast.S_expr e ], []) ] | None -> []
+      match h.f_step with
+      | Some e -> [ like (Ast.S_if (not_flag, [ like (Ast.S_expr e) ], [])) ]
+      | None -> []
     in
     let while_ =
-      Ast.S_while
-        (Ast.E_bin (Ast.Bland, cond, not_flag), rewrite_stmts b @ step)
+      like
+        (Ast.S_while
+           (Ast.E_bin (Ast.Bland, cond, not_flag), rewrite_stmts b @ step))
     in
-    [ Ast.S_block (Option.to_list h.f_init @ [ while_ ]) ]
+    [ like (Ast.S_block (Option.to_list h.f_init @ [ while_ ])) ]
   | Ast.S_omp_for (_, b) when stmts_may_return b ->
     invalid_arg "return inside #pragma omp parallel for is not supported"
   | Ast.S_decl _ | Ast.S_expr _ | Ast.S_sync | Ast.S_launch _ | Ast.S_for _
@@ -67,7 +75,7 @@ and rewrite_stmts (l : Ast.stmt list) : Ast.stmt list =
     let s' = rewrite_stmt s in
     let rest' = rewrite_stmts rest in
     if stmt_may_return s && rest' <> [] then
-      s' @ [ Ast.S_if (not_flag, rest', []) ]
+      s' @ [ Ast.like s (Ast.S_if (not_flag, rest', [])) ]
     else s' @ rest'
 
 (* Is [return] already only in the trivial position (last top-level
@@ -75,7 +83,7 @@ and rewrite_stmts (l : Ast.stmt list) : Ast.stmt list =
 let trivial (body : Ast.stmt list) =
   let rec check = function
     | [] -> true
-    | [ Ast.S_return _ ] -> true
+    | [ { Ast.s = Ast.S_return _; _ } ] -> true
     | s :: rest -> (not (stmt_may_return s)) && check rest
   in
   check body
@@ -83,25 +91,28 @@ let trivial (body : Ast.stmt list) =
 let eliminate (f : Ast.func) : Ast.func =
   if trivial f.fn_body then f
   else begin
+    let loc = f.fn_loc in
     let decls =
-      Ast.S_decl
-        { d_type = Ast.Tint; d_shared = false; d_name = flag; d_dims = []
-        ; d_init = Some (Ast.E_int 0)
-        }
+      Ast.at loc
+        (Ast.S_decl
+           { d_type = Ast.Tint; d_shared = false; d_name = flag; d_dims = []
+           ; d_init = Some (Ast.E_int 0); d_loc = loc
+           })
       ::
       (if f.fn_ret = Ast.Tvoid then []
        else
-         [ Ast.S_decl
-             { d_type = f.fn_ret; d_shared = false; d_name = retv
-             ; d_dims = []
-             ; d_init = Some (Ast.E_int 0)
-             }
+         [ Ast.at loc
+             (Ast.S_decl
+                { d_type = f.fn_ret; d_shared = false; d_name = retv
+                ; d_dims = []
+                ; d_init = Some (Ast.E_int 0); d_loc = loc
+                })
          ])
     in
     let body = rewrite_stmts f.fn_body in
     let final_return =
       if f.fn_ret = Ast.Tvoid then []
-      else [ Ast.S_return (Some (Ast.E_id retv)) ]
+      else [ Ast.at loc (Ast.S_return (Some (Ast.E_id retv))) ]
     in
     { f with fn_body = decls @ body @ final_return }
   end

@@ -29,7 +29,7 @@ let rec clone_op (s : subst) (op : Op.op) : Op.op =
      region may not reference sibling results lexically later, but region
      args must be fresh before the body is visited. *)
   let regions = Array.map (clone_region s) op.regions in
-  Op.mk op.kind ~operands ~results ~regions ~attrs:op.attrs
+  Op.mk op.kind ~operands ~results ~regions ~attrs:op.attrs ?loc:op.loc
 
 and clone_region (s : subst) (r : Op.region) : Op.region =
   let rargs =

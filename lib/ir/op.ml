@@ -111,6 +111,9 @@ type op =
   ; results : Value.t array
   ; mutable regions : region array
   ; mutable attrs : (string * attr) list
+  ; mutable loc : Srcloc.t option
+    (* source position of the frontend construct this op was lowered
+       from; [None] for ops synthesized by transformation passes *)
   }
 
 and region =
@@ -121,9 +124,14 @@ and region =
 let op_counter = ref 0
 
 let mk ?(operands = [||]) ?(results = [||]) ?(regions = [||]) ?(attrs = [])
-    kind =
+    ?loc kind =
   incr op_counter;
-  { oid = !op_counter; kind; operands; results; regions; attrs }
+  { oid = !op_counter; kind; operands; results; regions; attrs; loc }
+
+let loc_string (op : op) =
+  match op.loc with
+  | Some l -> Srcloc.to_string l
+  | None -> "?:?"
 
 let region ?(args = [||]) body = { rargs = args; body }
 

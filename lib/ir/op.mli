@@ -113,6 +113,9 @@ type op =
   ; results : Value.t array
   ; mutable regions : region array
   ; mutable attrs : (string * attr) list
+  ; mutable loc : Srcloc.t option
+    (** source position of the frontend construct this op was lowered
+        from; [None] for ops synthesized by transformation passes *)
   }
 
 and region =
@@ -126,8 +129,12 @@ val mk :
   ?results:Value.t array ->
   ?regions:region array ->
   ?attrs:(string * attr) list ->
+  ?loc:Srcloc.t ->
   kind ->
   op
+
+(** ["line:col"] of the op's location, or ["?:?"] if unknown. *)
+val loc_string : op -> string
 
 val region : ?args:Value.t array -> op list -> region
 

@@ -26,14 +26,22 @@ let attrs_to_string = function
   | [] -> ""
   | l -> " {" ^ String.concat ", " (List.map attr_to_string l) ^ "}"
 
-let rec print_op b indent (op : Op.op) =
+let rec print_op ?(locs = false) b indent (op : Op.op) =
   let pad = String.make indent ' ' in
   let res =
     if Array.length op.results = 0 then ""
     else values op.results ^ " = "
   in
-  let line s = buf_add b (pad ^ res ^ s ^ attrs_to_string op.attrs ^ "\n") in
-  let line_no_attr s = buf_add b (pad ^ res ^ s ^ "\n") in
+  let lsuf =
+    match op.loc with
+    | Some l when locs -> Printf.sprintf " loc(%s)" (Srcloc.to_string l)
+    | _ -> ""
+  in
+  let line s =
+    buf_add b (pad ^ res ^ s ^ attrs_to_string op.attrs ^ lsuf ^ "\n")
+  in
+  let line_no_attr s = buf_add b (pad ^ res ^ s ^ lsuf ^ "\n") in
+  let print_op = print_op ~locs in
   let region ?(hdr = "") i =
     buf_add b (pad ^ hdr ^ "{\n");
     List.iter (print_op b (indent + 2)) op.regions.(i).body;
@@ -157,12 +165,12 @@ let rec print_op b indent (op : Op.op) =
     buf_add b (pad ^ "}\n")
   | OmpBarrier -> line "omp.barrier"
 
-let op_to_string op =
+let op_to_string ?locs op =
   let b = Buffer.create 1024 in
-  print_op b 0 op;
+  print_op ?locs b 0 op;
   Buffer.contents b
 
-let region_to_string (r : Op.region) =
+let region_to_string ?locs (r : Op.region) =
   let b = Buffer.create 1024 in
-  List.iter (print_op b 0) r.body;
+  List.iter (print_op ?locs b 0) r.body;
   Buffer.contents b

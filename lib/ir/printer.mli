@@ -1,6 +1,9 @@
 (** MLIR-flavoured textual printer, used for golden tests, debugging and
     the CLI's [--emit-ir] mode.  The format is write-only; programs are
-    constructed through {!Builder} or the CUDA frontend. *)
+    constructed through {!Builder} or the CUDA frontend.
 
-val op_to_string : Op.op -> string
-val region_to_string : Op.region -> string
+    [~locs:true] appends a [loc(line:col)] suffix to ops that carry a
+    source location (default off, keeping golden output stable). *)
+
+val op_to_string : ?locs:bool -> Op.op -> string
+val region_to_string : ?locs:bool -> Op.region -> string

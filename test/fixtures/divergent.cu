@@ -1,0 +1,12 @@
+__global__ void divergent(float* out, int n) {
+  __shared__ float s[64];
+  int t = threadIdx.x;
+  s[t] = out[t];
+  if (t < 4) {
+    __syncthreads();
+  }
+  out[t] = s[63 - t];
+}
+void run(float* out, int n) {
+  divergent<<<1, 64>>>(out, n);
+}

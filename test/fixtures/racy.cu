@@ -1,0 +1,11 @@
+__global__ void racy(float* out, float* in, int n) {
+  __shared__ float s[64];
+  int t = threadIdx.x;
+  s[t] = in[t];
+  out[0] = s[t];
+  __syncthreads();
+  out[t] = s[t] + 1.0f;
+}
+void run(float* out, float* in, int n) {
+  racy<<<1, 64>>>(out, in, n);
+}

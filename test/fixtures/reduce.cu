@@ -1,0 +1,16 @@
+__global__ void reduce(float* in, float* out, int n) {
+  __shared__ float buf[64];
+  int t = threadIdx.x;
+  int i = blockIdx.x * 64 + t;
+  if (i < n) buf[t] = in[i];
+  else buf[t] = 0.0f;
+  __syncthreads();
+  for (int s = 32; s > 0; s = s / 2) {
+    if (t < s) buf[t] = buf[t] + buf[t + s];
+    __syncthreads();
+  }
+  if (t == 0) out[blockIdx.x] = buf[0];
+}
+void run(float* in, float* out, int n) {
+  reduce<<<(n + 63) / 64, 64>>>(in, out, n);
+}

@@ -155,6 +155,54 @@ void launch(float* s2) { k<<<1, 8>>>(s2); }
          before)
   | l -> Alcotest.failf "expected 1 barrier, got %d" (List.length l)
 
+let test_wrap_around_shifted () =
+  (* a write AFTER the in-loop barrier reaches the barrier's before-set
+     through the wrap-around path of the next iteration, marked
+     [shifted] and with the iv-dependent affine info dropped (the iv is
+     not comparable across the iteration boundary) *)
+  let m =
+    build_kernel
+      {|
+__global__ void k(float* a) {
+  int t = threadIdx.x;
+  for (int i = 0; i < 4; i++) {
+    __syncthreads();
+    a[t + i] = 1.0f;
+  }
+}
+void launch(float* a) { k<<<1, 8>>>(a); }
+|}
+  in
+  let par = find_block_par m in
+  let info = Info.build m in
+  let ctx = Effects.make_ctx ~modul:m ~par info in
+  match find_barriers m with
+  | [ b ] ->
+    let before, after = Effects.barrier_intervals ctx ~par b in
+    let wrapped =
+      List.filter
+        (fun (a : Effects.access) ->
+          a.Effects.shifted && a.Effects.acc_kind = Effects.Write)
+        before
+    in
+    Alcotest.(check bool) "wrap-around write reaches the before set" true
+      (wrapped <> []);
+    Alcotest.(check bool) "wrapped access drops iv-dependent affine info"
+      true
+      (List.for_all
+         (fun (a : Effects.access) ->
+           match a.Effects.idx with
+           | Some dims -> List.for_all (fun d -> d = None) dims
+           | None -> true)
+         wrapped);
+    Alcotest.(check bool) "same-iteration write in the after set not shifted"
+      true
+      (List.exists
+         (fun (a : Effects.access) ->
+           a.Effects.acc_kind = Effects.Write && not a.Effects.shifted)
+         after)
+  | l -> Alcotest.failf "expected 1 barrier, got %d" (List.length l)
+
 (* --- call summaries --- *)
 
 let test_call_summaries () =
@@ -236,6 +284,55 @@ void f(float* p, float* q, int n) {
   Alcotest.(check bool) "param has no defining op" true
     (par_of params.(0) = None)
 
+let test_alias_corner_cases () =
+  let src =
+    {|
+void f(float* p, int n) {
+  float* a = (float*)malloc(n * sizeof(float));
+  a[0] = p[0];
+  free(a);
+}
+|}
+  in
+  let m = Cudafe.Codegen.compile src in
+  let f = Option.get (Op.find_func m "f") in
+  let params = f.Op.regions.(0).rargs in
+  let alloc = ref None in
+  Op.iter
+    (fun o -> if o.Op.kind = Op.Alloc then alloc := Some (Op.result o))
+    m;
+  let a = Option.get !alloc in
+  (* graft a cast of the allocation and an opaque (select-defined) base
+     into the function, then rebuild the index: origin must chase the
+     cast and give up on the select *)
+  let mk_memref name =
+    Value.fresh ~name
+      (Types.Memref { elem = Types.F32; shape = [ None ]; space = Types.Global })
+  in
+  let c = mk_memref "cast" in
+  let castop = Op.mk (Op.Cast Types.F32) ~operands:[| a |] ~results:[| c |] in
+  let cond = Value.fresh ~name:"c" (Types.Scalar Types.I1) in
+  let s = mk_memref "sel" in
+  let selop =
+    Op.mk Op.Select ~operands:[| cond; a; c |] ~results:[| s |]
+  in
+  f.Op.regions.(0).body <- f.Op.regions.(0).body @ [ castop; selop ];
+  let info = Info.build m in
+  Alcotest.(check bool) "cast of alloc aliases the alloc" true
+    (Effects.bases_may_alias info c a);
+  Alcotest.(check bool) "cast of alloc still noalias with a param" false
+    (Effects.bases_may_alias info c params.(0));
+  Alcotest.(check bool) "select-defined base may alias a param" true
+    (Effects.bases_may_alias info s params.(0));
+  Alcotest.(check bool) "select-defined base may alias the alloc" true
+    (Effects.bases_may_alias info s a);
+  (* values with no defining op anywhere behave like distinct parameters *)
+  let x1 = mk_memref "x1" and x2 = mk_memref "x2" in
+  Alcotest.(check bool) "distinct externals assumed noalias" false
+    (Effects.bases_may_alias info x1 x2);
+  Alcotest.(check bool) "an external aliases itself" true
+    (Effects.bases_may_alias info x1 x1)
+
 let tests =
   [ Alcotest.test_case "affine algebra" `Quick test_affine_algebra
   ; QCheck_alcotest.to_alcotest test_compare_dim_brute_force
@@ -243,6 +340,9 @@ let tests =
       test_barrier_intervals_stop_at_barriers
   ; Alcotest.test_case "loop entry path included" `Quick
       test_loop_wrap_included
+  ; Alcotest.test_case "wrap-around accesses are shifted" `Quick
+      test_wrap_around_shifted
   ; Alcotest.test_case "call summaries" `Quick test_call_summaries
   ; Alcotest.test_case "alias rules" `Quick test_alias_rules
+  ; Alcotest.test_case "alias corner cases" `Quick test_alias_corner_cases
   ]

@@ -9,4 +9,5 @@ let () =
     ; ("moccuda", Test_moccuda.tests)
     ; ("random", Test_random.tests)
     ; ("analysis", Test_analysis.tests)
+    ; ("check", Test_check.tests)
     ]
