@@ -16,15 +16,52 @@ let a64fx = Runtime.Machine.a64fx
 
 (* --- pipeline variants --- *)
 
-let build_polygeist ?(cpuify = Core.Cpuify.default_options)
+(* Figure builds run under the fault-tolerant pass manager: a stage that
+   dies degrades instead of killing the whole figure run, and every
+   recovery is recorded here and summarized at the end ("which
+   benchmarks degraded and how far"). *)
+let degradations : (string * string) list ref = ref []
+
+let deepest_rung (r : Core.Passmgr.report) : string =
+  if r.Core.Passmgr.fell_back then "no-opt-fallback"
+  else if
+    List.exists
+      (fun (d : Core.Passmgr.degradation) ->
+        d.Core.Passmgr.recovered_to = Core.Passmgr.No_mincut)
+      r.Core.Passmgr.degradations
+  then "no-mincut"
+  else if r.Core.Passmgr.degradations <> [] then "skip"
+  else "full"
+
+let build_polygeist ?(name = "?") ?(cpuify = Core.Cpuify.default_options)
     ?(omp = Core.Omp_lower.default_options) ?(affine = false) (src : string) :
   Ir.Op.op =
   let m = Cudafe.Codegen.compile src in
   if affine then ignore (Core.Affine_opt.run m);
-  Core.Cpuify.pipeline ~options:cpuify m;
+  (match Core.Passmgr.run_pipeline ~options:cpuify m with
+   | Ok report ->
+     if Core.Passmgr.degraded report then
+       degradations :=
+         ( name,
+           Printf.sprintf "degraded to %s (%d stage failure(s))"
+             (deepest_rung report)
+             (List.length report.Core.Passmgr.failures) )
+         :: !degradations
+   | Error (_, f) ->
+     failwith
+       ("pipeline unrecoverable for " ^ name ^ ": "
+        ^ Core.Passmgr.failure_to_string f));
   ignore (Core.Omp_lower.run ~options:omp m);
   Core.Canonicalize.run m;
   m
+
+let print_degradations () =
+  match List.rev !degradations with
+  | [] -> ()
+  | l ->
+    Printf.printf
+      "\nPass-manager degradations during figure builds (expected: none):\n";
+    List.iter (fun (name, what) -> Printf.printf "  %-16s %s\n" name what) l
 
 let build_omp_reference (src : string) : Ir.Op.op =
   let m = Cudafe.Codegen.compile src in
@@ -72,9 +109,10 @@ let fig12 () =
   let b = Rodinia.Registry.matmul in
   let mcuda = Mcuda.compile b.cuda_src in
   let inner_par =
-    build_polygeist ~omp:Core.Omp_lower.inner_par_options b.cuda_src
+    build_polygeist ~name:"matmul" ~omp:Core.Omp_lower.inner_par_options
+      b.cuda_src
   in
-  let inner_ser = build_polygeist b.cuda_src in
+  let inner_ser = build_polygeist ~name:"matmul" b.cuda_src in
   let sizes = [ 128; 256; 512; 1024; 2048 ] in
   let threads = [ 1; 2; 4; 8; 12; 16; 20; 24 ] in
   let time variant n t =
@@ -140,10 +178,10 @@ let fig13_ablate () =
         let m = build b.cuda_src in
         seconds commodity ~threads m b.entry args
       in
-      let base = t (fun s -> build_polygeist s) in
+      let base = t (fun s -> build_polygeist ~name:b.name s) in
       let no_mincut =
         t (fun s ->
-            build_polygeist
+            build_polygeist ~name:b.name
               ~cpuify:{ Core.Cpuify.default_options with Core.Cpuify.opt_mincut = false }
               s)
       in
@@ -151,11 +189,13 @@ let fig13_ablate () =
          plentiful: measure it on the nested-parallel pipeline, like the
          paper's InnerPar-based ablation *)
       let ompopt_base =
-        t (fun s -> build_polygeist ~omp:Core.Omp_lower.inner_par_options s)
+        t (fun s ->
+            build_polygeist ~name:b.name
+              ~omp:Core.Omp_lower.inner_par_options s)
       in
       let no_ompopt =
         t (fun s ->
-            build_polygeist
+            build_polygeist ~name:b.name
               ~omp:
                 { Core.Omp_lower.inner_par_options with
                   Core.Omp_lower.fuse = false
@@ -164,7 +204,7 @@ let fig13_ablate () =
                 }
               s)
       in
-      let with_affine = t (fun s -> build_polygeist ~affine:true s) in
+      let with_affine = t (fun s -> build_polygeist ~name:b.name ~affine:true s) in
       let s_mincut = no_mincut /. base in
       let s_ompopt = no_ompopt /. ompopt_base in
       let s_affine = base /. with_affine in
@@ -212,11 +252,14 @@ let fig13_speedup () =
           seconds commodity ~threads (build_omp_reference omp_src) b.entry args
         in
         let t_ser =
-          seconds commodity ~threads (build_polygeist b.cuda_src) b.entry args
+          seconds commodity ~threads
+            (build_polygeist ~name:b.name b.cuda_src)
+            b.entry args
         in
         let t_par =
           seconds commodity ~threads
-            (build_polygeist ~omp:Core.Omp_lower.inner_par_options b.cuda_src)
+            (build_polygeist ~name:b.name
+               ~omp:Core.Omp_lower.inner_par_options b.cuda_src)
             b.entry args
         in
         ser := (t_omp /. t_ser) :: !ser;
@@ -244,7 +287,7 @@ let fig14_scaling () =
   List.iter
     (fun (b : Rodinia.Bench_def.t) ->
       let args = Rodinia.Bench_def.cost_args b b.paper_size in
-      let cuda = build_polygeist b.cuda_src in
+      let cuda = build_polygeist ~name:b.name b.cuda_src in
       let t1 = seconds commodity ~threads:1 cuda b.entry args in
       let speedups =
         List.map
@@ -344,6 +387,79 @@ let fig15_resnet () =
   pr "\nMocCUDA+Polygeist over the native CPU backend: %.1fx  (paper abstract: 2.7x)\n"
     (moc /. native)
 
+(* --- robustness: the degradation ladder over the whole suite --- *)
+
+(* For each Rodinia benchmark and each injected-fault scenario: how far
+   down the degradation ladder does the pass manager descend, and does
+   the degraded program still compute the same answer as the
+   conservative no-opt lowering? *)
+let robust () =
+  header
+    "Robustness — degradation ladder under injected faults\n\
+     (cell: deepest rung engaged; ! marks an output mismatch vs no-opt)";
+  let scenarios =
+    [ ("none", [])
+    ; ("cpuify:raise", [ ("cpuify", Core.Fault.Raise) ])
+    ; ( "cpuify:raise x2",
+        [ ("cpuify", Core.Fault.Raise); ("cpuify", Core.Fault.Raise) ] )
+    ; ("cse:corrupt", [ ("cse", Core.Fault.Corrupt) ])
+    ; ("mem2reg:exhaust", [ ("mem2reg", Core.Fault.Exhaust) ])
+    ; ("seeded(42)", Core.Fault.random_plan ~seed:42 (Core.Cpuify.stage_names ()))
+    ]
+  in
+  let short = function
+    | "full" -> "full"
+    | "no-mincut" -> "no-mc"
+    | "skip" -> "skip"
+    | "no-opt-fallback" -> "no-opt"
+    | s -> s
+  in
+  let checksum_of (m : Ir.Op.op) (b : Rodinia.Bench_def.t) : float =
+    let w = b.mk_workload b.test_size in
+    ignore
+      (Interp.Eval.run ~team_size:3 m b.entry
+         (Rodinia.Bench_def.args_of_workload w));
+    Rodinia.Bench_def.checksum w
+  in
+  pr "\n%16s" "benchmark";
+  List.iter (fun (n, _) -> pr " %15s" n) scenarios;
+  pr "\n";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (b : Rodinia.Bench_def.t) ->
+      (* conservative baseline: what every degradation must still equal *)
+      let baseline =
+        let m = Cudafe.Codegen.compile b.cuda_src in
+        Core.Cpuify.run ~use_mincut:false m;
+        ignore (Core.Omp_lower.run m);
+        checksum_of m b
+      in
+      pr "%16s" b.name;
+      List.iter
+        (fun (_, faults) ->
+          let m = Cudafe.Codegen.compile b.cuda_src in
+          let cell =
+            match Core.Passmgr.run_pipeline ~faults m with
+            | Ok report ->
+              ignore (Core.Omp_lower.run m);
+              let got = checksum_of m b in
+              let close =
+                let scale =
+                  Float.max 1.0 (Float.max (Float.abs baseline) (Float.abs got))
+                in
+                Float.abs (baseline -. got) /. scale < 1e-4
+              in
+              if not close then incr mismatches;
+              short (deepest_rung report) ^ if close then "" else "!"
+            | Error _ -> "UNRECOVERABLE"
+          in
+          pr " %15s" cell)
+        scenarios;
+      pr "\n")
+    Rodinia.Registry.all;
+  pr "\nOutput mismatches vs the no-opt baseline: %d (expected: 0)\n"
+    !mismatches
+
 (* --- bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -355,9 +471,9 @@ let micro () =
     [ Test.make ~name:"frontend: parse+codegen backprop"
         (Staged.stage (fun () -> ignore (Cudafe.Codegen.compile backprop_src)))
     ; Test.make ~name:"pipeline: cpuify+omp backprop"
-        (Staged.stage (fun () -> ignore (build_polygeist backprop_src)))
+        (Staged.stage (fun () -> ignore (build_polygeist ~name:"backprop" backprop_src)))
     ; Test.make ~name:"pipeline: cpuify+omp matmul"
-        (Staged.stage (fun () -> ignore (build_polygeist matmul_src)))
+        (Staged.stage (fun () -> ignore (build_polygeist ~name:"matmul" matmul_src)))
     ; Test.make ~name:"mcuda: fission matmul"
         (Staged.stage (fun () -> ignore (Mcuda.compile matmul_src)))
     ; Test.make ~name:"interp: reduction 2x64 (GPU semantics)"
@@ -400,20 +516,23 @@ let micro () =
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match which with
-  | "fig12" -> fig12 ()
-  | "fig13_ablate" -> fig13_ablate ()
-  | "fig13_speedup" -> fig13_speedup ()
-  | "fig14_scaling" -> fig14_scaling ()
-  | "fig15_resnet" -> fig15_resnet ()
-  | "micro" -> micro ()
-  | "all" ->
-    fig12 ();
-    fig13_ablate ();
-    fig13_speedup ();
-    fig14_scaling ();
-    fig15_resnet ();
-    micro ()
-  | other ->
-    prerr_endline ("unknown figure: " ^ other);
-    exit 1
+  (match which with
+   | "fig12" -> fig12 ()
+   | "fig13_ablate" -> fig13_ablate ()
+   | "fig13_speedup" -> fig13_speedup ()
+   | "fig14_scaling" -> fig14_scaling ()
+   | "fig15_resnet" -> fig15_resnet ()
+   | "robust" -> robust ()
+   | "micro" -> micro ()
+   | "all" ->
+     fig12 ();
+     fig13_ablate ();
+     fig13_speedup ();
+     fig14_scaling ();
+     fig15_resnet ();
+     robust ();
+     micro ()
+   | other ->
+     prerr_endline ("unknown figure: " ^ other);
+     exit 1);
+  print_degradations ()

@@ -9,7 +9,22 @@
      polygeist-cpu kernel.cu -cuda-lower -cpuify=inner-serial -run main 1024
      polygeist-cpu kernel.cu -mcuda -time 32
      polygeist-cpu kernel.cu -check
-     polygeist-cpu kernel.cu -check-after-each-pass *)
+     polygeist-cpu kernel.cu -check-after-each-pass
+
+   The optimized pipeline runs under the fault-tolerant pass manager:
+   a failing stage is rolled back and the degradation ladder engages
+   (min-cut split -> cache-everything split -> skip -> conservative
+   no-opt lowering), so translation degrades instead of crashing.
+
+   Exit codes: 0 = success, 1 = success but degraded (a stage failed
+   and a ladder rung engaged), 2 = failure (every pipeline error is
+   reported as a message, never as a raw exception/backtrace), 124/125 =
+   CLI parse error / internal error (Cmdliner conventions).
+
+     polygeist-cpu kernel.cu -cuda-lower --crash-dir crashes -run main
+     polygeist-cpu kernel.cu -cuda-lower --inject-fault cpuify:raise
+     polygeist-cpu kernel.cu -cuda-lower --fault-seed 42
+     polygeist-cpu --replay crashes/crash-000-cpuify.bundle *)
 
 open Cmdliner
 
@@ -17,6 +32,20 @@ type cpuify_mode =
   | Inner_serial
   | Inner_parallel
   | No_opt
+
+(* Map any escaping exception to a term_result error message: the user
+   sees a diagnostic, not a backtrace, and the process exits 2. *)
+let guard (what : string) (f : unit -> ('a, [ `Msg of string ]) result) :
+  ('a, [ `Msg of string ]) result =
+  match f () with
+  | r -> r
+  | exception Cudafe.Parser.Error e -> Error (`Msg ("parse error: " ^ e))
+  | exception Cudafe.Codegen.Error e -> Error (`Msg ("codegen error: " ^ e))
+  | exception Core.Cpuify.Stuck e -> Error (`Msg ("cpuify: " ^ e))
+  | exception Interp.Mem.Runtime_error e ->
+    Error (`Msg ("runtime error: " ^ e))
+  | exception e ->
+    Error (`Msg (Printf.sprintf "%s: %s" what (Printexc.to_string e)))
 
 (* The checks compare index expressions syntactically, so give them the
    same normalized IR the barrier optimizations see. *)
@@ -92,32 +121,79 @@ let check_after_each_pass ~file (m : Ir.Op.op) :
   | Error _ as e -> e
   | Ok () -> go (Core.Cpuify.pipeline_stages ())
 
+(* Build the lowered module.  The optimized recipes run under the
+   fault-tolerant pass manager; [`Degraded] reports how far the
+   degradation ladder had to descend. *)
 let build ~(mcuda : bool) ~(cuda_lower : bool) ~(mode : cpuify_mode)
-    (src : string) : Ir.Op.op =
+    ~(faults : Core.Fault.plan) ~(crash_dir : string option)
+    ~(repro : string) (src : string) :
+  (Ir.Op.op * [ `Full | `Degraded of Core.Passmgr.report ],
+   [ `Msg of string ])
+  result =
   let m = Cudafe.Codegen.compile src in
-  if mcuda then Mcuda.lower m
-  else if cuda_lower then begin
-    (match mode with
-     | Inner_serial ->
-       Core.Cpuify.pipeline m;
-       ignore (Core.Omp_lower.run m)
-     | Inner_parallel ->
-       Core.Cpuify.pipeline m;
-       ignore (Core.Omp_lower.run ~options:Core.Omp_lower.inner_par_options m)
-     | No_opt ->
-       Core.Cpuify.run ~use_mincut:false m;
-       ignore (Core.Omp_lower.run m));
-    Core.Canonicalize.run m
-  end;
-  (match Ir.Verifier.verify_result m with
-   | Ok () -> ()
-   | Error e -> failwith ("internal error: lowered IR does not verify: " ^ e));
-  m
+  let status = ref `Full in
+  let lower () =
+    if mcuda then begin
+      Mcuda.lower m;
+      Ok ()
+    end
+    else if cuda_lower then begin
+      match mode with
+      | No_opt -> begin
+        match Core.Cpuify.run_result ~use_mincut:false m with
+        | Ok () ->
+          ignore (Core.Omp_lower.run m);
+          Ok ()
+        | Error e -> Error (`Msg ("cpuify: " ^ Core.Cpuify.error_to_string e))
+      end
+      | Inner_serial | Inner_parallel -> begin
+        match
+          Core.Passmgr.run_pipeline ~faults ?crash_dir ~source:src ~repro m
+        with
+        | Ok report ->
+          if Core.Passmgr.degraded report then begin
+            prerr_string
+              ("polygeist-cpu: pipeline degraded:\n"
+               ^ Core.Passmgr.report_to_string report);
+            status := `Degraded report
+          end;
+          (* after the whole-pipeline fallback the module is exactly the
+             no-opt lowering: keep the OpenMP step conservative too *)
+          let omp_options =
+            if report.Core.Passmgr.fell_back then
+              Core.Omp_lower.default_options
+            else begin
+              match mode with
+              | Inner_parallel -> Core.Omp_lower.inner_par_options
+              | _ -> Core.Omp_lower.default_options
+            end
+          in
+          ignore (Core.Omp_lower.run ~options:omp_options m);
+          Ok ()
+        | Error (report, failure) ->
+          prerr_string (Core.Passmgr.report_to_string report);
+          Error
+            (`Msg
+              ("pipeline failed beyond recovery: "
+               ^ Core.Passmgr.failure_to_string failure))
+      end
+    end
+    else Ok ()
+  in
+  match lower () with
+  | Error _ as e -> e
+  | Ok () ->
+    if cuda_lower && not mcuda then Core.Canonicalize.run m;
+    (match Ir.Verifier.verify_result m with
+     | Ok () -> Ok (m, !status)
+     | Error e ->
+       Error (`Msg ("internal error: lowered IR does not verify: " ^ e)))
 
 let run_entry (m : Ir.Op.op) (entry : string) (sizes : int list) :
   (unit, [ `Msg of string ]) result =
   (* integer arguments are passed through; every pointer parameter gets a
-     zero-initialized float/int buffer of the first size argument *)
+     float/int buffer of the first size argument, filled with a
+     deterministic pattern so the output checksum is meaningful *)
   match Ir.Op.find_func m entry with
   | None -> Error (`Msg (Printf.sprintf "no function @%s in the module" entry))
   | Some f ->
@@ -129,8 +205,14 @@ let run_entry (m : Ir.Op.op) (entry : string) (sizes : int list) :
           match p.Ir.Value.typ with
           | Ir.Types.Memref { elem; _ } ->
             if Ir.Types.is_float_dtype elem then
-              Interp.Mem.Buf (Interp.Mem.of_float_array (Array.make default_n 0.0))
-            else Interp.Mem.Buf (Interp.Mem.of_int_array (Array.make default_n 0))
+              Interp.Mem.Buf
+                (Interp.Mem.of_float_array
+                   (Array.init default_n (fun i ->
+                        float_of_int ((i * 7 mod 11) + 1) /. 3.0)))
+            else
+              Interp.Mem.Buf
+                (Interp.Mem.of_int_array
+                   (Array.init default_n (fun i -> i * 13 mod 17)))
           | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
             match !sizes with
             | n :: rest ->
@@ -145,6 +227,22 @@ let run_entry (m : Ir.Op.op) (entry : string) (sizes : int list) :
       "executed @%s: %d ops, %d loads, %d stores, %d barrier waits\n" entry
       stats.Interp.Eval.ops stats.Interp.Eval.loads stats.Interp.Eval.stores
       stats.Interp.Eval.barriers;
+    (* order-sensitive digest of the final buffer contents: the semantic
+       output, identical across correct lowerings of the same program *)
+    let checksum =
+      List.fold_left
+        (fun acc rv ->
+          match rv with
+          | Interp.Mem.Buf b ->
+            Array.fold_left
+              (fun (i, acc) x ->
+                (i + 1, acc +. (x *. (1.0 +. (0.001 *. float_of_int (i mod 1000))))))
+              (0, acc) (Interp.Mem.float_contents b)
+            |> snd
+          | _ -> acc)
+        0.0 args
+    in
+    Printf.printf "output checksum @%s: %.9g\n" entry checksum;
     Ok ()
 
 let time_entry (m : Ir.Op.op) ~(machine : string) ~(threads : int)
@@ -186,44 +284,126 @@ let time_entry (m : Ir.Op.op) ~(machine : string) ~(threads : int)
       Ok ()
   end
 
+(* --replay: recompile the bundle's embedded source and re-run the
+   pipeline under the recorded options and fault plan; the pipeline is
+   deterministic, so the recorded failure must recur.  Exit 0 when it
+   does, 3 when the bundle is stale and it does not. *)
+let do_replay (path : string) : (int, [ `Msg of string ]) result =
+  match Core.Crashbundle.read path with
+  | Error e -> Error (`Msg e)
+  | Ok b ->
+    guard "replay" (fun () ->
+        let m = Cudafe.Codegen.compile b.Core.Crashbundle.source in
+        let outcome =
+          Core.Passmgr.run_pipeline ~options:b.Core.Crashbundle.options
+            ~faults:b.Core.Crashbundle.faults
+            ~source:b.Core.Crashbundle.source ~repro:b.Core.Crashbundle.repro
+            m
+        in
+        let failures =
+          match outcome with
+          | Ok report -> report.Core.Passmgr.failures
+          | Error (report, f) -> report.Core.Passmgr.failures @ [ f ]
+        in
+        let matches (f : Core.Passmgr.stage_failure) =
+          f.Core.Passmgr.stage = b.Core.Crashbundle.stage
+          && Core.Passmgr.rung_to_string f.Core.Passmgr.rung
+             = b.Core.Crashbundle.rung
+          && f.Core.Passmgr.exn_text = b.Core.Crashbundle.exn_text
+        in
+        match List.find_opt matches failures with
+        | Some f ->
+          Printf.printf
+            "replay: reproduced the recorded failure\n  %s\n"
+            (Core.Passmgr.failure_to_string f);
+          Ok 0
+        | None ->
+          List.iter
+            (fun f ->
+              Printf.printf "replay: saw instead: %s\n"
+                (Core.Passmgr.failure_to_string f))
+            failures;
+          Printf.printf
+            "replay: the recorded failure did NOT reproduce (stale bundle?)\n";
+          Ok 3)
+
 let main file cuda_lower mcuda mode emit_ir run_name sizes time_threads
-    machine check check_each : (unit, [ `Msg of string ]) result =
-  let src = In_channel.with_open_text file In_channel.input_all in
-  if check || check_each then begin
-    (* the flags compose: with both, the full pre-lowering check gates the
-       per-pass sweep (which only re-runs the race check — divergence and
-       shared-init lose meaning mid-lowering) *)
-    let first =
-      if check then check_source ~file (Cudafe.Codegen.compile src)
-      else Ok ()
-    in
-    match first with
-    | Error _ as e -> e
-    | Ok () ->
-      if check_each then
-        check_after_each_pass ~file (Cudafe.Codegen.compile src)
-      else Ok ()
-  end
-  else begin
-    let m = build ~mcuda ~cuda_lower:(cuda_lower || mcuda) ~mode src in
-    if emit_ir then print_string (Ir.Printer.op_to_string m);
-    let ran =
-      match run_name with
-      | Some entry -> run_entry m entry sizes
-      | None -> Ok ()
-    in
-    match ran with
-    | Error _ as e -> e
-    | Ok () -> begin
-      match time_threads with
-      | Some threads -> time_entry m ~machine ~threads run_name sizes
-      | None -> Ok ()
-    end
-  end
+    machine check check_each inject_faults fault_seed crash_dir replay :
+  (int, [ `Msg of string ]) result =
+  match replay with
+  | Some bundle -> do_replay bundle
+  | None ->
+  match file with
+  | None -> Error (`Msg "missing FILE.cu argument (or --replay <bundle>)")
+  | Some file ->
+    guard "internal error" (fun () ->
+        let src = In_channel.with_open_text file In_channel.input_all in
+        if check || check_each then begin
+          (* the flags compose: with both, the full pre-lowering check gates
+             the per-pass sweep (which only re-runs the race check —
+             divergence and shared-init lose meaning mid-lowering) *)
+          let first =
+            if check then check_source ~file (Cudafe.Codegen.compile src)
+            else Ok ()
+          in
+          match first with
+          | Error _ as e -> e
+          | Ok () ->
+            if check_each then
+              Result.map (fun () -> 0)
+                (check_after_each_pass ~file (Cudafe.Codegen.compile src))
+            else Ok 0
+        end
+        else begin
+          let faults =
+            match fault_seed with
+            | Some seed ->
+              let plan =
+                Core.Fault.random_plan ~seed (Core.Cpuify.stage_names ())
+              in
+              Printf.eprintf "polygeist-cpu: seeded fault plan (%d): %s\n" seed
+                (Core.Fault.plan_to_string plan);
+              inject_faults @ plan
+            | None -> inject_faults
+          in
+          let repro =
+            "polygeist-cpu "
+            ^ String.concat " " (List.tl (Array.to_list Sys.argv))
+          in
+          match
+            build ~mcuda ~cuda_lower:(cuda_lower || mcuda) ~mode ~faults
+              ~crash_dir ~repro src
+          with
+          | Error _ as e -> e
+          | Ok (m, status) ->
+            if emit_ir then print_string (Ir.Printer.op_to_string m);
+            let ran =
+              match run_name with
+              | Some entry -> run_entry m entry sizes
+              | None -> Ok ()
+            in
+            (match ran with
+             | Error _ as e -> e
+             | Ok () -> begin
+               let timed =
+                 match time_threads with
+                 | Some threads ->
+                   time_entry m ~machine ~threads run_name sizes
+                 | None -> Ok ()
+               in
+               match timed with
+               | Error _ as e -> e
+               | Ok () -> begin
+                 match status with
+                 | `Full -> Ok 0
+                 | `Degraded _ -> Ok 1
+               end
+             end)
+        end)
 
 let cmd =
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cu"
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.cu"
            ~doc:"mini-CUDA source file")
   in
   let cuda_lower =
@@ -275,11 +455,63 @@ let cmd =
            ~doc:"run the -cpuify pipeline one pass at a time, re-running \
                  the IR verifier and the race check after every pass")
   in
+  let fault_conv =
+    let parse s =
+      match Core.Fault.entry_of_string s with
+      | Ok e -> Ok e
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf e = Format.pp_print_string ppf (Core.Fault.entry_to_string e) in
+    Arg.conv (parse, print)
+  in
+  let inject_faults =
+    Arg.(value & opt_all fault_conv [] & info [ "inject-fault" ]
+           ~docv:"STAGE:KIND"
+           ~doc:"inject a deterministic one-shot fault into the named \
+                 pipeline stage; KIND is raise, corrupt or exhaust \
+                 (repeatable; each entry fires once, so two entries for \
+                 the same stage take down successive ladder rungs)")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None & info [ "fault-seed" ]
+           ~doc:"append a seeded random fault plan (1-3 faults over the \
+                 pipeline stages) to the injected faults")
+  in
+  let crash_dir =
+    Arg.(value & opt (some string) None & info [ "crash-dir" ]
+           ~docv:"DIR"
+           ~doc:"write a replayable crash bundle into DIR for every \
+                 stage failure the pass manager recovers from (or dies \
+                 on)")
+  in
+  let replay =
+    Arg.(value & opt (some file) None & info [ "replay" ]
+           ~docv:"BUNDLE"
+           ~doc:"re-run the pipeline recorded in a crash bundle and \
+                 report whether the failure reproduces (exit 0 when it \
+                 does, 3 when stale)")
+  in
   Cmd.v
-    (Cmd.info "polygeist-cpu" ~doc:"CUDA to CPU transpiler (paper reproduction)")
+    (Cmd.info "polygeist-cpu" ~doc:"CUDA to CPU transpiler (paper reproduction)"
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"success" :: Cmd.Exit.info 1
+            ~doc:"success, but the pipeline degraded (a stage failed and \
+                  a degradation-ladder rung engaged)"
+          :: Cmd.Exit.info 2 ~doc:"failure (pipeline, runtime or check error)"
+          :: Cmd.Exit.defaults))
     Term.(
       term_result
         (const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
-         $ sizes $ time_threads $ machine $ check $ check_each))
+         $ sizes $ time_threads $ machine $ check $ check_each $ inject_faults
+         $ fault_seed $ crash_dir $ replay))
 
-let () = exit (Cmd.eval cmd)
+let () =
+  (* distinct exit codes: 0 ok, 1 degraded (via main's return value),
+     2 pipeline/check failure (term_result errors), 124/125 cmdliner's
+     usual CLI/internal errors *)
+  match Cmd.eval_value cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit 0
+  | Error `Term -> exit 2
+  | Error `Parse -> exit 124
+  | Error `Exn -> exit 125

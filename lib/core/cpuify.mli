@@ -5,14 +5,47 @@
 
 exception Stuck of string
 
-(** Barrier lowering only.  @raise Stuck if a barrier cannot be lowered. *)
-val run : ?use_mincut:bool -> Ir.Op.op -> unit
+(** Why barrier lowering failed, reified so the fault-tolerant pass
+    manager can roll back and degrade instead of unwinding. *)
+type error =
+  | Did_not_converge of { budget : int }
+  | Cannot_lower of
+      { op_text : string
+      ; loc : Ir.Srcloc.t option
+            (** source location of the first remaining barrier *)
+      ; remaining_barriers : int
+      }
+  | Unsupported of
+      { what : string
+      ; loc : Ir.Srcloc.t option
+      ; remaining_barriers : int
+      }
+  | Barriers_remain of { remaining_barriers : int }
+
+val error_to_string : error -> string
+
+(** Number of [polygeist.barrier] ops anywhere inside the op. *)
+val count_barriers : Ir.Op.op -> int
+
+(** Default fixpoint iteration budget (10000). *)
+val default_budget : int
+
+(** Barrier lowering only; [budget] bounds the fixpoint iteration count
+    (default {!default_budget}). *)
+val run_result :
+  ?use_mincut:bool -> ?budget:int -> Ir.Op.op -> (unit, error) result
+
+(** {!run_result} with failures raised as [Stuck]; the message carries
+    the remaining-barrier count and the [line:col] of the first
+    remaining barrier.  @raise Stuck if a barrier cannot be lowered. *)
+val run : ?use_mincut:bool -> ?budget:int -> Ir.Op.op -> unit
 
 type options =
   { opt_mincut : bool
   ; opt_barrier_elim : bool
   ; opt_mem2reg : bool
   ; opt_licm : bool
+  ; opt_budget : int (** cpuify fixpoint iteration budget *)
   }
 
 val default_options : options
@@ -21,6 +54,10 @@ val default_options : options
     verification or checking between them ([-check-after-each-pass]). *)
 val pipeline_stages :
   ?options:options -> unit -> (string * (Ir.Op.op -> unit)) list
+
+(** Unique stage names of {!pipeline_stages}, in pipeline order — the
+    vocabulary fault plans draw from. *)
+val stage_names : ?options:options -> unit -> string list
 
 (** Cleanups, barrier-specific optimizations, barrier lowering, cleanups —
     the full pipeline preceding OpenMP lowering. *)

@@ -1,0 +1,223 @@
+(* Crash bundles: self-contained failure reports the pass manager drops
+   into --crash-dir whenever a stage dies.
+
+   A bundle is a single text file holding everything needed to reproduce
+   the failure offline: the failing stage (and which rung of the
+   degradation ladder was being attempted), the exception and backtrace,
+   the pipeline options and the complete fault plan, a CLI repro line,
+   the original source, and a dump of the IR as it stood when the stage
+   started.  `polygeist-cpu --replay <bundle>` parses one back,
+   recompiles the embedded source and re-runs the pipeline under the
+   same options and fault plan — the whole pipeline is deterministic, so
+   the recorded failure recurs (or the bundle is stale and the replay
+   says so). *)
+
+type t =
+  { stage : string
+  ; stage_index : int (* occurrence index within pipeline_stages *)
+  ; rung : string (* ladder rung being attempted when it failed *)
+  ; exn_text : string
+  ; backtrace : string
+  ; repro : string (* CLI line that led here *)
+  ; options : Cpuify.options
+  ; faults : Fault.plan
+  ; source : string (* original CUDA translation unit *)
+  ; ir_before : string (* pre-stage IR dump *)
+  }
+
+let magic = "polygeist-cpu crash bundle v1"
+let source_marker = "=== source ==="
+let ir_marker = "=== pre-stage ir ==="
+
+let options_to_string (o : Cpuify.options) : string =
+  Printf.sprintf "mincut=%b,barrier-elim=%b,mem2reg=%b,licm=%b,budget=%d"
+    o.Cpuify.opt_mincut o.Cpuify.opt_barrier_elim o.Cpuify.opt_mem2reg
+    o.Cpuify.opt_licm o.Cpuify.opt_budget
+
+let options_of_string (s : string) : (Cpuify.options, string) result =
+  let o = ref Cpuify.default_options in
+  let err = ref None in
+  String.split_on_char ',' s
+  |> List.iter (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> err := Some (Printf.sprintf "bad option %S" kv)
+      | Some i ->
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let b () =
+          match bool_of_string_opt v with
+          | Some b -> b
+          | None ->
+            err := Some (Printf.sprintf "bad boolean %S for %s" v k);
+            false
+        in
+        (match k with
+         | "mincut" -> o := { !o with Cpuify.opt_mincut = b () }
+         | "barrier-elim" -> o := { !o with Cpuify.opt_barrier_elim = b () }
+         | "mem2reg" -> o := { !o with Cpuify.opt_mem2reg = b () }
+         | "licm" -> o := { !o with Cpuify.opt_licm = b () }
+         | "budget" -> begin
+           match int_of_string_opt v with
+           | Some n -> o := { !o with Cpuify.opt_budget = n }
+           | None -> err := Some (Printf.sprintf "bad budget %S" v)
+         end
+         | _ -> err := Some (Printf.sprintf "unknown option %S" k)));
+  match !err with Some e -> Error e | None -> Ok !o
+
+let to_string (b : t) : string =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "stage: %s" b.stage;
+  line "stage-index: %d" b.stage_index;
+  line "rung: %s" b.rung;
+  line "exception: %s" (String.map (fun c -> if c = '\n' then ' ' else c) b.exn_text);
+  line "repro: %s" b.repro;
+  line "options: %s" (options_to_string b.options);
+  line "faults: %s" (Fault.plan_to_string b.faults);
+  line "backtrace:";
+  String.split_on_char '\n' b.backtrace
+  |> List.iter (fun l -> if String.trim l <> "" then line "| %s" l);
+  line "%s" source_marker;
+  Buffer.add_string buf b.source;
+  if b.source = "" || b.source.[String.length b.source - 1] <> '\n' then
+    Buffer.add_char buf '\n';
+  line "%s" ir_marker;
+  Buffer.add_string buf b.ir_before;
+  Buffer.contents buf
+
+let of_string (s : string) : (t, string) result =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | m :: rest when m = magic -> begin
+    let stage = ref "" in
+    let stage_index = ref 0 in
+    let rung = ref "" in
+    let exn_text = ref "" in
+    let repro = ref "" in
+    let options = ref Cpuify.default_options in
+    let faults = ref [] in
+    let backtrace = Buffer.create 256 in
+    let source = Buffer.create 1024 in
+    let ir = Buffer.create 1024 in
+    let err = ref None in
+    let fail fmt = Printf.ksprintf (fun e -> err := Some e) fmt in
+    let section = ref `Header in
+    List.iter
+      (fun l ->
+        if l = source_marker then section := `Source
+        else if l = ir_marker then section := `Ir
+        else begin
+          match !section with
+          | `Source ->
+            Buffer.add_string source l;
+            Buffer.add_char source '\n'
+          | `Ir ->
+            Buffer.add_string ir l;
+            Buffer.add_char ir '\n'
+          | `Header ->
+            let strip prefix =
+              if String.length l >= String.length prefix
+                 && String.sub l 0 (String.length prefix) = prefix
+              then
+                Some
+                  (String.sub l (String.length prefix)
+                     (String.length l - String.length prefix))
+              else None
+            in
+            (match strip "stage: " with
+             | Some v -> stage := v
+             | None ->
+             match strip "stage-index: " with
+             | Some v ->
+               stage_index := Option.value ~default:0 (int_of_string_opt v)
+             | None ->
+             match strip "rung: " with
+             | Some v -> rung := v
+             | None ->
+             match strip "exception: " with
+             | Some v -> exn_text := v
+             | None ->
+             match strip "repro: " with
+             | Some v -> repro := v
+             | None ->
+             match strip "options: " with
+             | Some v -> begin
+               match options_of_string v with
+               | Ok o -> options := o
+               | Error e -> fail "bad options line: %s" e
+             end
+             | None ->
+             match strip "faults: " with
+             | Some v -> begin
+               match Fault.plan_of_string v with
+               | Ok p -> faults := p
+               | Error e -> fail "bad faults line: %s" e
+             end
+             | None ->
+             match strip "| " with
+             | Some v ->
+               Buffer.add_string backtrace v;
+               Buffer.add_char backtrace '\n'
+             | None -> ())
+        end)
+      rest;
+    match !err with
+    | Some e -> Error e
+    | None ->
+      if !stage = "" then Error "bundle has no stage line"
+      else
+        Ok
+          { stage = !stage
+          ; stage_index = !stage_index
+          ; rung = !rung
+          ; exn_text = !exn_text
+          ; backtrace = Buffer.contents backtrace
+          ; repro = !repro
+          ; options = !options
+          ; faults = !faults
+          ; source = Buffer.contents source
+          ; ir_before =
+              (* drop the final '\n' the line-splitting round trip adds *)
+              (let s = Buffer.contents ir in
+               if s <> "" && s.[String.length s - 1] = '\n' then
+                 String.sub s 0 (String.length s - 1)
+               else s)
+          }
+  end
+  | _ -> Error "not a polygeist-cpu crash bundle (bad magic line)"
+
+let rec mkdir_p (dir : string) : unit =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Sanitize the stage name for use in a filename. *)
+let slug (s : string) : string =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    s
+
+let write ~(dir : string) (b : t) : (string, string) result =
+  try
+    mkdir_p dir;
+    let rec pick n =
+      let path =
+        Filename.concat dir (Printf.sprintf "crash-%03d-%s.bundle" n (slug b.stage))
+      in
+      if Sys.file_exists path then pick (n + 1) else path
+    in
+    let path = pick 0 in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_string b));
+    Ok path
+  with Sys_error e -> Error (Printf.sprintf "cannot write crash bundle: %s" e)
+
+let read (path : string) : (t, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error (Printf.sprintf "cannot read bundle: %s" e)

@@ -1,0 +1,37 @@
+(** Crash bundles: self-contained failure reports written by the pass
+    manager on stage failure, replayable with
+    [polygeist-cpu --replay <bundle>].
+
+    A bundle records the failing stage and degradation-ladder rung, the
+    exception and backtrace, the pipeline options and complete fault
+    plan, a CLI repro line, the original source and the pre-stage IR
+    dump.  The pipeline is deterministic, so re-running the embedded
+    source under the recorded options and fault plan reproduces the
+    failure. *)
+
+type t =
+  { stage : string
+  ; stage_index : int (** occurrence index within the pipeline *)
+  ; rung : string (** ladder rung being attempted when it failed *)
+  ; exn_text : string
+  ; backtrace : string
+  ; repro : string (** CLI line that led here *)
+  ; options : Cpuify.options
+  ; faults : Fault.plan
+  ; source : string (** original CUDA translation unit *)
+  ; ir_before : string (** pre-stage IR dump *)
+  }
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+(** Serialize into [dir] (created if missing) as
+    [crash-NNN-<stage>.bundle], NNN picked fresh; returns the path. *)
+val write : dir:string -> t -> (string, string) result
+
+val read : string -> (t, string) result
+
+(**/**)
+
+val options_to_string : Cpuify.options -> string
+val options_of_string : string -> (Cpuify.options, string) result

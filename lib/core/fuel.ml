@@ -1,0 +1,32 @@
+(* A cooperative step budget for pass execution.
+
+   The fault-tolerant pass manager runs every stage under a fuel budget so
+   a diverging fixpoint (or an injected `exhaust` fault) surfaces as a
+   catchable [Exhausted] instead of a hang.  Budgets are dynamically
+   scoped: [with_budget] installs one for the extent of a callback and
+   restores the previous scope on the way out, so nested stages compose.
+   Long-running passes cooperate by calling [tick] at each iteration of
+   their driving loop; outside any [with_budget] scope ticking is free. *)
+
+exception Exhausted of string
+
+(* [None] = unlimited (the default, outside any pass-manager scope). *)
+let remaining : int ref option ref = ref None
+
+let tick (what : string) : unit =
+  match !remaining with
+  | None -> ()
+  | Some r ->
+    decr r;
+    if !r < 0 then
+      raise (Exhausted (Printf.sprintf "%s: fuel budget exhausted" what))
+
+let with_budget (n : int) (f : unit -> 'a) : 'a =
+  let saved = !remaining in
+  remaining := Some (ref n);
+  Fun.protect ~finally:(fun () -> remaining := saved) f
+
+let unlimited (f : unit -> 'a) : 'a =
+  let saved = !remaining in
+  remaining := None;
+  Fun.protect ~finally:(fun () -> remaining := saved) f

@@ -1,0 +1,19 @@
+(** Cooperative step budget for pass execution.
+
+    The pass manager runs stages under a budget so diverging fixpoints
+    (or injected [exhaust] faults) raise a catchable {!Exhausted} instead
+    of hanging.  Budgets are dynamically scoped and nest. *)
+
+exception Exhausted of string
+
+(** Consume one unit of the innermost budget; no-op when unlimited.
+    @raise Exhausted when the budget runs out ([what] names the pass). *)
+val tick : string -> unit
+
+(** Run the callback under a budget of [n] ticks, restoring the
+    enclosing scope afterwards (also on exceptions). *)
+val with_budget : int -> (unit -> 'a) -> 'a
+
+(** Run the callback with no budget, shadowing any enclosing one (the
+    always-succeeds conservative fallback runs here). *)
+val unlimited : (unit -> 'a) -> 'a

@@ -295,3 +295,11 @@ let interchange (modul : Op.op) (m_par : Op.op) : Op.op list option =
      | Op.While -> Some (interchange_while info m_par prefix c suffix)
      | _ -> fail "cannot interchange a parallel loop with %s"
               (Printer.op_to_string c |> String.trim))
+
+(* Structured-result boundary for the pass manager: the same rewrite,
+   with [Unsupported] reified instead of escaping as an exception. *)
+let interchange_result (modul : Op.op) (m_par : Op.op) :
+  (Op.op list option, string) result =
+  match interchange modul m_par with
+  | v -> Ok v
+  | exception Unsupported msg -> Error msg

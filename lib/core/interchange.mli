@@ -10,3 +10,8 @@ exception Unsupported of string
     does not match (caller falls back to isolation splitting).
     @raise Unsupported when the prefix/suffix cannot legally move. *)
 val interchange : Ir.Op.op -> Ir.Op.op -> Ir.Op.op list option
+
+(** {!interchange} with [Unsupported] reified as [Error] — the
+    structured boundary the fault-tolerant pass manager consumes. *)
+val interchange_result :
+  Ir.Op.op -> Ir.Op.op -> (Ir.Op.op list option, string) result

@@ -331,3 +331,11 @@ let split_parallel ~(use_mincut : bool) (par : Op.op) : Op.op list option =
     let deallocs = List.map (fun (_, c) -> Builder.dealloc c) caches in
     Some
       (pre_allocs @ Builder.Seq.to_list pre @ [ loop1; loop2 ] @ deallocs)
+
+(* Structured-result boundary for the pass manager: the same split, with
+   [Unsupported] reified instead of escaping as an exception. *)
+let split_result ~(use_mincut : bool) (par : Op.op) :
+  (Op.op list option, string) result =
+  match split_parallel ~use_mincut par with
+  | v -> Ok v
+  | exception Unsupported msg -> Error msg

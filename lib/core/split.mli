@@ -29,3 +29,8 @@ val expand_allocas : Ir.Op.op -> Ir.Op.op list
     With [use_mincut:false] every live value is cached (the MCUDA
     behaviour / ablation baseline). *)
 val split_parallel : use_mincut:bool -> Ir.Op.op -> Ir.Op.op list option
+
+(** {!split_parallel} with [Unsupported] reified as [Error] — the
+    structured boundary the fault-tolerant pass manager consumes. *)
+val split_result :
+  use_mincut:bool -> Ir.Op.op -> (Ir.Op.op list option, string) result

@@ -48,3 +48,56 @@ let clone_op_fresh op = clone_op (create_subst ()) op
 (* Clone a list of ops sharing one substitution (so defs in earlier ops are
    visible to later ones). *)
 let clone_ops (s : subst) ops = List.map (clone_op s) ops
+
+(* --- snapshots (the fault-tolerant pass manager) --- *)
+
+(* A snapshot is just a deep clone: passes mutate the original in place,
+   so the clone is untouched by whatever happens afterwards. *)
+let snapshot (op : Op.op) : Op.op = clone_op_fresh op
+
+(* Restoring clones the snapshot again before moving its mutable pieces
+   into [into]: the snapshot stays pristine, so the same snapshot can be
+   restored several times (one rollback per rung of a degradation
+   ladder).  Only the mutable fields are transplanted — [into] keeps its
+   oid and result values — so this is meant for ops whose results carry
+   no external uses, i.e. module roots. *)
+let restore ~(into : Op.op) (snap : Op.op) : unit =
+  let c = clone_op_fresh snap in
+  into.Op.operands <- c.Op.operands;
+  into.Op.regions <- c.Op.regions;
+  into.Op.attrs <- c.Op.attrs;
+  into.Op.loc <- c.Op.loc
+
+(* Equality up to SSA renaming: two ops are structurally equal when their
+   kinds/attrs/shapes match and their values correspond under one
+   consistent bijection.  This is how tests check that a rollback really
+   restored the pre-stage IR (printing is not stable: value ids are
+   global, so a clone prints differently). *)
+let structural_equal (a : Op.op) (b : Op.op) : bool =
+  let fwd : Value.t Value.Tbl.t = Value.Tbl.create 64 in
+  let bwd : Value.t Value.Tbl.t = Value.Tbl.create 64 in
+  let val_eq (x : Value.t) (y : Value.t) =
+    match (Value.Tbl.find_opt fwd x, Value.Tbl.find_opt bwd y) with
+    | Some y', Some x' -> Value.equal y y' && Value.equal x x'
+    | None, None ->
+      Value.Tbl.replace fwd x y;
+      Value.Tbl.replace bwd y x;
+      x.Value.typ = y.Value.typ
+    | _ -> false
+  in
+  let vals_eq xs ys =
+    Array.length xs = Array.length ys && Array.for_all2 val_eq xs ys
+  in
+  let rec op_eq (a : Op.op) (b : Op.op) =
+    a.Op.kind = b.Op.kind
+    && a.Op.attrs = b.Op.attrs
+    && vals_eq a.Op.operands b.Op.operands
+    && vals_eq a.Op.results b.Op.results
+    && Array.length a.Op.regions = Array.length b.Op.regions
+    && Array.for_all2 region_eq a.Op.regions b.Op.regions
+  and region_eq (ra : Op.region) (rb : Op.region) =
+    vals_eq ra.Op.rargs rb.Op.rargs
+    && List.length ra.Op.body = List.length rb.Op.body
+    && List.for_all2 op_eq ra.Op.body rb.Op.body
+  in
+  op_eq a b

@@ -26,3 +26,19 @@ val clone_op_fresh : Op.op -> Op.op
 (** Clone a list sharing one substitution (defs in earlier ops are
     visible to later ones). *)
 val clone_ops : subst -> Op.op list -> Op.op list
+
+(** Deep snapshot of an op (a fresh clone): later in-place mutation of
+    the original leaves the snapshot untouched. *)
+val snapshot : Op.op -> Op.op
+
+(** [restore ~into snap] transplants a fresh clone of [snap]'s mutable
+    fields (operands, regions, attrs, loc) into [into], rolling the op
+    back to the snapshotted state.  The snapshot itself is not consumed:
+    it can be restored any number of times.  Intended for module roots
+    (ops whose results have no external uses). *)
+val restore : into:Op.op -> Op.op -> unit
+
+(** Equality up to SSA renaming: kinds, attributes and region shapes
+    match, and values correspond under one consistent bijection.  Used
+    by tests to check a rollback restored the pre-stage IR exactly. *)
+val structural_equal : Op.op -> Op.op -> bool

@@ -1,0 +1,187 @@
+(* The fault matrix (wired into `dune runtest` via the @faults alias):
+
+   1. In-process: for EVERY pipeline stage and EVERY fault kind, over the
+      whole Rodinia registry, inject the fault, run the fault-tolerant
+      pass manager and check that the degraded module still computes
+      exactly what the conservative no-opt lowering computes.
+
+   2. Through the CLI driver (path given as argv(1)): with a fault
+      injected into each stage, `polygeist-cpu --run` must exit 1
+      (degraded — never crash), print the same output checksum as
+      `--cpuify no-opt`, and the crash bundle it writes must replay
+      deterministically (`--replay` exits 0). *)
+
+let failures = ref 0
+
+let fail fmt =
+  incr failures;
+  Printf.printf fmt
+
+let rel_close a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) /. scale < 1e-4
+
+let checksum_of (m : Ir.Op.op) (b : Rodinia.Bench_def.t) : float =
+  let w = b.mk_workload b.test_size in
+  ignore
+    (Interp.Eval.run ~team_size:3 m b.entry
+       (Rodinia.Bench_def.args_of_workload w));
+  Rodinia.Bench_def.checksum w
+
+let no_opt_checksum (b : Rodinia.Bench_def.t) : float =
+  let m = Cudafe.Codegen.compile b.cuda_src in
+  Core.Cpuify.run ~use_mincut:false m;
+  ignore (Core.Omp_lower.run m);
+  checksum_of m b
+
+(* --- part 1: the in-process matrix --- *)
+
+let matrix () =
+  let stages = Core.Cpuify.stage_names () in
+  let kinds = [ Core.Fault.Raise; Core.Fault.Corrupt; Core.Fault.Exhaust ] in
+  let cells = ref 0 in
+  List.iter
+    (fun (b : Rodinia.Bench_def.t) ->
+      let baseline = no_opt_checksum b in
+      List.iter
+        (fun stage ->
+          List.iter
+            (fun kind ->
+              incr cells;
+              let what =
+                Printf.sprintf "%s under %s" b.name
+                  (Core.Fault.entry_to_string (stage, kind))
+              in
+              let m = Cudafe.Codegen.compile b.cuda_src in
+              match Core.Passmgr.run_pipeline ~faults:[ (stage, kind) ] m with
+              | exception e ->
+                fail "%-40s ESCAPED EXCEPTION: %s\n" what (Printexc.to_string e)
+              | Error (_, f) ->
+                fail "%-40s UNRECOVERABLE: %s\n" what
+                  (Core.Passmgr.failure_to_string f)
+              | Ok report ->
+                if not (Core.Passmgr.degraded report) then
+                  fail "%-40s fault did not fire\n" what
+                else begin
+                  ignore (Core.Omp_lower.run m);
+                  match checksum_of m b with
+                  | exception e ->
+                    fail "%-40s degraded module does not run: %s\n" what
+                      (Printexc.to_string e)
+                  | got ->
+                    if not (rel_close baseline got) then
+                      fail "%-40s output differs from no-opt: %g vs %g\n" what
+                        got baseline
+                end)
+            kinds)
+        stages)
+    Rodinia.Registry.all;
+  Printf.printf "fault matrix: %d cells (%d benchmarks x %d stages x %d kinds)\n"
+    !cells
+    (List.length Rodinia.Registry.all)
+    (List.length stages) 3
+
+(* --- part 2: through the CLI driver --- *)
+
+let sh (cmd : string) : int =
+  let code = Sys.command cmd in
+  (* Sys.command goes through /bin/sh, which reports signals as 128+n *)
+  code
+
+let slurp path = In_channel.with_open_text path In_channel.input_all
+
+(* The "output checksum @..." line printed by --run. *)
+let checksum_line out =
+  String.split_on_char '\n' out
+  |> List.find_opt (fun l ->
+      String.length l >= 15 && String.sub l 0 15 = "output checksum")
+
+let cli_checks (driver : string) =
+  let fixture = Filename.concat "fixtures" "reduce.cu" in
+  let tmp = Filename.temp_file "faults" ".out" in
+  let crash_dir = Filename.temp_file "faults" ".crash" in
+  Sys.remove crash_dir;
+  let run args =
+    let cmd =
+      Printf.sprintf "%s %s %s > %s 2>/dev/null" (Filename.quote driver) args
+        (Filename.quote fixture) (Filename.quote tmp)
+    in
+    let code = sh cmd in
+    (code, slurp tmp)
+  in
+  (* the reference: conservative lowering, exits 0 *)
+  let base_code, base_out =
+    run "--cuda-lower --cpuify no-opt --run run --size 128"
+  in
+  if base_code <> 0 then fail "CLI: no-opt run exited %d, want 0\n" base_code;
+  let base_ck =
+    match checksum_line base_out with
+    | Some l -> l
+    | None ->
+      fail "CLI: no-opt run printed no checksum line\n";
+      ""
+  in
+  (* a clean optimized run exits 0 and computes the same answer *)
+  let full_code, full_out = run "--cuda-lower --run run --size 128" in
+  if full_code <> 0 then fail "CLI: clean run exited %d, want 0\n" full_code;
+  if checksum_line full_out <> Some base_ck then
+    fail "CLI: clean run checksum differs from no-opt\n";
+  (* every stage, faulted: exit 1 (degraded, never a crash), same answer *)
+  List.iter
+    (fun stage ->
+      let code, out =
+        run
+          (Printf.sprintf
+             "--cuda-lower --run run --size 128 --inject-fault %s:raise \
+              --crash-dir %s"
+             stage (Filename.quote crash_dir))
+      in
+      if code <> 1 then
+        fail "CLI: fault in %s exited %d, want 1 (degraded)\n" stage code;
+      if checksum_line out <> Some base_ck then
+        fail "CLI: fault in %s changed the output checksum\n" stage)
+    (Core.Cpuify.stage_names ());
+  (* a written bundle replays deterministically *)
+  let bundles = Sys.readdir crash_dir in
+  if Array.length bundles = 0 then fail "CLI: no crash bundles were written\n"
+  else
+    Array.iter
+      (fun bundle ->
+        let cmd =
+          Printf.sprintf "%s --replay %s > %s 2>/dev/null"
+            (Filename.quote driver)
+            (Filename.quote (Filename.concat crash_dir bundle))
+            (Filename.quote tmp)
+        in
+        let code = sh cmd in
+        if code <> 0 then
+          fail "CLI: --replay %s exited %d, want 0 (reproduced)\n" bundle code)
+      bundles;
+  (* an unparseable file is a clean diagnostic (exit 2), not a backtrace *)
+  let bad = Filename.temp_file "faults" ".cu" in
+  Out_channel.with_open_text bad (fun oc ->
+      Out_channel.output_string oc "this is not CUDA\n");
+  let cmd =
+    Printf.sprintf "%s --cuda-lower %s > %s 2>&1" (Filename.quote driver)
+      (Filename.quote bad) (Filename.quote tmp)
+  in
+  let code = sh cmd in
+  if code <> 2 then fail "CLI: parse error exited %d, want 2\n" code;
+  Printf.printf "CLI checks: exit codes, checksum parity and replay over %d \
+                 stages\n"
+    (List.length (Core.Cpuify.stage_names ()));
+  Sys.remove tmp;
+  Sys.remove bad;
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat crash_dir f))
+    (Sys.readdir crash_dir);
+  Sys.rmdir crash_dir
+
+let () =
+  matrix ();
+  if Array.length Sys.argv > 1 then cli_checks Sys.argv.(1);
+  if !failures > 0 then begin
+    Printf.printf "%d fault-matrix failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "all faults degrade to the no-opt baseline"

@@ -10,4 +10,5 @@ let () =
     ; ("random", Test_random.tests)
     ; ("analysis", Test_analysis.tests)
     ; ("check", Test_check.tests)
+    ; ("passmgr", Test_passmgr.tests)
     ]

@@ -146,6 +146,45 @@ let test_affine_unroll =
          ignore (Core.Omp_lower.run m);
          Core.Canonicalize.run m))
 
+(* Seeded random fault plans through the fault-tolerant pass manager:
+   whatever the plan takes down, the pipeline must recover via the
+   degradation ladder and the degraded module must still match the
+   original GPU semantics exactly. *)
+let test_faulted_passmgr =
+  QCheck.Test.make ~name:"random kernels: seeded-fault pass-manager differential"
+    ~count:40 QCheck.small_nat (fun seed ->
+      let src = gen_kernel seed in
+      let reference = checksum (Cudafe.Codegen.compile src) in
+      let m = Cudafe.Codegen.compile src in
+      let faults = Core.Fault.random_plan ~seed (Core.Cpuify.stage_names ()) in
+      (match Core.Passmgr.run_pipeline ~faults m with
+       | Ok _ -> ()
+       | Error (_, f) ->
+         QCheck.Test.fail_reportf "seed %d: unrecoverable under plan %s: %s\n%s"
+           seed
+           (Core.Fault.plan_to_string faults)
+           (Core.Passmgr.failure_to_string f)
+           src);
+      ignore (Core.Omp_lower.run m);
+      Core.Canonicalize.run m;
+      (match Ir.Verifier.verify_result m with
+       | Ok () -> ()
+       | Error e ->
+         QCheck.Test.fail_reportf
+           "seed %d: degraded IR does not verify under plan %s: %s\n%s" seed
+           (Core.Fault.plan_to_string faults)
+           e src);
+      List.for_all
+        (fun ts ->
+          let got = checksum ~team_size:ts m in
+          arrays_close reference got
+          ||
+          QCheck.Test.fail_reportf
+            "seed %d (team %d, plan %s): results differ\nsource:\n%s" seed ts
+            (Core.Fault.plan_to_string faults)
+            src)
+        [ 1; 4; 5 ])
+
 (* Min-cut sanity on random SSA graphs: the cut never exceeds the number
    of sinks or sources (either side is a trivial cut). *)
 let test_mincut_bound =
@@ -180,5 +219,5 @@ let test_mincut_bound =
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [ test_pipeline; test_pipeline_inner_par; test_mcuda; test_affine_unroll
-    ; test_mincut_bound
+    ; test_faulted_passmgr; test_mincut_bound
     ]
