@@ -9,6 +9,9 @@
      dune exec bench/main.exe fig13_speedup
      dune exec bench/main.exe fig14_scaling
      dune exec bench/main.exe fig15_resnet
+     dune exec bench/main.exe speedup    -- real wall-clock: serial interp
+                                            vs the multicore runtime
+                                            (writes BENCH_3.json)
      dune exec bench/main.exe micro      -- bechamel compiler micro-benches *)
 
 let commodity = Runtime.Machine.commodity
@@ -460,6 +463,162 @@ let robust () =
   pr "\nOutput mismatches vs the no-opt baseline: %d (expected: 0)\n"
     !mismatches
 
+(* --- speedup: real wall-clock, serial interpreter vs the multicore
+   runtime --- *)
+
+(* Unlike the figure benches (analytic machine model), this measures
+   actual execution time of the lowered OpenMP module: the tree-walking
+   GPU-semantics interpreter as the serial baseline vs the
+   compile-to-closures runtime (Runtime.Exec) at 1/2/4/8 domains.
+   Checksums are the exact commutative digest, so every parallel result
+   is verified bit-for-bit against the serial interpreter at the same
+   team size.  Results land in BENCH_3.json. *)
+let speedup () =
+  header
+    "Speedup — serial interpreter vs multicore runtime (real wall-clock)\n\
+     (checksums verified bit-for-bit against the serial interpreter)";
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let reps = 3 in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let t1 = Unix.gettimeofday () in
+      if t1 -. t0 < !best then best := t1 -. t0
+    done;
+    !best
+  in
+  pr "\n%16s %10s" "benchmark" "serial";
+  List.iter (fun d -> pr "   %dd      " d) domain_counts;
+  pr "spawns(reuse/fresh)\n";
+  let rows = ref [] in
+  List.iter
+    (fun (b : Rodinia.Bench_def.t) ->
+      let m = build_polygeist ~name:b.name b.cuda_src in
+      let n = b.test_size in
+      let serial_checksum = ref nan in
+      let t_serial =
+        time_best (fun () ->
+            let w = b.mk_workload n in
+            ignore
+              (Interp.Eval.run m b.entry
+                 (Rodinia.Bench_def.args_of_workload w));
+            serial_checksum := Interp.Mem.checksum w.Rodinia.Bench_def.buffers)
+      in
+      match Runtime.Exec.compile m b.entry with
+      | exception Runtime.Exec.Unsupported why ->
+        pr "%16s %10.2e   (unsupported: %s)\n" b.name t_serial why;
+        rows := (b.name, n, t_serial, Error why) :: !rows
+      | compiled ->
+        let runs =
+          List.map
+            (fun d ->
+              (* ground truth at this team size: the serial interpreter
+                 with team_size = d (the static partition depends on the
+                 team size, so compare like with like) *)
+              let wref = b.mk_workload n in
+              ignore
+                (Interp.Eval.run ~team_size:d m b.entry
+                   (Rodinia.Bench_def.args_of_workload wref));
+              let ref_ck =
+                Interp.Mem.checksum wref.Rodinia.Bench_def.buffers
+              in
+              let ck = ref nan in
+              let t_par =
+                time_best (fun () ->
+                    let w = b.mk_workload n in
+                    ignore
+                      (Runtime.Exec.run ~domains:d compiled
+                         (Rodinia.Bench_def.args_of_workload w));
+                    ck := Interp.Mem.checksum w.Rodinia.Bench_def.buffers)
+              in
+              (d, t_par, t_serial /. t_par, !ck = ref_ck))
+            domain_counts
+        in
+        (* team-reuse ablation at 4 domains: fresh pool per launch *)
+        let spawns_of ~team_reuse =
+          let w = b.mk_workload n in
+          let s0 = Runtime.Pool.total_spawns () in
+          ignore
+            (Runtime.Exec.run ~domains:4 ~team_reuse compiled
+               (Rodinia.Bench_def.args_of_workload w));
+          Runtime.Pool.total_spawns () - s0
+        in
+        let reuse_spawns = spawns_of ~team_reuse:true in
+        let fresh_spawns = spawns_of ~team_reuse:false in
+        pr "%16s %10.2e" b.name t_serial;
+        List.iter
+          (fun (_, _, s, ok) -> pr " %6.1fx%s" s (if ok then " " else "!"))
+          runs;
+        pr "  %d/%d\n" reuse_spawns fresh_spawns;
+        rows :=
+          (b.name, n, t_serial, Ok (runs, reuse_spawns, fresh_spawns))
+          :: !rows)
+    Rodinia.Registry.all;
+  let rows = List.rev !rows in
+  let at4 =
+    List.filter_map
+      (fun (_, _, _, r) ->
+        match r with
+        | Ok (runs, _, _) ->
+          List.find_opt (fun (d, _, _, _) -> d = 4) runs
+          |> Option.map (fun (_, _, s, ok) -> (s, ok))
+        | Error _ -> None)
+      rows
+  in
+  let wins = List.filter (fun (s, ok) -> s > 1.0 && ok) at4 in
+  let mismatches =
+    List.concat_map
+      (fun (name, _, _, r) ->
+        match r with
+        | Ok (runs, _, _) ->
+          List.filter_map
+            (fun (d, _, _, ok) -> if ok then None else Some (name, d))
+            runs
+        | Error _ -> [])
+      rows
+  in
+  pr "\nChecksum mismatches vs the serial interpreter: %d (expected: 0)\n"
+    (List.length mismatches);
+  pr "Benchmarks faster than serial interp at 4 domains: %d/%d (geomean %.1fx)\n"
+    (List.length wins) (List.length at4)
+    (geomean (List.map fst at4));
+  (* hand-rolled JSON: no JSON library in the container *)
+  let buf = Buffer.create 4096 in
+  let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpr "{\n  \"bench\": \"speedup\",\n  \"domain_counts\": [%s],\n"
+    (String.concat ", " (List.map string_of_int domain_counts));
+  bpr "  \"results\": [\n";
+  List.iteri
+    (fun i (name, n, t_serial, r) ->
+      bpr "    {\"name\": \"%s\", \"n\": %d, \"serial_s\": %.6e" name n
+        t_serial;
+      (match r with
+       | Error why -> bpr ", \"supported\": false, \"why\": \"%s\"" why
+       | Ok (runs, reuse_spawns, fresh_spawns) ->
+         bpr ", \"supported\": true, \"runs\": [";
+         List.iteri
+           (fun j (d, t, s, ok) ->
+             bpr "%s{\"domains\": %d, \"parallel_s\": %.6e, \"speedup\": \
+                  %.3f, \"checksum_match\": %b}"
+               (if j > 0 then ", " else "")
+               d t s ok)
+           runs;
+         bpr "], \"spawns_at_4_reuse\": %d, \"spawns_at_4_fresh\": %d"
+           reuse_spawns fresh_spawns);
+      bpr "}%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  bpr "  ],\n";
+  bpr "  \"summary\": {\"checksum_mismatches\": %d, \
+       \"faster_than_serial_at_4\": %d, \"geomean_speedup_at_4\": %.3f}\n"
+    (List.length mismatches) (List.length wins)
+    (geomean (List.map fst at4));
+  bpr "}\n";
+  Out_channel.with_open_text "BENCH_3.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  pr "Wrote BENCH_3.json\n"
+
 (* --- bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -523,6 +682,7 @@ let () =
    | "fig14_scaling" -> fig14_scaling ()
    | "fig15_resnet" -> fig15_resnet ()
    | "robust" -> robust ()
+   | "speedup" -> speedup ()
    | "micro" -> micro ()
    | "all" ->
      fig12 ();
@@ -531,6 +691,7 @@ let () =
      fig14_scaling ();
      fig15_resnet ();
      robust ();
+     speedup ();
      micro ()
    | other ->
      prerr_endline ("unknown figure: " ^ other);

@@ -189,61 +189,108 @@ let build ~(mcuda : bool) ~(cuda_lower : bool) ~(mode : cpuify_mode)
      | Error e ->
        Error (`Msg ("internal error: lowered IR does not verify: " ^ e)))
 
-let run_entry (m : Ir.Op.op) (entry : string) (sizes : int list) :
-  (unit, [ `Msg of string ]) result =
-  (* integer arguments are passed through; every pointer parameter gets a
-     float/int buffer of the first size argument, filled with a
-     deterministic pattern so the output checksum is meaningful *)
+(* Argument synthesis for -run: integer arguments come from --size;
+   every pointer parameter gets a float/int buffer of the first size
+   argument, filled with a deterministic pattern so the output checksum
+   is meaningful.  Callers that retry execution (runtime degradation)
+   must call this again: a failed parallel run may have half-mutated the
+   previous buffers. *)
+let make_args (f : Ir.Op.op) (sizes : int list) : Interp.Mem.rv list =
+  let default_n = match sizes with n :: _ -> n | [] -> 64 in
+  let sizes = ref sizes in
+  Array.to_list f.Ir.Op.regions.(0).rargs
+  |> List.map (fun (p : Ir.Value.t) ->
+      match p.Ir.Value.typ with
+      | Ir.Types.Memref { elem; _ } ->
+        if Ir.Types.is_float_dtype elem then
+          Interp.Mem.Buf
+            (Interp.Mem.of_float_array
+               (Array.init default_n (fun i ->
+                    float_of_int ((i * 7 mod 11) + 1) /. 3.0)))
+        else
+          Interp.Mem.Buf
+            (Interp.Mem.of_int_array
+               (Array.init default_n (fun i -> i * 13 mod 17)))
+      | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
+        match !sizes with
+        | n :: rest ->
+          sizes := rest;
+          Interp.Mem.Int n
+        | [] -> Interp.Mem.Int default_n
+      end
+      | Ir.Types.Scalar _ -> Interp.Mem.Flt 1.0)
+
+(* Commutative digest of the final buffer contents: the semantic output,
+   identical across correct lowerings AND across serial/parallel
+   executions of the same race-free program (the sum of per-element
+   hashes does not depend on which thread wrote an element when). *)
+let print_checksum (entry : string) (args : Interp.Mem.rv list) : unit =
+  let bufs =
+    List.filter_map
+      (function Interp.Mem.Buf b -> Some b | _ -> None)
+      args
+    |> Array.of_list
+  in
+  Printf.printf "output checksum @%s: %.9g\n" entry (Interp.Mem.checksum bufs)
+
+let run_serial (m : Ir.Op.op) (f : Ir.Op.op) (entry : string)
+    (sizes : int list) : unit =
+  let args = make_args f sizes in
+  let _, stats = Interp.Eval.run m entry args in
+  Printf.printf
+    "executed @%s: %d ops, %d loads, %d stores, %d barrier waits\n" entry
+    stats.Interp.Eval.ops stats.Interp.Eval.loads stats.Interp.Eval.stores
+    stats.Interp.Eval.barriers;
+  print_checksum entry args
+
+(* Returns [Ok true] when the parallel runtime failed and execution
+   degraded to the serial interpreter (one more degradation rung, exit
+   code 1). *)
+let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
+    ~(schedule : Runtime.Schedule.policy) ~(team_reuse : bool)
+    ~(runtime_fault : bool) (m : Ir.Op.op) (entry : string)
+    (sizes : int list) : (bool, [ `Msg of string ]) result =
   match Ir.Op.find_func m entry with
   | None -> Error (`Msg (Printf.sprintf "no function @%s in the module" entry))
-  | Some f ->
-    let default_n = match sizes with n :: _ -> n | [] -> 64 in
-    let sizes = ref sizes in
-    let args =
-      Array.to_list f.Ir.Op.regions.(0).rargs
-      |> List.map (fun (p : Ir.Value.t) ->
-          match p.Ir.Value.typ with
-          | Ir.Types.Memref { elem; _ } ->
-            if Ir.Types.is_float_dtype elem then
-              Interp.Mem.Buf
-                (Interp.Mem.of_float_array
-                   (Array.init default_n (fun i ->
-                        float_of_int ((i * 7 mod 11) + 1) /. 3.0)))
-            else
-              Interp.Mem.Buf
-                (Interp.Mem.of_int_array
-                   (Array.init default_n (fun i -> i * 13 mod 17)))
-          | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
-            match !sizes with
-            | n :: rest ->
-              sizes := rest;
-              Interp.Mem.Int n
-            | [] -> Interp.Mem.Int default_n
-          end
-          | Ir.Types.Scalar _ -> Interp.Mem.Flt 1.0)
-    in
-    let _, stats = Interp.Eval.run m entry args in
-    Printf.printf
-      "executed @%s: %d ops, %d loads, %d stores, %d barrier waits\n" entry
-      stats.Interp.Eval.ops stats.Interp.Eval.loads stats.Interp.Eval.stores
-      stats.Interp.Eval.barriers;
-    (* order-sensitive digest of the final buffer contents: the semantic
-       output, identical across correct lowerings of the same program *)
-    let checksum =
-      List.fold_left
-        (fun acc rv ->
-          match rv with
-          | Interp.Mem.Buf b ->
-            Array.fold_left
-              (fun (i, acc) x ->
-                (i + 1, acc +. (x *. (1.0 +. (0.001 *. float_of_int (i mod 1000))))))
-              (0, acc) (Interp.Mem.float_contents b)
-            |> snd
-          | _ -> acc)
-        0.0 args
-    in
-    Printf.printf "output checksum @%s: %.9g\n" entry checksum;
-    Ok ()
+  | Some f -> begin
+    match exec with
+    | `Interp ->
+      run_serial m f entry sizes;
+      Ok false
+    | `Parallel -> begin
+      let args = make_args f sizes in
+      match
+        Runtime.Exec.run_module ~domains ~schedule ~team_reuse
+          ~inject_fault:runtime_fault m entry args
+      with
+      | _, rstats ->
+        Printf.printf
+          "executed @%s: parallel runtime, %d domains, %d launches, %d \
+           barrier phases, %d domain spawns\n"
+          entry domains rstats.Runtime.Exec.launches
+          rstats.Runtime.Exec.barrier_phases
+          rstats.Runtime.Exec.domain_spawns;
+        print_checksum entry args;
+        Ok false
+      | exception e ->
+        (* runtime failure is one more degradation rung: report, then
+           fall back to the serial interpreter on FRESH arguments (the
+           failed run may have partially mutated the buffers) *)
+        let why =
+          match e with
+          | Runtime.Exec.Unsupported s -> "unsupported: " ^ s
+          | Runtime.Exec.Injected -> "injected fault"
+          | Interp.Mem.Runtime_error s -> s
+          | e -> Printexc.to_string e
+        in
+        Printf.eprintf
+          "polygeist-cpu: parallel runtime failed (%s); degrading to the \
+           serial interpreter\n"
+          why;
+        run_serial m f entry sizes;
+        Ok true
+    end
+  end
 
 let time_entry (m : Ir.Op.op) ~(machine : string) ~(threads : int)
     (run_name : string option) (sizes : int list) :
@@ -327,8 +374,9 @@ let do_replay (path : string) : (int, [ `Msg of string ]) result =
             "replay: the recorded failure did NOT reproduce (stale bundle?)\n";
           Ok 3)
 
-let main file cuda_lower mcuda mode emit_ir run_name sizes time_threads
-    machine check check_each inject_faults fault_seed crash_dir replay :
+let main file cuda_lower mcuda mode emit_ir run_name sizes exec domains
+    schedule no_team_reuse time_threads machine check check_each
+    inject_faults fault_seed crash_dir replay :
   (int, [ `Msg of string ]) result =
   match replay with
   | Some bundle -> do_replay bundle
@@ -379,12 +427,21 @@ let main file cuda_lower mcuda mode emit_ir run_name sizes time_threads
             if emit_ir then print_string (Ir.Printer.op_to_string m);
             let ran =
               match run_name with
-              | Some entry -> run_entry m entry sizes
-              | None -> Ok ()
+              | Some entry ->
+                (* faults aimed at the "runtime" stage are not a pass-
+                   manager concern: they fire inside the parallel
+                   execution engine *)
+                let runtime_fault =
+                  List.exists (fun (s, _) -> s = "runtime") faults
+                in
+                run_entry ~exec ~domains ~schedule
+                  ~team_reuse:(not no_team_reuse) ~runtime_fault m entry
+                  sizes
+              | None -> Ok false
             in
             (match ran with
              | Error _ as e -> e
-             | Ok () -> begin
+             | Ok runtime_degraded -> begin
                let timed =
                  match time_threads with
                  | Some threads ->
@@ -395,7 +452,7 @@ let main file cuda_lower mcuda mode emit_ir run_name sizes time_threads
                | Error _ as e -> e
                | Ok () -> begin
                  match status with
-                 | `Full -> Ok 0
+                 | `Full -> if runtime_degraded then Ok 1 else Ok 0
                  | `Degraded _ -> Ok 1
                end
              end)
@@ -435,6 +492,40 @@ let cmd =
   let sizes =
     Arg.(value & opt_all int [] & info [ "size" ]
            ~doc:"integer argument(s) for -run/-time (repeatable)")
+  in
+  let exec =
+    let modes = [ ("interp", `Interp); ("parallel", `Parallel) ] in
+    Arg.(value & opt (enum modes) `Interp & info [ "exec" ]
+           ~doc:(Printf.sprintf
+                   "execution engine for -run, one of %s: the serial \
+                    GPU-semantics interpreter, or the multicore runtime \
+                    executing omp.parallel regions on OCaml domains"
+                   (Arg.doc_alts_enum modes)))
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ]
+           ~doc:"team size for --exec parallel; 1 is the deterministic \
+                 single-domain mode")
+  in
+  let schedule =
+    let policies =
+      [ ("static", Runtime.Schedule.Static)
+      ; ("dynamic", Runtime.Schedule.Dynamic)
+      ; ("guided", Runtime.Schedule.Guided)
+      ]
+    in
+    Arg.(value & opt (enum policies) Runtime.Schedule.Static
+         & info [ "schedule" ]
+             ~doc:(Printf.sprintf "worksharing schedule for --exec \
+                                   parallel, one of %s"
+                     (Arg.doc_alts_enum policies)))
+  in
+  let no_team_reuse =
+    Arg.(value & flag & info [ "no-team-reuse" ]
+           ~doc:"spawn and join a fresh domain team for every \
+                 omp.parallel launch instead of reusing the persistent \
+                 pool (ablation for the paper's thread-reuse \
+                 optimization)")
   in
   let time_threads =
     Arg.(value & opt (some int) None & info [ "time" ]
@@ -495,15 +586,18 @@ let cmd =
     (Cmd.info "polygeist-cpu" ~doc:"CUDA to CPU transpiler (paper reproduction)"
        ~exits:
          (Cmd.Exit.info 0 ~doc:"success" :: Cmd.Exit.info 1
-            ~doc:"success, but the pipeline degraded (a stage failed and \
-                  a degradation-ladder rung engaged)"
+            ~doc:"success, but degraded: a pipeline stage failed and a \
+                  degradation-ladder rung engaged, or the parallel \
+                  runtime failed and execution fell back to the serial \
+                  interpreter"
           :: Cmd.Exit.info 2 ~doc:"failure (pipeline, runtime or check error)"
           :: Cmd.Exit.defaults))
     Term.(
       term_result
         (const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
-         $ sizes $ time_threads $ machine $ check $ check_each $ inject_faults
-         $ fault_seed $ crash_dir $ replay))
+         $ sizes $ exec $ domains $ schedule $ no_team_reuse $ time_threads
+         $ machine $ check $ check_each $ inject_faults $ fault_seed
+         $ crash_dir $ replay))
 
 let () =
   (* distinct exit codes: 0 ok, 1 degraded (via main's return value),

@@ -397,7 +397,14 @@ and exec_parallel st env (op : Op.op) (kind : Op.par_kind) : unit =
   let ivs = op.regions.(0).rargs in
   match kind with
   | Op.Block when Op.contains_barrier_region op.regions.(0) ->
-    (* Cooperative fibers synchronizing at barriers. *)
+    (* Cooperative fibers synchronizing at barriers.  GPU threads are
+       NOT an OpenMP team: any worksharing loop nested inside this
+       region must be executed in full by every thread, so the team
+       flag of an enclosing [omp.parallel] is masked for the duration
+       (and re-masked at every slice, in case a nested omp region
+       toggled it before a barrier suspension). *)
+    let was_team = st.in_team in
+    let was_rank = st.team_rank in
     let thunks =
       List.map
         (fun idx () ->
@@ -406,7 +413,14 @@ and exec_parallel st env (op : Op.op) (kind : Op.par_kind) : unit =
           exec_ops st env' op.regions.(0).body)
         space
     in
-    run_threads (Array.of_list thunks)
+    Fun.protect
+      ~finally:(fun () ->
+        st.in_team <- was_team;
+        st.team_rank <- was_rank)
+      (fun () ->
+        run_threads
+          ~before_slice:(fun _ -> st.in_team <- false)
+          (Array.of_list thunks))
   | Op.Grid | Op.Block | Op.Flat ->
     (* No synchronization inside: iterations run in order. *)
     List.iter
@@ -417,6 +431,10 @@ and exec_parallel st env (op : Op.op) (kind : Op.par_kind) : unit =
       space
 
 and exec_omp_parallel st env (op : Op.op) : unit =
+  (* The team size comes uniformly from [?team_size] (default 4): it
+     sets both how many team threads execute the region AND the
+     worksharing chunk denominator in [exec_wsloop], so the two can
+     never disagree. *)
   let t = st.team_size in
   let was_team = st.in_team in
   let was_rank = st.team_rank in
@@ -428,10 +446,19 @@ and exec_omp_parallel st env (op : Op.op) : unit =
   in
   (* The scheduler re-establishes the executing thread's rank before every
      slice, so worksharing loops after a barrier still read the right
-     rank. *)
-  run_threads ~before_slice:(fun rank -> st.team_rank <- rank) thunks;
-  st.in_team <- was_team;
-  st.team_rank <- was_rank
+     rank.  The restore is exception-safe: a runtime error inside the
+     region must not leave the interpreter believing it is still in a
+     team. *)
+  Fun.protect
+    ~finally:(fun () ->
+      st.in_team <- was_team;
+      st.team_rank <- was_rank)
+    (fun () ->
+      run_threads
+        ~before_slice:(fun rank ->
+          st.in_team <- true;
+          st.team_rank <- rank)
+        thunks)
 
 and exec_wsloop st env (op : Op.op) : unit =
   let space = par_space env op in

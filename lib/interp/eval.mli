@@ -16,10 +16,20 @@ type stats =
 
 type state
 
+(** [team_size] (default [4]) is the OpenMP team size, honored uniformly:
+    it is both the number of team threads executing an [omp.parallel]
+    region and the chunk denominator of [omp.wsloop] worksharing.  It
+    does NOT affect GPU-level [scf.parallel] loops — those always run
+    one logical thread per iteration-space point (the CUDA contract) and
+    are never an OpenMP team, so a worksharing loop nested inside a
+    barrier-synchronized block region is executed in full by every
+    thread.  An [omp.wsloop] outside any [omp.parallel] behaves as a
+    team of one (all iterations, in order). *)
 val create : ?team_size:int -> Ir.Op.op -> state
 
 (** [run ?team_size modul fname args] interprets the named host function;
     returns its result (if any) and the execution statistics.
+    [team_size] defaults to [4]; see {!create} for its exact contract.
     @raise Mem.Runtime_error on memory faults, barrier divergence, etc. *)
 val run :
   ?team_size:int -> Ir.Op.op -> string -> Mem.rv list -> Mem.rv option * stats

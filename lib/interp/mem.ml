@@ -22,16 +22,18 @@ exception Runtime_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
-let buf_counter = ref 0
+(* Atomic so the parallel runtime may allocate from worker domains
+   (per-iteration scratch allocs inside worksharing loops). *)
+let buf_counter = Atomic.make 0
+let next_bufid () = Atomic.fetch_and_add buf_counter 1 + 1
 
 let alloc_buffer elem dims =
-  incr buf_counter;
   let size = Array.fold_left ( * ) 1 dims in
   let data =
     if Types.is_float_dtype elem then Fdata (Array.make size 0.0)
     else Idata (Array.make size 0)
   in
-  { elem; dims; data; bufid = !buf_counter }
+  { elem; dims; data; bufid = next_bufid () }
 
 let size (b : buffer) = Array.fold_left ( * ) 1 b.dims
 
@@ -50,6 +52,32 @@ let linear_index (b : buffer) (idxs : int array) =
     off := (!off * b.dims.(i)) + ix
   done;
   !off
+
+(* Typed linear accessors for the compiled (multicore) runtime: the
+   engine resolves the element type at compile time, so loads and stores
+   go straight to the backing array without boxing an [rv].  [lindex]
+   performs the same bounds checking as [load]/[store]. *)
+let lindex = linear_index
+
+let get_f (b : buffer) (i : int) : float =
+  match b.data with
+  | Fdata a -> a.(i)
+  | Idata a -> float_of_int a.(i)
+
+let get_i (b : buffer) (i : int) : int =
+  match b.data with
+  | Idata a -> a.(i)
+  | Fdata a -> int_of_float a.(i)
+
+let set_f (b : buffer) (i : int) (v : float) : unit =
+  match b.data with
+  | Fdata a -> a.(i) <- v
+  | Idata a -> a.(i) <- int_of_float v
+
+let set_i (b : buffer) (i : int) (v : int) : unit =
+  match b.data with
+  | Idata a -> a.(i) <- v
+  | Fdata a -> a.(i) <- float_of_int v
 
 let load (b : buffer) idxs : rv =
   let i = linear_index b idxs in
@@ -95,14 +123,12 @@ let as_buf = function
 
 (* Convenience constructors for tests and drivers. *)
 let of_float_array ?(dims = [||]) (a : float array) =
-  incr buf_counter;
   let dims = if dims = [||] then [| Array.length a |] else dims in
-  { elem = Types.F32; dims; data = Fdata a; bufid = !buf_counter }
+  { elem = Types.F32; dims; data = Fdata a; bufid = next_bufid () }
 
 let of_int_array ?(dims = [||]) (a : int array) =
-  incr buf_counter;
   let dims = if dims = [||] then [| Array.length a |] else dims in
-  { elem = Types.Index; dims; data = Idata a; bufid = !buf_counter }
+  { elem = Types.Index; dims; data = Idata a; bufid = next_bufid () }
 
 let float_contents (b : buffer) =
   match b.data with
@@ -113,3 +139,37 @@ let int_contents (b : buffer) =
   match b.data with
   | Idata a -> Array.copy a
   | Fdata a -> Array.map int_of_float a
+
+(* --- commutative output checksum --- *)
+
+(* splitmix64 finalizer: a cheap full-avalanche 64-bit mixer. *)
+let mix64 (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Sum of per-element hashes: every element contributes a hash of its
+   (buffer position, index, bit pattern), and the contributions are
+   combined with integer addition — associative and commutative, so the
+   digest is identical no matter which thread touched which element or
+   in which order the buffers are walked.  Masked to 52 bits so the
+   float conversion is exact. *)
+let checksum (bufs : buffer array) : float =
+  let total = ref 0L in
+  Array.iteri
+    (fun bi b ->
+      let salt = mix64 (Int64.of_int (bi + 1)) in
+      let add i bits =
+        let h =
+          mix64
+            (Int64.logxor bits
+               (Int64.add salt (mix64 (Int64.of_int (i + 1)))))
+        in
+        total := Int64.add !total h
+      in
+      match b.data with
+      | Fdata a -> Array.iteri (fun i x -> add i (Int64.bits_of_float x)) a
+      | Idata a -> Array.iteri (fun i x -> add i (Int64.of_int x)) a)
+    bufs;
+  Int64.to_float (Int64.logand !total 0xF_FFFF_FFFF_FFFFL)

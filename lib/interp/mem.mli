@@ -28,6 +28,25 @@ val alloc_buffer : Ir.Types.dtype -> int array -> buffer
 val size : buffer -> int
 val load : buffer -> int array -> rv
 val store : buffer -> int array -> rv -> unit
+
+(** Bounds-checked row-major linear index (same checks as
+    {!load}/{!store}); feeds the typed accessors below, which the
+    compiled multicore runtime uses to avoid boxing an {!rv} per
+    access.  Cross-dtype accesses convert like {!store} does. *)
+val lindex : buffer -> int array -> int
+
+val get_f : buffer -> int -> float
+val get_i : buffer -> int -> int
+val set_f : buffer -> int -> float -> unit
+val set_i : buffer -> int -> int -> unit
+
+(** Commutative digest of the given buffers: the sum of per-element
+    hashes of (buffer position, element index, bit pattern).  Integer
+    summation makes it independent of traversal and execution order, so
+    serial and parallel executions of the same race-free program produce
+    bit-identical checksums; any single-element difference changes it
+    with overwhelming probability. *)
+val checksum : buffer array -> float
 val copy : src:buffer -> dst:buffer -> unit
 val as_int : rv -> int
 val as_int_or_trunc : rv -> int

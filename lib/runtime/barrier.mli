@@ -1,0 +1,30 @@
+(** Sense-reversing barrier for a fixed-size team of OCaml domains.
+
+    Each phase flips a global sense flag; arriving threads wait until the
+    flag flips to the sense of the phase they are in, so the barrier is
+    reusable with no reinitialization between phases.  Waiters spin
+    briefly (cheap when domains have real cores) and then block on a
+    condition variable (mandatory when domains oversubscribe the
+    machine, as in this single-core container).
+
+    A team member that dies with an exception must {!poison} the barrier
+    so the surviving members unblock instead of waiting forever; their
+    pending and subsequent waits raise {!Poisoned}. *)
+
+type t
+
+exception Poisoned
+
+(** [create n] makes a barrier for a team of [n] threads.  [n = 1]
+    barriers are free (waits return immediately). *)
+val create : int -> t
+
+(** Block until all [n] team members have called [wait] for the current
+    phase.  @raise Poisoned if the barrier was poisoned. *)
+val wait : t -> unit
+
+(** Unblock every current and future waiter with {!Poisoned}. *)
+val poison : t -> unit
+
+(** Number of completed phases (all threads arrived), for tests. *)
+val phases : t -> int

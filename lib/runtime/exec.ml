@@ -1,0 +1,903 @@
+(* Compile-to-closures multicore engine for the lowered OpenMP dialect.
+
+   Compilation assigns every SSA value of a function a dense slot in one
+   of three typed register files — ints, floats, buffers — chosen by the
+   value's static type, and turns each op into an OCaml closure over a
+   [frame] holding those files.  Compared to the tree-walking
+   interpreter this removes the per-op hashtable lookups, the [Mem.rv]
+   boxing of every intermediate (floats live unboxed in a [float
+   array]), and the per-iteration environment allocations; loops become
+   plain [while] loops over precompiled bodies.
+
+   Scalar semantics mirror {!Interp.Eval} exactly: all float arithmetic
+   in double precision with f32 rounding only at f32 constants and
+   casts-to-f32, integer division/modulo by zero failing, [scf.for]
+   bounds evaluated once.  [scf.parallel] regions are executed as
+   serial nested loops in the interpreter's iteration order; if they
+   still contain GPU barriers, the function is rejected at compile time
+   ({!Unsupported}) so the driver can degrade to the fiber interpreter.
+
+   Team execution ([omp.parallel]) launches one frame per thread on a
+   {!Pool}: the register files are shallow-copied, making SSA scalars
+   per-thread while buffers stay shared by reference — the per-thread
+   memory view.  [omp.wsloop] linearizes its iteration space and
+   partitions it per {!Schedule}; because wsloops carry no implicit
+   trailing barrier, team members may enter the same dynamic loop
+   different numbers of times concurrently, so the shared grab state is
+   keyed by (loop oid, per-thread encounter count) — the "generation" —
+   and discarded by the last finisher. *)
+
+open Ir
+open Interp
+
+exception Unsupported of string
+exception Injected
+
+type stats =
+  { mutable launches : int
+  ; mutable barrier_phases : int
+  ; mutable domain_spawns : int
+  }
+
+(* Mutated by [run] before execution starts; read from inside compiled
+   closures via the frame. *)
+type config =
+  { mutable domains : int
+  ; mutable schedule : Schedule.policy
+  ; mutable team_reuse : bool
+  ; mutable inject : bool
+  }
+
+(* One dynamic/guided worksharing region instance (one generation of one
+   wsloop).  [finishers] counts team members that exhausted it; the last
+   one removes the entry from the team table. *)
+type wshare =
+  { grab : Schedule.shared
+  ; mutable finishers : int
+  }
+
+type team =
+  { size : int
+  ; barrier : Barrier.t
+  ; wmutex : Mutex.t
+  ; wtbl : (int * int, wshare) Hashtbl.t (* (wsloop oid, generation) *)
+  }
+
+(* Per-thread launch context: which team, which rank, and how many times
+   this thread has entered each wsloop (the generation counter). *)
+type launch_ctx =
+  { team : team
+  ; rank : int
+  ; ws_seen : (int, int) Hashtbl.t
+  }
+
+type glob =
+  { cfg : config
+  ; stats : stats
+  }
+
+type frame =
+  { iregs : int array
+  ; fregs : float array
+  ; bregs : Mem.buffer array
+  ; lc : launch_ctx option
+  ; glob : glob
+  }
+
+type code = frame -> unit
+
+exception Ret of Mem.rv option
+
+type slot =
+  | SI of int
+  | SF of int
+  | SB of int
+
+type cfunc =
+  { mutable ni : int
+  ; mutable nf : int
+  ; mutable nb : int
+  ; mutable params : slot array
+  ; mutable body : code
+  }
+
+type cmod =
+  { modul : Op.op
+  ; cfuncs : (string, cfunc) Hashtbl.t
+  }
+
+type cenv =
+  { cm : cmod
+  ; slots : (int, slot) Hashtbl.t (* Value.id -> slot *)
+  ; mutable ni : int
+  ; mutable nf : int
+  ; mutable nb : int
+  }
+
+(* --- slot assignment and typed accessors --- *)
+
+let slot_of (ce : cenv) (v : Value.t) : slot =
+  match Hashtbl.find_opt ce.slots v.Value.id with
+  | Some s -> s
+  | None ->
+    let s =
+      match v.Value.typ with
+      | Types.Scalar d when Types.is_float_dtype d ->
+        let k = ce.nf in
+        ce.nf <- k + 1;
+        SF k
+      | Types.Scalar _ ->
+        let k = ce.ni in
+        ce.ni <- k + 1;
+        SI k
+      | Types.Memref _ ->
+        let k = ce.nb in
+        ce.nb <- k + 1;
+        SB k
+    in
+    Hashtbl.add ce.slots v.Value.id s;
+    s
+
+let iget ce v : frame -> int =
+  match slot_of ce v with
+  | SI k -> fun fr -> fr.iregs.(k)
+  | SF _ -> fun _ -> Mem.fail "expected integer value, got float"
+  | SB _ -> fun _ -> Mem.fail "expected integer value, got buffer"
+
+let fget ce v : frame -> float =
+  match slot_of ce v with
+  | SF k -> fun fr -> fr.fregs.(k)
+  | SI k -> fun fr -> float_of_int fr.iregs.(k)
+  | SB _ -> fun _ -> Mem.fail "expected float value, got buffer"
+
+(* Truncating integer view, mirroring [Mem.as_int_or_trunc] (casts). *)
+let tget ce v : frame -> int =
+  match slot_of ce v with
+  | SI k -> fun fr -> fr.iregs.(k)
+  | SF k -> fun fr -> int_of_float fr.fregs.(k)
+  | SB _ -> fun _ -> Mem.fail "expected scalar value, got buffer"
+
+let bget ce v : frame -> Mem.buffer =
+  match slot_of ce v with
+  | SB k -> fun fr -> fr.bregs.(k)
+  | SI _ | SF _ -> fun _ -> Mem.fail "expected buffer value"
+
+let iset ce v : frame -> int -> unit =
+  match slot_of ce v with
+  | SI k -> fun fr x -> fr.iregs.(k) <- x
+  | SF _ | SB _ -> fun _ _ -> Mem.fail "type mismatch: integer result"
+
+let fset ce v : frame -> float -> unit =
+  match slot_of ce v with
+  | SF k -> fun fr x -> fr.fregs.(k) <- x
+  | SI _ | SB _ -> fun _ _ -> Mem.fail "type mismatch: float result"
+
+let bset ce v : frame -> Mem.buffer -> unit =
+  match slot_of ce v with
+  | SB k -> fun fr b -> fr.bregs.(k) <- b
+  | SI _ | SF _ -> fun _ _ -> Mem.fail "type mismatch: buffer result"
+
+let rv_get ce v : frame -> Mem.rv =
+  match slot_of ce v with
+  | SI k -> fun fr -> Mem.Int fr.iregs.(k)
+  | SF k -> fun fr -> Mem.Flt fr.fregs.(k)
+  | SB k -> fun fr -> Mem.Buf fr.bregs.(k)
+
+(* Read-side conversions, like the interpreter's [as_*] on lookup. *)
+let bind_slot (fr : frame) (s : slot) (v : Mem.rv) : unit =
+  match s with
+  | SI k -> fr.iregs.(k) <- Mem.as_int v
+  | SF k -> fr.fregs.(k) <- Mem.as_float v
+  | SB k -> fr.bregs.(k) <- Mem.as_buf v
+
+let is_float_value (v : Value.t) =
+  match v.Value.typ with
+  | Types.Scalar d -> Types.is_float_dtype d
+  | Types.Memref _ -> false
+
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+(* --- scalar op semantics (identical formulas to Interp.Eval) --- *)
+
+let fbinop : Op.binop -> float -> float -> float = function
+  | Op.Add -> ( +. )
+  | Op.Sub -> ( -. )
+  | Op.Mul -> ( *. )
+  | Op.Div -> ( /. )
+  | Op.Rem -> Float.rem
+  | Op.Min -> Float.min
+  | Op.Max -> Float.max
+  | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr ->
+    fun _ _ -> Mem.fail "bitwise op on float"
+
+let ibinop : Op.binop -> int -> int -> int = function
+  | Op.Add -> ( + )
+  | Op.Sub -> ( - )
+  | Op.Mul -> ( * )
+  | Op.Div ->
+    fun x y -> if y = 0 then Mem.fail "integer division by zero" else x / y
+  | Op.Rem ->
+    fun x y -> if y = 0 then Mem.fail "integer modulo by zero" else x mod y
+  | Op.Min -> min
+  | Op.Max -> max
+  | Op.And -> ( land )
+  | Op.Or -> ( lor )
+  | Op.Xor -> ( lxor )
+  | Op.Shl -> ( lsl )
+  | Op.Shr -> ( asr )
+
+let fcmp : Op.cmp_pred -> float -> float -> bool = function
+  | Op.Eq -> fun x y -> x = y
+  | Op.Ne -> fun x y -> x <> y
+  | Op.Lt -> fun x y -> x < y
+  | Op.Le -> fun x y -> x <= y
+  | Op.Gt -> fun x y -> x > y
+  | Op.Ge -> fun x y -> x >= y
+
+let icmp : Op.cmp_pred -> int -> int -> bool = function
+  | Op.Eq -> fun x y -> x = y
+  | Op.Ne -> fun x y -> x <> y
+  | Op.Lt -> fun x y -> x < y
+  | Op.Le -> fun x y -> x <= y
+  | Op.Gt -> fun x y -> x > y
+  | Op.Ge -> fun x y -> x >= y
+
+(* Same Abramowitz–Stegun expression as the interpreter, same
+   association, so results are bit-identical. *)
+let erf_as x =
+  let s = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736)
+        *. t
+        +. 0.254829592)
+       *. t
+       *. exp (-.x *. x)
+  in
+  s *. y
+
+let fmath : Op.math_fn -> float -> float = function
+  | Op.Sqrt -> sqrt
+  | Op.Exp -> exp
+  | Op.Log -> log
+  | Op.Log2 -> fun x -> log x /. log 2.0
+  | Op.Fabs -> Float.abs
+  | Op.Floor -> Float.floor
+  | Op.Neg -> fun x -> -.x
+  | Op.Sin -> sin
+  | Op.Cos -> cos
+  | Op.Tanh -> tanh
+  | Op.Erf -> erf_as
+  | Op.Not | Op.Pow -> fun _ -> Mem.fail "math: bad arity"
+
+(* --- fast bounds-checked linear addressing --- *)
+
+let oob (b : Mem.buffer) ix d =
+  Mem.fail "buffer #%d: index %d out of bounds [0,%d) in dim %d" b.Mem.bufid ix
+    b.Mem.dims.(d) d
+
+let lin1 (b : Mem.buffer) (i : int) : int =
+  if Array.length b.Mem.dims = 1 then begin
+    if i < 0 || i >= b.Mem.dims.(0) then oob b i 0;
+    i
+  end
+  else Mem.lindex b [| i |]
+
+let lin2 (b : Mem.buffer) (i : int) (j : int) : int =
+  if Array.length b.Mem.dims = 2 then begin
+    if i < 0 || i >= b.Mem.dims.(0) then oob b i 0;
+    if j < 0 || j >= b.Mem.dims.(1) then oob b j 1;
+    (i * b.Mem.dims.(1)) + j
+  end
+  else Mem.lindex b [| i; j |]
+
+(* --- teams --- *)
+
+let new_team size =
+  { size
+  ; barrier = Barrier.create size
+  ; wmutex = Mutex.create ()
+  ; wtbl = Hashtbl.create 16
+  }
+
+(* A nested [omp.parallel] runs its ranks sequentially on the current
+   thread (the interpreter runs them as cooperative fibers — identical
+   memory effects for race-free regions), so its barrier must be a
+   no-op. *)
+let nested_team size =
+  { size
+  ; barrier = Barrier.create 1
+  ; wmutex = Mutex.create ()
+  ; wtbl = Hashtbl.create 8
+  }
+
+let new_lc team rank = { team; rank; ws_seen = Hashtbl.create 8 }
+
+let dummy_buf = lazy (Mem.alloc_buffer Types.Index [| 0 |])
+
+let new_frame (cf : cfunc) lc glob : frame =
+  { iregs = Array.make cf.ni 0
+  ; fregs = Array.make cf.nf 0.0
+  ; bregs = Array.make cf.nb (Lazy.force dummy_buf)
+  ; lc
+  ; glob
+  }
+
+(* --- compilation --- *)
+
+let rec compile_region (ce : cenv) (ops : Op.op list) : code =
+  let codes = Array.of_list (List.map (compile_op ce) ops) in
+  match Array.length codes with
+  | 0 -> fun _ -> ()
+  | 1 -> codes.(0)
+  | n ->
+    fun fr ->
+      for i = 0 to n - 1 do
+        codes.(i) fr
+      done
+
+and compile_op (ce : cenv) (op : Op.op) : code =
+  match op.Op.kind with
+  | Op.Module | Op.Func _ ->
+    fun _ -> Mem.fail "cannot execute module/func as a statement"
+  | Op.Yield | Op.Dealloc -> fun _ -> ()
+  | Op.Condition -> fun _ -> Mem.fail "scf.condition outside while handling"
+  | Op.Constant c -> begin
+    match c with
+    | Op.Cint (n, _) ->
+      let set = iset ce (Op.result op) in
+      fun fr -> set fr n
+    | Op.Cfloat (f, Types.F32) ->
+      let v = f32 f in
+      let set = fset ce (Op.result op) in
+      fun fr -> set fr v
+    | Op.Cfloat (f, _) ->
+      let set = fset ce (Op.result op) in
+      fun fr -> set fr f
+  end
+  | Op.Binop kind ->
+    if is_float_value op.Op.operands.(0) then begin
+      let a = fget ce op.Op.operands.(0) in
+      let b = fget ce op.Op.operands.(1) in
+      let f = fbinop kind in
+      let set = fset ce (Op.result op) in
+      fun fr -> set fr (f (a fr) (b fr))
+    end
+    else begin
+      let a = iget ce op.Op.operands.(0) in
+      let b = iget ce op.Op.operands.(1) in
+      let f = ibinop kind in
+      let set = iset ce (Op.result op) in
+      fun fr -> set fr (f (a fr) (b fr))
+    end
+  | Op.Cmp pred ->
+    let set = iset ce (Op.result op) in
+    if is_float_value op.Op.operands.(0) then begin
+      let a = fget ce op.Op.operands.(0) in
+      let b = fget ce op.Op.operands.(1) in
+      let p = fcmp pred in
+      fun fr -> set fr (if p (a fr) (b fr) then 1 else 0)
+    end
+    else begin
+      let a = iget ce op.Op.operands.(0) in
+      let b = iget ce op.Op.operands.(1) in
+      let p = icmp pred in
+      fun fr -> set fr (if p (a fr) (b fr) then 1 else 0)
+    end
+  | Op.Select -> begin
+    let c = iget ce op.Op.operands.(0) in
+    match slot_of ce (Op.result op) with
+    | SF k ->
+      let a = fget ce op.Op.operands.(1) in
+      let b = fget ce op.Op.operands.(2) in
+      fun fr -> fr.fregs.(k) <- (if c fr <> 0 then a fr else b fr)
+    | SI k ->
+      let a = iget ce op.Op.operands.(1) in
+      let b = iget ce op.Op.operands.(2) in
+      fun fr -> fr.iregs.(k) <- (if c fr <> 0 then a fr else b fr)
+    | SB k ->
+      let a = bget ce op.Op.operands.(1) in
+      let b = bget ce op.Op.operands.(2) in
+      fun fr -> fr.bregs.(k) <- (if c fr <> 0 then a fr else b fr)
+  end
+  | Op.Cast d -> begin
+    match d with
+    | Types.F32 ->
+      let g = fget ce op.Op.operands.(0) in
+      let set = fset ce (Op.result op) in
+      fun fr -> set fr (f32 (g fr))
+    | Types.F64 ->
+      let g = fget ce op.Op.operands.(0) in
+      let set = fset ce (Op.result op) in
+      fun fr -> set fr (g fr)
+    | Types.I1 ->
+      let g = tget ce op.Op.operands.(0) in
+      let set = iset ce (Op.result op) in
+      fun fr -> set fr (if g fr <> 0 then 1 else 0)
+    | Types.I32 | Types.I64 | Types.Index ->
+      let g = tget ce op.Op.operands.(0) in
+      let set = iset ce (Op.result op) in
+      fun fr -> set fr (g fr)
+  end
+  | Op.Math Op.Not ->
+    let a = iget ce op.Op.operands.(0) in
+    let set = iset ce (Op.result op) in
+    fun fr -> set fr (if a fr = 0 then 1 else 0)
+  | Op.Math Op.Pow ->
+    let a = fget ce op.Op.operands.(0) in
+    let b = fget ce op.Op.operands.(1) in
+    let set = fset ce (Op.result op) in
+    fun fr -> set fr (Float.pow (a fr) (b fr))
+  | Op.Math fn ->
+    let a = fget ce op.Op.operands.(0) in
+    let f = fmath fn in
+    let set = fset ce (Op.result op) in
+    fun fr -> set fr (f (a fr))
+  | Op.Alloc | Op.Alloca -> begin
+    match (Op.result op).Value.typ with
+    | Types.Memref { elem; shape; _ } ->
+      let next_dyn = ref 0 in
+      let dimfs =
+        Array.of_list
+          (List.map
+             (fun d ->
+               match d with
+               | Some n -> fun (_ : frame) -> n
+               | None ->
+                 let k = !next_dyn in
+                 incr next_dyn;
+                 if k < Array.length op.Op.operands then
+                   iget ce op.Op.operands.(k)
+                 else fun _ -> Mem.fail "alloc: missing dynamic size")
+             shape)
+      in
+      let set = bset ce (Op.result op) in
+      fun fr ->
+        set fr (Mem.alloc_buffer elem (Array.map (fun g -> g fr) dimfs))
+    | Types.Scalar _ -> fun _ -> Mem.fail "alloc of non-memref"
+  end
+  | Op.Load -> compile_load ce op
+  | Op.Store -> compile_store ce op
+  | Op.Copy ->
+    let s = bget ce op.Op.operands.(0) in
+    let d = bget ce op.Op.operands.(1) in
+    fun fr -> Mem.copy ~src:(s fr) ~dst:(d fr)
+  | Op.Dim i ->
+    let b = bget ce op.Op.operands.(0) in
+    let set = iset ce (Op.result op) in
+    fun fr -> set fr (b fr).Mem.dims.(i)
+  | Op.For ->
+    let log = iget ce (Op.for_lo op) in
+    let hig = iget ce (Op.for_hi op) in
+    let stg = iget ce (Op.for_step op) in
+    let iv = slot_of ce (Op.for_iv op) in
+    let iv =
+      match iv with
+      | SI k -> k
+      | SF _ | SB _ -> raise (Unsupported "scf.for: non-integer iv")
+    in
+    let body = compile_region ce op.Op.regions.(0).Op.body in
+    fun fr ->
+      let lo = log fr and hi = hig fr and step = stg fr in
+      if step <= 0 then Mem.fail "scf.for: non-positive step %d" step;
+      let i = ref lo in
+      while !i < hi do
+        fr.iregs.(iv) <- !i;
+        body fr;
+        i := !i + step
+      done
+  | Op.While ->
+    let cond_ops, cond_val =
+      match List.rev op.Op.regions.(0).Op.body with
+      | ({ Op.kind = Op.Condition; _ } as c) :: rest ->
+        (compile_region ce (List.rev rest), iget ce c.Op.operands.(0))
+      | _ ->
+        ( (fun (_ : frame) -> ())
+        , fun (_ : frame) ->
+            Mem.fail "while cond region missing scf.condition" )
+    in
+    let body = compile_region ce op.Op.regions.(1).Op.body in
+    fun fr ->
+      let continue_ = ref true in
+      while !continue_ do
+        cond_ops fr;
+        if cond_val fr <> 0 then body fr else continue_ := false
+      done
+  | Op.If ->
+    let c = iget ce op.Op.operands.(0) in
+    let t = compile_region ce op.Op.regions.(0).Op.body in
+    let e =
+      if Array.length op.Op.regions > 1 then
+        compile_region ce op.Op.regions.(1).Op.body
+      else fun _ -> ()
+    in
+    fun fr -> if c fr <> 0 then t fr else e fr
+  | Op.Barrier ->
+    raise
+      (Unsupported "polygeist.barrier requires the fiber interpreter")
+  | Op.Parallel _ ->
+    if Op.contains_barrier_region op.Op.regions.(0) then
+      raise
+        (Unsupported
+           "scf.parallel with barriers requires the fiber interpreter")
+    else compile_serial_parallel ce op
+  | Op.OmpParallel -> compile_omp_parallel ce op
+  | Op.OmpWsloop -> compile_wsloop ce op
+  | Op.OmpBarrier ->
+    fun fr ->
+      (match fr.lc with
+       | None -> () (* orphaned barrier: team of one *)
+       | Some lc -> Barrier.wait lc.team.barrier)
+  | Op.Return ->
+    if Array.length op.Op.operands = 1 then begin
+      let g = rv_get ce op.Op.operands.(0) in
+      fun fr -> raise (Ret (Some (g fr)))
+    end
+    else fun _ -> raise (Ret None)
+  | Op.Call name -> compile_call ce op name
+
+and compile_load ce op : code =
+  let bg = bget ce op.Op.operands.(0) in
+  let n = Array.length op.Op.operands - 1 in
+  let idxg = Array.init n (fun i -> iget ce op.Op.operands.(i + 1)) in
+  match n, slot_of ce (Op.result op) with
+  | 1, SF k ->
+    let i0 = idxg.(0) in
+    fun fr ->
+      let b = bg fr in
+      fr.fregs.(k) <- Mem.get_f b (lin1 b (i0 fr))
+  | 1, SI k ->
+    let i0 = idxg.(0) in
+    fun fr ->
+      let b = bg fr in
+      fr.iregs.(k) <- Mem.get_i b (lin1 b (i0 fr))
+  | 2, SF k ->
+    let i0 = idxg.(0) and i1 = idxg.(1) in
+    fun fr ->
+      let b = bg fr in
+      fr.fregs.(k) <- Mem.get_f b (lin2 b (i0 fr) (i1 fr))
+  | 2, SI k ->
+    let i0 = idxg.(0) and i1 = idxg.(1) in
+    fun fr ->
+      let b = bg fr in
+      fr.iregs.(k) <- Mem.get_i b (lin2 b (i0 fr) (i1 fr))
+  | _, SF k ->
+    fun fr ->
+      let b = bg fr in
+      fr.fregs.(k) <- Mem.get_f b (Mem.lindex b (Array.map (fun g -> g fr) idxg))
+  | _, SI k ->
+    fun fr ->
+      let b = bg fr in
+      fr.iregs.(k) <- Mem.get_i b (Mem.lindex b (Array.map (fun g -> g fr) idxg))
+  | _, SB _ -> fun _ -> Mem.fail "load of buffer value"
+
+and compile_store ce op : code =
+  let vs = slot_of ce op.Op.operands.(0) in
+  let bg = bget ce op.Op.operands.(1) in
+  let n = Array.length op.Op.operands - 2 in
+  let idxg = Array.init n (fun i -> iget ce op.Op.operands.(i + 2)) in
+  match n, vs with
+  | 1, SF k ->
+    let i0 = idxg.(0) in
+    fun fr ->
+      let b = bg fr in
+      Mem.set_f b (lin1 b (i0 fr)) fr.fregs.(k)
+  | 1, SI k ->
+    let i0 = idxg.(0) in
+    fun fr ->
+      let b = bg fr in
+      Mem.set_i b (lin1 b (i0 fr)) fr.iregs.(k)
+  | 2, SF k ->
+    let i0 = idxg.(0) and i1 = idxg.(1) in
+    fun fr ->
+      let b = bg fr in
+      Mem.set_f b (lin2 b (i0 fr) (i1 fr)) fr.fregs.(k)
+  | 2, SI k ->
+    let i0 = idxg.(0) and i1 = idxg.(1) in
+    fun fr ->
+      let b = bg fr in
+      Mem.set_i b (lin2 b (i0 fr) (i1 fr)) fr.iregs.(k)
+  | _, SF k ->
+    fun fr ->
+      let b = bg fr in
+      Mem.set_f b (Mem.lindex b (Array.map (fun g -> g fr) idxg)) fr.fregs.(k)
+  | _, SI k ->
+    fun fr ->
+      let b = bg fr in
+      Mem.set_i b (Mem.lindex b (Array.map (fun g -> g fr) idxg)) fr.iregs.(k)
+  | _, SB _ -> fun _ -> Mem.fail "cannot store a buffer into a buffer"
+
+(* [scf.parallel] without barriers: iterations in the interpreter's
+   enumeration order (dim 0 fastest).  GPU threads are not an OpenMP
+   team, so no worksharing chunking applies — every nested wsloop sees
+   the launch context of the enclosing omp construct, as in the
+   interpreter. *)
+and compile_serial_parallel ce op : code =
+  let nd = Op.par_dims op in
+  let log = Array.init nd (fun i -> iget ce (Op.par_lo op i)) in
+  let hig = Array.init nd (fun i -> iget ce (Op.par_hi op i)) in
+  let stg = Array.init nd (fun i -> iget ce (Op.par_step op i)) in
+  let ivslots =
+    Array.map
+      (fun v ->
+        match slot_of ce v with
+        | SI k -> k
+        | SF _ | SB _ -> raise (Unsupported "parallel: non-integer iv"))
+      op.Op.regions.(0).Op.rargs
+  in
+  let body = compile_region ce op.Op.regions.(0).Op.body in
+  fun fr ->
+    let lo = Array.map (fun g -> g fr) log in
+    let hi = Array.map (fun g -> g fr) hig in
+    let step = Array.map (fun g -> g fr) stg in
+    Array.iteri
+      (fun d s -> if s <= 0 then Mem.fail "parallel: non-positive step %d" d)
+      step;
+    let rec go d =
+      if d < 0 then body fr
+      else begin
+        let v = ref lo.(d) in
+        while !v < hi.(d) do
+          fr.iregs.(ivslots.(d)) <- !v;
+          go (d - 1);
+          v := !v + step.(d)
+        done
+      end
+    in
+    go (nd - 1)
+
+and compile_omp_parallel ce op : code =
+  let body = compile_region ce op.Op.regions.(0).Op.body in
+  fun fr ->
+    let g = fr.glob in
+    let size = g.cfg.domains in
+    match fr.lc with
+    | Some _ ->
+      (* Nested team: ranks run sequentially on this thread, sharing its
+         register files (sound for SSA: each rank's defs precede its
+         uses).  The interpreter runs them as fibers — same memory
+         effects for race-free regions. *)
+      let team = nested_team size in
+      for rank = 0 to size - 1 do
+        body { fr with lc = Some (new_lc team rank) }
+      done
+    | None ->
+      g.stats.launches <- g.stats.launches + 1;
+      let team = new_team size in
+      if size = 1 then begin
+        (* deterministic single-domain mode: no pool round-trip *)
+        if g.cfg.inject then raise Injected;
+        body { fr with lc = Some (new_lc team 0) }
+      end
+      else begin
+        let pool = Pool.get ~domains:size ~reuse:g.cfg.team_reuse in
+        (* per-thread memory views: scalar registers are copied (so SSA
+           values defined before the region are private), buffers are
+           shared by reference *)
+        let frames =
+          Array.init size (fun rank ->
+              { iregs = Array.copy fr.iregs
+              ; fregs = Array.copy fr.fregs
+              ; bregs = Array.copy fr.bregs
+              ; lc = Some (new_lc team rank)
+              ; glob = g
+              })
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            g.stats.barrier_phases <-
+              g.stats.barrier_phases + Barrier.phases team.barrier;
+            Pool.release pool)
+          (fun () ->
+            Pool.run pool (fun rank ->
+                try
+                  if g.cfg.inject && rank = size - 1 then raise Injected;
+                  body frames.(rank)
+                with
+                | Barrier.Poisoned ->
+                  (* another team member died and poisoned the barrier;
+                     its exception carries the cause *)
+                  ()
+                | e ->
+                  Barrier.poison team.barrier;
+                  raise e))
+      end
+
+and compile_wsloop ce op : code =
+  let nd = Op.par_dims op in
+  let log = Array.init nd (fun i -> iget ce (Op.par_lo op i)) in
+  let hig = Array.init nd (fun i -> iget ce (Op.par_hi op i)) in
+  let stg = Array.init nd (fun i -> iget ce (Op.par_step op i)) in
+  let ivslots =
+    Array.map
+      (fun v ->
+        match slot_of ce v with
+        | SI k -> k
+        | SF _ | SB _ -> raise (Unsupported "wsloop: non-integer iv"))
+      op.Op.regions.(0).Op.rargs
+  in
+  let body = compile_region ce op.Op.regions.(0).Op.body in
+  let oid = op.Op.oid in
+  fun fr ->
+    let lo = Array.map (fun g -> g fr) log in
+    let hi = Array.map (fun g -> g fr) hig in
+    let step = Array.map (fun g -> g fr) stg in
+    Array.iteri
+      (fun d s -> if s <= 0 then Mem.fail "parallel: non-positive step %d" d)
+      step;
+    let counts =
+      Array.init nd (fun d ->
+          if hi.(d) <= lo.(d) then 0
+          else (hi.(d) - lo.(d) + step.(d) - 1) / step.(d))
+    in
+    let n = Array.fold_left ( * ) 1 counts in
+    (* run the linearized range [a, b); linear order matches the
+       interpreter's enumeration (dim 0 fastest) *)
+    let run_range =
+      if nd = 1 then begin
+        let l0 = lo.(0) and s0 = step.(0) and iv0 = ivslots.(0) in
+        fun a b ->
+          for p = a to b - 1 do
+            fr.iregs.(iv0) <- l0 + (p * s0);
+            body fr
+          done
+      end
+      else
+        fun a b ->
+          for p = a to b - 1 do
+            let rem = ref p in
+            for d = 0 to nd - 1 do
+              fr.iregs.(ivslots.(d)) <- lo.(d) + (!rem mod counts.(d) * step.(d));
+              rem := !rem / counts.(d)
+            done;
+            body fr
+          done
+    in
+    match fr.lc with
+    | None -> run_range 0 n (* orphaned wsloop: team of one *)
+    | Some lc ->
+      let size = lc.team.size in
+      if size = 1 then run_range 0 n
+      else begin
+        match fr.glob.cfg.schedule with
+        | Schedule.Static ->
+          let l, h = Schedule.static_chunk ~rank:lc.rank ~size ~n in
+          run_range l h
+        | (Schedule.Dynamic | Schedule.Guided) as p ->
+          (* Wsloops have no implicit trailing barrier, so team members
+             may concurrently be in different encounters (generations)
+             of this loop; the shared grab state is keyed by the
+             per-thread encounter count and torn down by the last
+             finisher. *)
+          let gen =
+            match Hashtbl.find_opt lc.ws_seen oid with
+            | Some g -> g
+            | None -> 0
+          in
+          Hashtbl.replace lc.ws_seen oid (gen + 1);
+          let tm = lc.team in
+          Mutex.lock tm.wmutex;
+          let ws =
+            match Hashtbl.find_opt tm.wtbl (oid, gen) with
+            | Some ws -> ws
+            | None ->
+              let ws = { grab = Schedule.make_shared (); finishers = 0 } in
+              Hashtbl.add tm.wtbl (oid, gen) ws;
+              ws
+          in
+          Mutex.unlock tm.wmutex;
+          let rec grab_loop () =
+            match Schedule.next ws.grab p ~size ~n with
+            | Some (l, h) ->
+              run_range l h;
+              grab_loop ()
+            | None -> ()
+          in
+          grab_loop ();
+          Mutex.lock tm.wmutex;
+          ws.finishers <- ws.finishers + 1;
+          if ws.finishers = size then Hashtbl.remove tm.wtbl (oid, gen);
+          Mutex.unlock tm.wmutex
+      end
+
+and compile_call ce op name : code =
+  match get_cfunc ce.cm name with
+  | None -> fun _ -> Mem.fail "call to unknown function @%s" name
+  | Some cf ->
+    let argg = Array.map (rv_get ce) op.Op.operands in
+    let has_res = Array.length op.Op.results = 1 in
+    let res_slot = if has_res then Some (slot_of ce (Op.result op)) else None in
+    fun fr ->
+      if Array.length cf.params <> Array.length argg then
+        Mem.fail "@%s: arity mismatch" name;
+      let cfr = new_frame cf fr.lc fr.glob in
+      Array.iteri (fun i g -> bind_slot cfr cf.params.(i) (g fr)) argg;
+      let r = match cf.body cfr with () -> None | exception Ret v -> v in
+      match res_slot, r with
+      | Some s, Some v -> bind_slot fr s v
+      | Some _, None -> Mem.fail "function @%s returned no value" name
+      | None, _ -> ()
+
+and get_cfunc (cm : cmod) (name : string) : cfunc option =
+  match Hashtbl.find_opt cm.cfuncs name with
+  | Some cf -> Some cf
+  | None -> begin
+    match Op.find_func cm.modul name with
+    | None -> None
+    | Some f ->
+      (* insert a placeholder first so recursive calls resolve *)
+      let cf =
+        { ni = 0
+        ; nf = 0
+        ; nb = 0
+        ; params = [||]
+        ; body = (fun _ -> Mem.fail "@%s: incomplete compilation" name)
+        }
+      in
+      Hashtbl.add cm.cfuncs name cf;
+      let ce = { cm; slots = Hashtbl.create 64; ni = 0; nf = 0; nb = 0 } in
+      cf.params <- Array.map (slot_of ce) f.Op.regions.(0).Op.rargs;
+      let body = compile_region ce f.Op.regions.(0).Op.body in
+      cf.ni <- ce.ni;
+      cf.nf <- ce.nf;
+      cf.nb <- ce.nb;
+      cf.body <- body;
+      Some cf
+  end
+
+(* --- public API --- *)
+
+type compiled =
+  { entry : cfunc
+  ; glob : glob
+  }
+
+let compile (modul : Op.op) (name : string) : compiled =
+  let cm = { modul; cfuncs = Hashtbl.create 8 } in
+  match get_cfunc cm name with
+  | None -> Mem.fail "no function @%s in module" name
+  | Some entry ->
+    { entry
+    ; glob =
+        { cfg =
+            { domains = 4
+            ; schedule = Schedule.Static
+            ; team_reuse = true
+            ; inject = false
+            }
+        ; stats = { launches = 0; barrier_phases = 0; domain_spawns = 0 }
+        }
+    }
+
+let run ?(domains = 4) ?(schedule = Schedule.Static) ?(team_reuse = true)
+    ?(inject_fault = false) (c : compiled) (args : Mem.rv list) :
+    Mem.rv option * stats =
+  if domains < 1 then invalid_arg "Exec.run: domains must be >= 1";
+  let g = c.glob in
+  g.cfg.domains <- domains;
+  g.cfg.schedule <- schedule;
+  g.cfg.team_reuse <- team_reuse;
+  g.cfg.inject <- inject_fault;
+  g.stats.launches <- 0;
+  g.stats.barrier_phases <- 0;
+  let spawns0 = Pool.total_spawns () in
+  let cf = c.entry in
+  let args = Array.of_list args in
+  if Array.length cf.params <> Array.length args then
+    Mem.fail "entry: arity mismatch (%d args for %d params)"
+      (Array.length args) (Array.length cf.params);
+  let fr = new_frame cf None g in
+  Array.iteri (fun i s -> bind_slot fr s args.(i)) cf.params;
+  let result = match cf.body fr with () -> None | exception Ret v -> v in
+  g.stats.domain_spawns <- Pool.total_spawns () - spawns0;
+  ( result
+  , { launches = g.stats.launches
+    ; barrier_phases = g.stats.barrier_phases
+    ; domain_spawns = g.stats.domain_spawns
+    } )
+
+let run_module ?domains ?schedule ?team_reuse ?inject_fault modul name args =
+  run ?domains ?schedule ?team_reuse ?inject_fault (compile modul name) args

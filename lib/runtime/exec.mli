@@ -1,0 +1,87 @@
+(** Multicore execution engine for the lowered OpenMP dialect.
+
+    Where {!Interp.Eval} is a tree-walking interpreter (hashtable SSA
+    environments, boxed runtime values, cooperative fibers), this engine
+    {e compiles} a function to OCaml closures over three typed register
+    files — an [int array], a [float array] and a [buffer array] indexed
+    by dense per-function slots — and runs [omp.parallel] regions on
+    OCaml 5 domains from a persistent {!Pool}.
+
+    At a team launch every thread gets a {e per-thread memory view}: a
+    shallow copy of the register files, so SSA scalars defined before
+    the region are private (and [alloca]s executed inside the region
+    create private buffers), while buffers allocated outside are shared
+    by reference — exactly the interpreter's sharing structure.
+
+    [omp.wsloop] partitions its linearized iteration space by
+    {!Schedule.policy}; [Static] reproduces the serial interpreter's
+    contiguous chunks bit-for-bit.  [omp.barrier] is a sense-reversing
+    {!Barrier}; a team member that dies poisons it so the team unwinds
+    instead of deadlocking.
+
+    Scalar semantics mirror the interpreter exactly: all float
+    arithmetic in double precision, f32 rounding only at [f32]
+    constants and [cast] to f32, integer division by zero fails.
+
+    GPU-dialect ops that need fiber scheduling ([polygeist.barrier],
+    [scf.parallel] containing barriers) are rejected at compile time
+    with {!Unsupported} — the driver treats that, like any runtime
+    failure, as one more degradation rung and falls back to the serial
+    interpreter. *)
+
+open Ir
+open Interp
+
+(** The module/function cannot be compiled for multicore execution
+    (e.g. it still contains GPU barrier semantics). *)
+exception Unsupported of string
+
+(** Raised inside a team by [--inject-fault runtime:...]: exercises the
+    poison/unwind path and the driver's degradation to serial. *)
+exception Injected
+
+type stats =
+  { mutable launches : int (** [omp.parallel] team launches *)
+  ; mutable barrier_phases : int (** completed barrier phases, summed *)
+  ; mutable domain_spawns : int (** [Domain.spawn]s this run caused *)
+  }
+
+type compiled
+
+(** Compile [name] (and everything it calls) in [modul].
+    @raise Unsupported if the function uses GPU-only constructs. *)
+val compile : Op.op -> string -> compiled
+
+(** Execute a compiled function.
+
+    [domains] (default 4) is the team size of every top-level
+    [omp.parallel]; [1] is the deterministic single-domain mode (no
+    worker domains, everything on the caller, static partition).
+    [schedule] (default [Static]) picks the worksharing policy.
+    [team_reuse] (default true) uses the process-wide cached pool;
+    [false] spawns and joins a fresh pool per launch (the
+    [--no-team-reuse] ablation).  [inject_fault] raises {!Injected}
+    from inside a team thread mid-launch.
+
+    Not thread-safe: one [run] at a time per [compiled].
+
+    @raise Mem.Runtime_error on the same conditions as the interpreter. *)
+val run :
+  ?domains:int ->
+  ?schedule:Schedule.policy ->
+  ?team_reuse:bool ->
+  ?inject_fault:bool ->
+  compiled ->
+  Mem.rv list ->
+  Mem.rv option * stats
+
+(** [compile] + [run] in one step. *)
+val run_module :
+  ?domains:int ->
+  ?schedule:Schedule.policy ->
+  ?team_reuse:bool ->
+  ?inject_fault:bool ->
+  Op.op ->
+  string ->
+  Mem.rv list ->
+  Mem.rv option * stats

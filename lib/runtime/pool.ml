@@ -1,0 +1,140 @@
+(* Persistent domain pool (see the .mli).
+
+   Each worker owns a mutex/condvar pair used in both directions: the
+   caller posts a job and signals; the worker runs it, marks itself done
+   and signals back.  One pair per worker (not a shared queue) keeps
+   wakeups targeted: posting N jobs wakes exactly the N workers. *)
+
+type worker =
+  { rank : int
+  ; m : Mutex.t
+  ; cv : Condition.t
+  ; mutable job : (int -> unit) option
+  ; mutable done_ : bool
+  ; mutable exn_ : exn option
+  ; mutable stop : bool
+  }
+
+type t =
+  { size : int
+  ; workers : worker array (* size - 1 entries, ranks 1.. *)
+  ; mutable domains : unit Domain.t array
+  ; cached : bool
+  }
+
+let spawns = Atomic.make 0
+let total_spawns () = Atomic.get spawns
+let size t = t.size
+
+let worker_loop (w : worker) : unit =
+  let running = ref true in
+  while !running do
+    Mutex.lock w.m;
+    while w.job = None && not w.stop do
+      Condition.wait w.cv w.m
+    done;
+    if w.stop then begin
+      Mutex.unlock w.m;
+      running := false
+    end
+    else begin
+      let job = Option.get w.job in
+      Mutex.unlock w.m;
+      let result = try Ok (job w.rank) with e -> Error e in
+      Mutex.lock w.m;
+      (match result with
+       | Ok () -> ()
+       | Error e -> w.exn_ <- Some e);
+      w.job <- None;
+      w.done_ <- true;
+      Condition.broadcast w.cv;
+      Mutex.unlock w.m
+    end
+  done
+
+let create ~cached size : t =
+  if size < 1 then invalid_arg "Pool.get: domains must be >= 1";
+  let workers =
+    Array.init (size - 1) (fun i ->
+        { rank = i + 1
+        ; m = Mutex.create ()
+        ; cv = Condition.create ()
+        ; job = None
+        ; done_ = false
+        ; exn_ = None
+        ; stop = false
+        })
+  in
+  let domains =
+    Array.map
+      (fun w ->
+        Atomic.incr spawns;
+        Domain.spawn (fun () -> worker_loop w))
+      workers
+  in
+  { size; workers; domains; cached }
+
+let release_pool (t : t) : unit =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.m;
+      w.stop <- true;
+      Condition.broadcast w.cv;
+      Mutex.unlock w.m)
+    t.workers;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let cached_pool : t option ref = ref None
+
+let shutdown_cached () =
+  match !cached_pool with
+  | None -> ()
+  | Some p ->
+    cached_pool := None;
+    release_pool p
+
+let get ~domains ~reuse : t =
+  if reuse then begin
+    match !cached_pool with
+    | Some p when p.size = domains -> p
+    | existing ->
+      (match existing with Some p -> release_pool p | None -> ());
+      let p = create ~cached:true domains in
+      cached_pool := Some p;
+      p
+  end
+  else create ~cached:false domains
+
+let release (t : t) : unit = if not t.cached then release_pool t
+
+let run (t : t) (job : int -> unit) : unit =
+  if t.size = 1 then job 0
+  else begin
+    Array.iter
+      (fun w ->
+        Mutex.lock w.m;
+        w.done_ <- false;
+        w.exn_ <- None;
+        w.job <- Some job;
+        Condition.broadcast w.cv;
+        Mutex.unlock w.m)
+      t.workers;
+    (* the caller is rank 0 of the team *)
+    let mine = try Ok (job 0) with e -> Error e in
+    let first_exn = ref (match mine with Ok () -> None | Error e -> Some e) in
+    Array.iter
+      (fun w ->
+        Mutex.lock w.m;
+        while not w.done_ do
+          Condition.wait w.cv w.m
+        done;
+        (match w.exn_ with
+         | Some e when Option.is_none !first_exn -> first_exn := Some e
+         | _ -> ());
+        Mutex.unlock w.m)
+      t.workers;
+    match !first_exn with
+    | Some e -> raise e
+    | None -> ()
+  end

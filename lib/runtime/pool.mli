@@ -1,0 +1,43 @@
+(** Persistent domain pool: the paper's "avoid re-spawning threads"
+    runtime optimization (Sec. IV-D).
+
+    A pool of [n] threads is the calling domain (rank 0) plus [n-1]
+    worker domains parked on a condition variable.  {!run} hands every
+    member the same job and returns when all of them finish, so a kernel
+    launch costs two condvar round-trips instead of [n-1]
+    [Domain.spawn]s.
+
+    {!get} returns the process-wide cached pool when [reuse] is true
+    (creating or resizing it as needed) — teams persist across kernel
+    launches.  With [reuse:false] a fresh pool is created and must be
+    {!release}d after the launch; this deliberately pays the spawn cost
+    every time and exists as the [--no-team-reuse] ablation.
+
+    A pool of size 1 has no workers: {!run} calls the job directly on
+    the caller, which is the deterministic single-domain mode. *)
+
+type t
+
+val size : t -> int
+
+(** Cumulative number of [Domain.spawn]s performed by this module, for
+    stats and for testing team reuse. *)
+val total_spawns : unit -> int
+
+(** [get ~domains ~reuse] returns a pool of [domains] threads.  With
+    [reuse:true] the process-wide pool is returned, created on first use
+    and recreated when the size changes.  With [reuse:false] a fresh,
+    caller-owned pool is returned. *)
+val get : domains:int -> reuse:bool -> t
+
+(** [run t job] executes [job rank] on every member (rank 0 on the
+    caller) and waits for all of them.  If members raise, one of the
+    exceptions is re-raised here after every member has stopped. *)
+val run : t -> (int -> unit) -> unit
+
+(** Stop and join the pool's workers.  Required for [reuse:false] pools;
+    a no-op on the cached pool (use {!shutdown_cached}). *)
+val release : t -> unit
+
+(** Stop and join the process-wide cached pool, if any. *)
+val shutdown_cached : unit -> unit

@@ -1,0 +1,43 @@
+type policy =
+  | Static
+  | Dynamic
+  | Guided
+
+let to_string = function
+  | Static -> "static"
+  | Dynamic -> "dynamic"
+  | Guided -> "guided"
+
+let of_string = function
+  | "static" -> Some Static
+  | "dynamic" -> Some Dynamic
+  | "guided" -> Some Guided
+  | _ -> None
+
+(* Must match the serial interpreter's partition exactly: the
+   differential tests compare bitwise checksums, and for the (racy but
+   tolerated) benchmarks whose result depends on the partition, static
+   at [size] must reproduce interp at [team_size = size]. *)
+let static_chunk ~rank ~size ~n =
+  let chunk = (n + size - 1) / size in
+  let lo = min n (rank * chunk) in
+  let hi = min n (lo + chunk) in
+  (lo, hi)
+
+type shared = int Atomic.t
+
+let make_shared () = Atomic.make 0
+
+let next (s : shared) (p : policy) ~size ~n : (int * int) option =
+  let grab chunk =
+    let lo = Atomic.fetch_and_add s chunk in
+    if lo >= n then None else Some (lo, min n (lo + chunk))
+  in
+  match p with
+  | Static -> invalid_arg "Schedule.next: static is not a grabbing policy"
+  | Dynamic ->
+    (* fixed chunks, ~16 grabs per thread over the whole space *)
+    grab (max 1 (n / (16 * size)))
+  | Guided ->
+    let remaining = max 0 (n - Atomic.get s) in
+    grab (max 1 (remaining / (2 * size)))

@@ -1,0 +1,33 @@
+(** Worksharing schedules for [omp.wsloop]: how a team partitions an
+    iteration space of [n] (linearized) iterations.
+
+    - [Static]: contiguous chunks of [ceil(n/size)], computed from the
+      rank alone — no shared state, deterministic assignment, and the
+      exact partition the serial interpreter uses.
+    - [Dynamic]: threads repeatedly grab fixed-size chunks from a shared
+      atomic counter — work stealing for skewed iteration loads.
+    - [Guided]: like dynamic, but the chunk size starts at
+      [remaining / (2*size)] and decays, trading fewer atomic
+      operations against tail balance. *)
+
+type policy =
+  | Static
+  | Dynamic
+  | Guided
+
+val to_string : policy -> string
+val of_string : string -> policy option
+
+(** [static_chunk ~rank ~size ~n] is the contiguous [lo, hi) range of
+    rank [rank] in a team of [size] over [n] iterations. *)
+val static_chunk : rank:int -> size:int -> n:int -> int * int
+
+(** Shared grab state for one dynamic/guided worksharing region. *)
+type shared
+
+val make_shared : unit -> shared
+
+(** [next shared policy ~size ~n] grabs the next [lo, hi) chunk, or
+    [None] when the space is exhausted.  [Static] is not a grabbing
+    policy and must not be passed here. *)
+val next : shared -> policy -> size:int -> n:int -> (int * int) option

@@ -126,6 +126,34 @@ let cli_checks (driver : string) =
   if full_code <> 0 then fail "CLI: clean run exited %d, want 0\n" full_code;
   if checksum_line full_out <> Some base_ck then
     fail "CLI: clean run checksum differs from no-opt\n";
+  (* the parallel runtime computes the same answer as the serial
+     interpreter, at 1 and 4 domains and under every schedule policy *)
+  List.iter
+    (fun extra ->
+      let code, out =
+        run (Printf.sprintf "--cuda-lower --run run --size 128 %s" extra)
+      in
+      if code <> 0 then
+        fail "CLI: parallel run (%s) exited %d, want 0\n" extra code;
+      if checksum_line out <> Some base_ck then
+        fail "CLI: parallel run (%s) checksum differs from serial\n" extra)
+    [ "--exec parallel --domains 1"
+    ; "--exec parallel --domains 4"
+    ; "--exec parallel --domains 4 --schedule dynamic"
+    ; "--exec parallel --domains 4 --schedule guided"
+    ; "--exec parallel --domains 4 --no-team-reuse"
+    ];
+  (* a runtime fault degrades the parallel path to the serial
+     interpreter: exit 1, same answer *)
+  let code, out =
+    run
+      "--cuda-lower --run run --size 128 --exec parallel --domains 4 \
+       --inject-fault runtime:raise"
+  in
+  if code <> 1 then
+    fail "CLI: runtime fault exited %d, want 1 (degraded to serial)\n" code;
+  if checksum_line out <> Some base_ck then
+    fail "CLI: runtime-fault fallback changed the output checksum\n";
   (* every stage, faulted: exit 1 (degraded, never a crash), same answer *)
   List.iter
     (fun stage ->
@@ -167,8 +195,8 @@ let cli_checks (driver : string) =
   in
   let code = sh cmd in
   if code <> 2 then fail "CLI: parse error exited %d, want 2\n" code;
-  Printf.printf "CLI checks: exit codes, checksum parity and replay over %d \
-                 stages\n"
+  Printf.printf "CLI checks: exit codes, checksum parity (serial and \
+                 parallel) and replay over %d stages\n"
     (List.length (Core.Cpuify.stage_names ()));
   Sys.remove tmp;
   Sys.remove bad;

@@ -1,0 +1,553 @@
+(* Differential and unit tests for the multicore runtime (lib/runtime).
+
+   The heart is the differential suite: for every Rodinia benchmark, the
+   parallel engine at d domains must produce the exact commutative
+   checksum of the serial GPU-semantics interpreter at team_size = d —
+   bitwise, no tolerance, since a correct race-free execution is
+   schedule-independent.  The domain counts come from RUNTIME_DOMAINS
+   (comma-separated, default "1,2,4"); the @runtime dune alias runs this
+   executable once with RUNTIME_DOMAINS=1 and once with =4.
+
+   Unit tests cover the sense-reversing barrier under contention and
+   poisoning, domain-pool reuse and exception propagation, schedule
+   partition/exactly-once properties, worksharing via builder-built IR
+   under many team sizes and all three schedules (including a skewed
+   load for dynamic work stealing), the interpreter's team-size
+   plumbing (wsloops inside GPU block regions must NOT be chunked), and
+   fault injection through the parallel path. *)
+
+open Ir
+
+let domains_under_test : int list =
+  match Sys.getenv_opt "RUNTIME_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+
+(* --- Rodinia differential --- *)
+
+let build_bench (b : Rodinia.Bench_def.t) : Op.op =
+  let m = Cudafe.Codegen.compile b.cuda_src in
+  Core.Cpuify.run m;
+  ignore (Core.Omp_lower.run m);
+  Core.Canonicalize.run m;
+  m
+
+let serial_checksum (m : Op.op) (b : Rodinia.Bench_def.t) ~team_size : float =
+  let w = b.mk_workload b.test_size in
+  ignore
+    (Interp.Eval.run ~team_size m b.entry
+       (Rodinia.Bench_def.args_of_workload w));
+  Interp.Mem.checksum w.Rodinia.Bench_def.buffers
+
+let parallel_checksum (m : Op.op) (b : Rodinia.Bench_def.t) ~domains
+    ~schedule : float =
+  let w = b.mk_workload b.test_size in
+  ignore
+    (Runtime.Exec.run_module ~domains ~schedule m b.entry
+       (Rodinia.Bench_def.args_of_workload w));
+  Interp.Mem.checksum w.Rodinia.Bench_def.buffers
+
+let test_rodinia_differential (b : Rodinia.Bench_def.t) () =
+  let m = build_bench b in
+  List.iter
+    (fun d ->
+      let expect = serial_checksum m b ~team_size:d in
+      let got =
+        parallel_checksum m b ~domains:d ~schedule:Runtime.Schedule.Static
+      in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s @ %d domains (static)" b.name d)
+        expect got)
+    domains_under_test
+
+(* --- barrier --- *)
+
+let test_barrier_contention () =
+  let size = 8 and phases = 200 in
+  let b = Runtime.Barrier.create size in
+  let counter = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let work () =
+    for p = 1 to phases do
+      Atomic.incr counter;
+      Runtime.Barrier.wait b;
+      (* every thread's increment for phase [p] must be visible; the
+         second barrier keeps anyone from racing into phase [p+1]
+         before all checks are done *)
+      if Atomic.get counter <> p * size then Atomic.incr errors;
+      Runtime.Barrier.wait b
+    done
+  in
+  let ds = Array.init (size - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "no torn phases" 0 (Atomic.get errors);
+  Alcotest.(check int) "phase count" (2 * phases) (Runtime.Barrier.phases b)
+
+let test_barrier_poison () =
+  let b = Runtime.Barrier.create 3 in
+  let poisoned = Atomic.make 0 in
+  let ds =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            match Runtime.Barrier.wait b with
+            | () -> ()
+            | exception Runtime.Barrier.Poisoned -> Atomic.incr poisoned))
+  in
+  (* let the waiters block (they fall through the spin phase onto the
+     condvar on this single-core machine), then poison *)
+  Unix.sleepf 0.05;
+  Runtime.Barrier.poison b;
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "both waiters unblocked with Poisoned" 2
+    (Atomic.get poisoned)
+
+(* --- pool --- *)
+
+let test_pool_reuse () =
+  Runtime.Pool.shutdown_cached ();
+  let s0 = Runtime.Pool.total_spawns () in
+  let p = Runtime.Pool.get ~domains:4 ~reuse:true in
+  let hits = Atomic.make 0 in
+  Runtime.Pool.run p (fun _ -> Atomic.incr hits);
+  Alcotest.(check int) "all ranks ran" 4 (Atomic.get hits);
+  Alcotest.(check int) "first acquisition spawns n-1 domains" 3
+    (Runtime.Pool.total_spawns () - s0);
+  let p2 = Runtime.Pool.get ~domains:4 ~reuse:true in
+  Runtime.Pool.run p2 (fun _ -> Atomic.incr hits);
+  Alcotest.(check int) "reuse spawns nothing" 3
+    (Runtime.Pool.total_spawns () - s0);
+  let p3 = Runtime.Pool.get ~domains:4 ~reuse:false in
+  Runtime.Pool.run p3 (fun _ -> Atomic.incr hits);
+  Runtime.Pool.release p3;
+  Alcotest.(check int) "no-reuse pays the spawn cost again" 6
+    (Runtime.Pool.total_spawns () - s0);
+  Runtime.Pool.shutdown_cached ()
+
+exception Boom
+
+let test_pool_exception () =
+  Runtime.Pool.shutdown_cached ();
+  let p = Runtime.Pool.get ~domains:4 ~reuse:true in
+  let raised =
+    match Runtime.Pool.run p (fun rank -> if rank = 2 then raise Boom) with
+    | () -> false
+    | exception Boom -> true
+  in
+  Alcotest.(check bool) "worker exception re-raised at the join" true raised;
+  (* the pool must survive a failed job *)
+  let hits = Atomic.make 0 in
+  Runtime.Pool.run p (fun _ -> Atomic.incr hits);
+  Alcotest.(check int) "pool healthy after a failed job" 4 (Atomic.get hits);
+  Runtime.Pool.shutdown_cached ()
+
+(* --- schedule --- *)
+
+let covers_exactly_once ~n (ranges : (int * int) list) : bool =
+  let seen = Array.make (max n 1) 0 in
+  List.iter
+    (fun (lo, hi) ->
+      for i = lo to hi - 1 do
+        if i >= 0 && i < n then seen.(i) <- seen.(i) + 1
+      done)
+    ranges;
+  n = 0 || Array.for_all (fun c -> c = 1) seen
+
+let test_schedule_partition () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun size ->
+          (* static: per-rank chunks partition the space *)
+          let static =
+            List.init size (fun rank ->
+                Runtime.Schedule.static_chunk ~rank ~size ~n)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "static n=%d size=%d" n size)
+            true
+            (covers_exactly_once ~n static);
+          (* dynamic/guided: interleaved grabbing exhausts the space with
+             no overlap *)
+          List.iter
+            (fun p ->
+              let s = Runtime.Schedule.make_shared () in
+              let out = ref [] in
+              let exhausted = ref 0 in
+              while !exhausted < size do
+                (* round-robin the "threads" to interleave grabs *)
+                match Runtime.Schedule.next s p ~size ~n with
+                | Some r ->
+                  out := r :: !out;
+                  exhausted := 0
+                | None -> incr exhausted
+              done;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s n=%d size=%d"
+                   (Runtime.Schedule.to_string p)
+                   n size)
+                true
+                (covers_exactly_once ~n !out))
+            [ Runtime.Schedule.Dynamic; Runtime.Schedule.Guided ])
+        [ 1; 3; 4; 8 ])
+    [ 0; 1; 7; 64; 1000 ]
+
+(* --- builder-built worksharing IR --- *)
+
+(* func @k(buf : memref<n x f64>) { omp.parallel { omp.wsloop i in
+   [0,n) { buf[i] <- buf[i] + 1.0 } } } — every element must end up
+   exactly 1.0 no matter the team size or schedule. *)
+let mk_wsloop_module n : Op.op =
+  Builder.module_
+    [ Builder.func "k"
+        [ ("buf", Types.memref Types.F64 [ Some n ]) ]
+        (fun params ->
+          let buf = params.(0) in
+          let s = Builder.Seq.create () in
+          let c0 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 0) in
+          let c1 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 1) in
+          let cn = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index n) in
+          let one =
+            Builder.Seq.emitv s (Builder.const_float ~dtype:Types.F64 1.0)
+          in
+          ignore
+            (Builder.Seq.emit s
+               (Builder.omp_parallel
+                  [ Builder.omp_wsloop ~lbs:[ c0 ] ~ubs:[ cn ] ~steps:[ c1 ]
+                      (fun ivs ->
+                        let s2 = Builder.Seq.create () in
+                        let v =
+                          Builder.Seq.emitv s2 (Builder.load buf [ ivs.(0) ])
+                        in
+                        let v' =
+                          Builder.Seq.emitv s2 (Builder.binop Op.Add v one)
+                        in
+                        ignore
+                          (Builder.Seq.emit s2
+                             (Builder.store v' buf [ ivs.(0) ]));
+                        Builder.Seq.to_list s2)
+                  ]));
+          Builder.Seq.to_list s)
+    ]
+
+let run_k ?schedule ~domains (m : Op.op) (n : int) : float array =
+  let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+  ignore
+    (Runtime.Exec.run_module ?schedule ~domains m "k" [ Interp.Mem.Buf buf ]);
+  Interp.Mem.float_contents buf
+
+let test_wsloop_exactly_once () =
+  List.iter
+    (fun n ->
+      let m = mk_wsloop_module n in
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun schedule ->
+              let got = run_k ~schedule ~domains m n in
+              Alcotest.(check bool)
+                (Printf.sprintf "n=%d domains=%d %s" n domains
+                   (Runtime.Schedule.to_string schedule))
+                true
+                (Array.for_all (fun x -> x = 1.0) got))
+            [ Runtime.Schedule.Static
+            ; Runtime.Schedule.Dynamic
+            ; Runtime.Schedule.Guided
+            ])
+        [ 1; 2; 3; 4; 5; 6; 7 ])
+    [ 5; 64; 101 ]
+
+(* Skewed load: iteration i does i+1 increments of buf[i], so late
+   iterations carry almost all the work — the shape where dynamic/guided
+   stealing matters.  Every schedule must still produce buf[i] = i+1,
+   matching the serial interpreter bit-for-bit. *)
+let mk_skewed_module n : Op.op =
+  Builder.module_
+    [ Builder.func "k"
+        [ ("buf", Types.memref Types.F64 [ Some n ]) ]
+        (fun params ->
+          let buf = params.(0) in
+          let s = Builder.Seq.create () in
+          let c0 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 0) in
+          let c1 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 1) in
+          let cn = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index n) in
+          let one =
+            Builder.Seq.emitv s (Builder.const_float ~dtype:Types.F64 1.0)
+          in
+          ignore
+            (Builder.Seq.emit s
+               (Builder.omp_parallel
+                  [ Builder.omp_wsloop ~lbs:[ c0 ] ~ubs:[ cn ] ~steps:[ c1 ]
+                      (fun ivs ->
+                        let s2 = Builder.Seq.create () in
+                        let hi =
+                          Builder.Seq.emitv s2
+                            (Builder.binop Op.Add ivs.(0) c1)
+                        in
+                        ignore
+                          (Builder.Seq.emit s2
+                             (Builder.for_ ~lo:c0 ~hi ~step:c1 (fun _j ->
+                                  let s3 = Builder.Seq.create () in
+                                  let v =
+                                    Builder.Seq.emitv s3
+                                      (Builder.load buf [ ivs.(0) ])
+                                  in
+                                  let v' =
+                                    Builder.Seq.emitv s3
+                                      (Builder.binop Op.Add v one)
+                                  in
+                                  ignore
+                                    (Builder.Seq.emit s3
+                                       (Builder.store v' buf [ ivs.(0) ]));
+                                  Builder.Seq.to_list s3)));
+                        Builder.Seq.to_list s2)
+                  ]));
+          Builder.Seq.to_list s)
+    ]
+
+let test_dynamic_skewed_load () =
+  let n = 97 in
+  let m = mk_skewed_module n in
+  (* serial interpreter ground truth *)
+  let expect =
+    let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+    ignore (Interp.Eval.run ~team_size:4 m "k" [ Interp.Mem.Buf buf ]);
+    Interp.Mem.float_contents buf
+  in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "ground truth buf[%d]" i)
+        (float_of_int (i + 1))
+        x)
+    expect;
+  List.iter
+    (fun schedule ->
+      List.iter
+        (fun domains ->
+          let got = run_k ~schedule ~domains m n in
+          Alcotest.(check bool)
+            (Printf.sprintf "skewed %s @ %d domains"
+               (Runtime.Schedule.to_string schedule)
+               domains)
+            true (got = expect))
+        [ 2; 4; 8 ])
+    [ Runtime.Schedule.Dynamic; Runtime.Schedule.Guided ]
+
+(* --- interpreter team-size plumbing (the Eval.run ?team_size fix) --- *)
+
+(* GPU threads are not an OpenMP team: a wsloop nested inside a
+   [scf.parallel Block] region (with a barrier, so the fiber scheduler
+   runs it) inside an [omp.parallel] must be executed IN FULL by every
+   GPU thread.  With team_size = 3 and 2 GPU threads, every element
+   gets 3 * 2 increments; a team-flag leak would chunk the wsloop and
+   leave every element at 2. *)
+let mk_gpu_in_team_module n : Op.op =
+  Builder.module_
+    [ Builder.func "k"
+        [ ("buf", Types.memref Types.F64 [ Some n ]) ]
+        (fun params ->
+          let buf = params.(0) in
+          let s = Builder.Seq.create () in
+          let c0 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 0) in
+          let c1 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 1) in
+          let c2 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 2) in
+          let cn = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index n) in
+          let one =
+            Builder.Seq.emitv s (Builder.const_float ~dtype:Types.F64 1.0)
+          in
+          ignore
+            (Builder.Seq.emit s
+               (Builder.omp_parallel
+                  [ Builder.parallel Op.Block ~lbs:[ c0 ] ~ubs:[ c2 ]
+                      ~steps:[ c1 ] (fun _tids ->
+                        [ Builder.omp_wsloop ~lbs:[ c0 ] ~ubs:[ cn ]
+                            ~steps:[ c1 ] (fun ivs ->
+                              let s2 = Builder.Seq.create () in
+                              let v =
+                                Builder.Seq.emitv s2
+                                  (Builder.load buf [ ivs.(0) ])
+                              in
+                              let v' =
+                                Builder.Seq.emitv s2
+                                  (Builder.binop Op.Add v one)
+                              in
+                              ignore
+                                (Builder.Seq.emit s2
+                                   (Builder.store v' buf [ ivs.(0) ]));
+                              Builder.Seq.to_list s2)
+                        ; Builder.barrier ()
+                        ])
+                  ]));
+          Builder.Seq.to_list s)
+    ]
+
+let test_interp_gpu_threads_not_a_team () =
+  let n = 11 in
+  let m = mk_gpu_in_team_module n in
+  let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+  ignore (Interp.Eval.run ~team_size:3 m "k" [ Interp.Mem.Buf buf ]);
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "buf[%d] = team_size * gpu_threads" i)
+        6.0 x)
+    (Interp.Mem.float_contents buf)
+
+let test_interp_wsloop_exactly_once () =
+  let n = 37 in
+  let m = mk_wsloop_module n in
+  List.iter
+    (fun t ->
+      let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+      ignore (Interp.Eval.run ~team_size:t m "k" [ Interp.Mem.Buf buf ]);
+      Alcotest.(check bool)
+        (Printf.sprintf "team_size=%d" t)
+        true
+        (Array.for_all
+           (fun x -> x = 1.0)
+           (Interp.Mem.float_contents buf)))
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+(* The engine must refuse GPU-barrier IR at compile time (the driver
+   degrades to the fiber interpreter on this). *)
+let test_exec_rejects_gpu_barriers () =
+  let m = mk_gpu_in_team_module 4 in
+  let rejected =
+    match Runtime.Exec.compile m "k" with
+    | _ -> false
+    | exception Runtime.Exec.Unsupported _ -> true
+  in
+  Alcotest.(check bool) "Unsupported raised" true rejected
+
+(* --- fault injection through the parallel path --- *)
+
+let mk_barrier_team_module n : Op.op =
+  Builder.module_
+    [ Builder.func "k"
+        [ ("buf", Types.memref Types.F64 [ Some n ]) ]
+        (fun params ->
+          let buf = params.(0) in
+          let s = Builder.Seq.create () in
+          let c0 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 0) in
+          let c1 = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 1) in
+          let cn = Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index n) in
+          let one =
+            Builder.Seq.emitv s (Builder.const_float ~dtype:Types.F64 1.0)
+          in
+          let incr_loop () =
+            Builder.omp_wsloop ~lbs:[ c0 ] ~ubs:[ cn ] ~steps:[ c1 ]
+              (fun ivs ->
+                let s2 = Builder.Seq.create () in
+                let v = Builder.Seq.emitv s2 (Builder.load buf [ ivs.(0) ]) in
+                let v' = Builder.Seq.emitv s2 (Builder.binop Op.Add v one) in
+                ignore (Builder.Seq.emit s2 (Builder.store v' buf [ ivs.(0) ]));
+                Builder.Seq.to_list s2)
+          in
+          ignore
+            (Builder.Seq.emit s
+               (Builder.omp_parallel
+                  [ incr_loop (); Builder.omp_barrier (); incr_loop () ]));
+          Builder.Seq.to_list s)
+    ]
+
+let test_inject_fault_parallel () =
+  let n = 16 in
+  let m = mk_barrier_team_module n in
+  let c = Runtime.Exec.compile m "k" in
+  List.iter
+    (fun domains ->
+      let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+      let injected =
+        match
+          Runtime.Exec.run ~domains ~inject_fault:true c
+            [ Interp.Mem.Buf buf ]
+        with
+        | _ -> false
+        | exception Runtime.Exec.Injected -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "Injected surfaces at %d domains" domains)
+        true injected;
+      (* the poisoned barrier must not wedge the cached pool: a clean
+         re-run on the same compiled function still works *)
+      let buf2 = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+      ignore (Runtime.Exec.run ~domains c [ Interp.Mem.Buf buf2 ]);
+      Alcotest.(check bool)
+        (Printf.sprintf "clean run after fault at %d domains" domains)
+        true
+        (Array.for_all
+           (fun x -> x = 2.0)
+           (Interp.Mem.float_contents buf2)))
+    [ 1; 4 ]
+
+(* --- stats: team reuse visible end-to-end --- *)
+
+let test_exec_team_reuse_stats () =
+  Runtime.Pool.shutdown_cached ();
+  let n = 8 in
+  let m = mk_barrier_team_module n in
+  let c = Runtime.Exec.compile m "k" in
+  let run ~team_reuse =
+    let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+    let _, st =
+      Runtime.Exec.run ~domains:4 ~team_reuse c [ Interp.Mem.Buf buf ]
+    in
+    st
+  in
+  let st1 = run ~team_reuse:true in
+  Alcotest.(check int) "first run spawns the team" 3
+    st1.Runtime.Exec.domain_spawns;
+  let st2 = run ~team_reuse:true in
+  Alcotest.(check int) "second run reuses it" 0 st2.Runtime.Exec.domain_spawns;
+  let st3 = run ~team_reuse:false in
+  Alcotest.(check int) "ablation re-spawns per launch" 3
+    st3.Runtime.Exec.domain_spawns;
+  Alcotest.(check int) "one launch each" 1 st3.Runtime.Exec.launches;
+  Runtime.Pool.shutdown_cached ()
+
+let () =
+  let rodinia =
+    List.map
+      (fun (b : Rodinia.Bench_def.t) ->
+        Alcotest.test_case b.name `Quick (test_rodinia_differential b))
+      Rodinia.Registry.all
+  in
+  Alcotest.run "runtime"
+    [ ("rodinia-differential", rodinia)
+    ; ( "barrier",
+        [ Alcotest.test_case "contention 8x200" `Quick test_barrier_contention
+        ; Alcotest.test_case "poison unblocks" `Quick test_barrier_poison
+        ] )
+    ; ( "pool",
+        [ Alcotest.test_case "team reuse" `Quick test_pool_reuse
+        ; Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception
+        ] )
+    ; ( "schedule",
+        [ Alcotest.test_case "partition / exactly-once" `Quick
+            test_schedule_partition
+        ] )
+    ; ( "wsloop",
+        [ Alcotest.test_case "exactly-once, all schedules x team sizes"
+            `Quick test_wsloop_exactly_once
+        ; Alcotest.test_case "dynamic work stealing, skewed load" `Quick
+            test_dynamic_skewed_load
+        ] )
+    ; ( "interp-team-plumbing",
+        [ Alcotest.test_case "GPU threads are not a team" `Quick
+            test_interp_gpu_threads_not_a_team
+        ; Alcotest.test_case "wsloop exactly-once, team sizes 1..7" `Quick
+            test_interp_wsloop_exactly_once
+        ; Alcotest.test_case "engine rejects GPU barriers" `Quick
+            test_exec_rejects_gpu_barriers
+        ] )
+    ; ( "faults",
+        [ Alcotest.test_case "inject through parallel path" `Quick
+            test_inject_fault_parallel
+        ; Alcotest.test_case "team-reuse stats" `Quick
+            test_exec_team_reuse_stats
+        ] )
+    ]
