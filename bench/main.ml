@@ -9,9 +9,14 @@
      dune exec bench/main.exe fig13_speedup
      dune exec bench/main.exe fig14_scaling
      dune exec bench/main.exe fig15_resnet
-     dune exec bench/main.exe speedup    -- real wall-clock: serial interp
-                                            vs the multicore runtime
-                                            (writes BENCH_3.json)
+     dune exec bench/main.exe speedup    -- real wall-clock scaling: serial
+                                            interp vs the multicore runtime
+                                            (writes BENCH_4.json; flags:
+                                            --min-serial-ms --reps --domains
+                                            --out)
+     dune exec bench/main.exe perf-smoke -- tiny CI tripwire (exit 1 on
+                                            checksum mismatch, warm frame
+                                            allocation, or 4d > 2x 1d)
      dune exec bench/main.exe micro      -- bechamel compiler micro-benches *)
 
 let commodity = Runtime.Machine.commodity
@@ -463,22 +468,84 @@ let robust () =
   pr "\nOutput mismatches vs the no-opt baseline: %d (expected: 0)\n"
     !mismatches
 
-(* --- speedup: real wall-clock, serial interpreter vs the multicore
-   runtime --- *)
+(* --- speedup: real wall-clock scaling, serial interpreter vs the
+   multicore runtime --- *)
 
 (* Unlike the figure benches (analytic machine model), this measures
    actual execution time of the lowered OpenMP module: the tree-walking
    GPU-semantics interpreter as the serial baseline vs the
-   compile-to-closures runtime (Runtime.Exec) at 1/2/4/8 domains.
-   Checksums are the exact commutative digest, so every parallel result
-   is verified bit-for-bit against the serial interpreter at the same
-   team size.  Results land in BENCH_3.json. *)
-let speedup () =
+   compile-to-closures runtime (Runtime.Exec) across domain counts.
+
+   Workloads are sized honestly: each benchmark grows from its
+   differential-test size toward the paper size until the serial
+   interpreter needs at least [--min-serial-ms] of wall clock, so the
+   timed region dominates launch overhead instead of being launch
+   overhead.  Every parallel result is digested bit-for-bit against the
+   serial interpreter at the same team size, and alongside time the
+   harness records the runtime's own counters — in particular
+   [frames_allocated] on a warm rep must be 0 (the zero-allocation
+   launch contract).  Parallel efficiency is t1 / (d * td), i.e. the
+   fraction of perfect scaling retained at d domains.  Results land in
+   BENCH_4.json. *)
+
+type domain_run =
+  { dr_d : int
+  ; dr_t : float (* best-of-reps wall clock, seconds *)
+  ; dr_speedup : float (* t_serial / dr_t *)
+  ; dr_eff : float (* t_1domain / (d * dr_t) *)
+  ; dr_ok : bool (* checksum matches serial interp at team_size = d *)
+  ; dr_stats : Runtime.Exec.stats (* counters of the last (warm) rep *)
+  }
+
+type bench_row =
+  { br_name : string
+  ; br_n : int
+  ; br_serial : float
+  ; br_result : (domain_run list * int * int, string) result
+    (* runs, spawns at 4 domains with / without team reuse *)
+  }
+
+(* Grow the workload from [test_size] toward [paper_size] until the
+   serial interpreter takes at least [min_serial_ms]; benchmarks whose
+   sizes are both odd (stencils wanting a center point) grow as
+   (n-1)*2+1 to stay odd.  A size the interpreter rejects backs off to
+   the last size that ran. *)
+let pick_size (b : Rodinia.Bench_def.t) (m : Ir.Op.op) ~min_serial_ms :
+  int * float =
+  let odd k = k land 1 = 1 in
+  let grow n =
+    if odd b.test_size && odd b.paper_size then ((n - 1) * 2) + 1 else n * 2
+  in
+  let serial_once n =
+    let w = b.mk_workload n in
+    let t0 = Unix.gettimeofday () in
+    ignore (Interp.Eval.run m b.entry (Rodinia.Bench_def.args_of_workload w));
+    Unix.gettimeofday () -. t0
+  in
+  let rec go n t =
+    if t *. 1000.0 >= min_serial_ms || n >= b.paper_size then (n, t)
+    else
+      let n' = min (grow n) b.paper_size in
+      if n' <= n then (n, t)
+      else
+        match serial_once n' with
+        | t' -> go n' t'
+        | exception _ -> (n, t)
+  in
+  match serial_once b.test_size with
+  | t -> go b.test_size t
+  | exception _ -> (b.test_size, 0.0)
+
+let speedup ?(min_serial_ms = 80.0) ?(reps = 3)
+    ?(domain_counts = [ 1; 2; 4; 8 ]) ?(out = Some "BENCH_4.json") () :
+  bench_row list =
   header
-    "Speedup — serial interpreter vs multicore runtime (real wall-clock)\n\
-     (checksums verified bit-for-bit against the serial interpreter)";
-  let domain_counts = [ 1; 2; 4; 8 ] in
-  let reps = 3 in
+    (Printf.sprintf
+       "Scaling — serial interpreter vs multicore runtime (real wall-clock)\n\
+        (workloads sized for >= %.0f ms serial; checksums verified\n\
+        bit-for-bit against the serial interpreter at each team size)"
+       min_serial_ms);
+  let reps = max 2 reps (* the last rep must be warm for the stats proof *) in
   let time_best f =
     let best = ref infinity in
     for _ = 1 to reps do
@@ -489,14 +556,14 @@ let speedup () =
     done;
     !best
   in
-  pr "\n%16s %10s" "benchmark" "serial";
-  List.iter (fun d -> pr "   %dd      " d) domain_counts;
+  pr "\n%16s %9s %10s" "benchmark" "n" "serial";
+  List.iter (fun d -> pr "   %dd: x (eff)  " d) domain_counts;
   pr "spawns(reuse/fresh)\n";
   let rows = ref [] in
   List.iter
     (fun (b : Rodinia.Bench_def.t) ->
       let m = build_polygeist ~name:b.name b.cuda_src in
-      let n = b.test_size in
+      let n, _ = pick_size b m ~min_serial_ms in
       let serial_checksum = ref nan in
       let t_serial =
         time_best (fun () ->
@@ -508,9 +575,13 @@ let speedup () =
       in
       match Runtime.Exec.compile m b.entry with
       | exception Runtime.Exec.Unsupported why ->
-        pr "%16s %10.2e   (unsupported: %s)\n" b.name t_serial why;
-        rows := (b.name, n, t_serial, Error why) :: !rows
+        pr "%16s %9d %10.2e   (unsupported: %s)\n" b.name n t_serial why;
+        rows :=
+          { br_name = b.name; br_n = n; br_serial = t_serial
+          ; br_result = Error why }
+          :: !rows
       | compiled ->
+        let t1 = ref nan in
         let runs =
           List.map
             (fun d ->
@@ -525,15 +596,25 @@ let speedup () =
                 Interp.Mem.checksum wref.Rodinia.Bench_def.buffers
               in
               let ck = ref nan in
+              let last_stats = ref None in
               let t_par =
                 time_best (fun () ->
                     let w = b.mk_workload n in
-                    ignore
-                      (Runtime.Exec.run ~domains:d compiled
-                         (Rodinia.Bench_def.args_of_workload w));
+                    let _, st =
+                      Runtime.Exec.run ~domains:d compiled
+                        (Rodinia.Bench_def.args_of_workload w)
+                    in
+                    last_stats := Some st;
                     ck := Interp.Mem.checksum w.Rodinia.Bench_def.buffers)
               in
-              (d, t_par, t_serial /. t_par, !ck = ref_ck))
+              if d = 1 then t1 := t_par;
+              { dr_d = d
+              ; dr_t = t_par
+              ; dr_speedup = t_serial /. t_par
+              ; dr_eff = !t1 /. (float_of_int d *. t_par)
+              ; dr_ok = !ck = ref_ck
+              ; dr_stats = Option.get !last_stats
+              })
             domain_counts
         in
         (* team-reuse ablation at 4 domains: fresh pool per launch *)
@@ -547,77 +628,187 @@ let speedup () =
         in
         let reuse_spawns = spawns_of ~team_reuse:true in
         let fresh_spawns = spawns_of ~team_reuse:false in
-        pr "%16s %10.2e" b.name t_serial;
+        pr "%16s %9d %10.2e" b.name n t_serial;
         List.iter
-          (fun (_, _, s, ok) -> pr " %6.1fx%s" s (if ok then " " else "!"))
+          (fun r ->
+            pr " %6.1fx (%3.0f%%)%s" r.dr_speedup (100.0 *. r.dr_eff)
+              (if r.dr_ok then " " else "!"))
           runs;
         pr "  %d/%d\n" reuse_spawns fresh_spawns;
         rows :=
-          (b.name, n, t_serial, Ok (runs, reuse_spawns, fresh_spawns))
+          { br_name = b.name; br_n = n; br_serial = t_serial
+          ; br_result = Ok (runs, reuse_spawns, fresh_spawns) }
           :: !rows)
     Rodinia.Registry.all;
   let rows = List.rev !rows in
-  let at4 =
+  let supported =
     List.filter_map
-      (fun (_, _, _, r) ->
-        match r with
-        | Ok (runs, _, _) ->
-          List.find_opt (fun (d, _, _, _) -> d = 4) runs
-          |> Option.map (fun (_, _, s, ok) -> (s, ok))
-        | Error _ -> None)
+      (fun r -> match r.br_result with Ok v -> Some v | Error _ -> None)
       rows
   in
-  let wins = List.filter (fun (s, ok) -> s > 1.0 && ok) at4 in
+  let at d =
+    List.filter_map
+      (fun (runs, _, _) -> List.find_opt (fun r -> r.dr_d = d) runs)
+      supported
+  in
   let mismatches =
     List.concat_map
-      (fun (name, _, _, r) ->
-        match r with
+      (fun r ->
+        match r.br_result with
         | Ok (runs, _, _) ->
           List.filter_map
-            (fun (d, _, _, ok) -> if ok then None else Some (name, d))
+            (fun dr -> if dr.dr_ok then None else Some (r.br_name, dr.dr_d))
             runs
         | Error _ -> [])
       rows
   in
+  let warm_frames =
+    List.fold_left
+      (fun acc (runs, _, _) ->
+        List.fold_left
+          (fun acc r -> acc + r.dr_stats.Runtime.Exec.frames_allocated)
+          acc runs)
+      0 supported
+  in
   pr "\nChecksum mismatches vs the serial interpreter: %d (expected: 0)\n"
     (List.length mismatches);
-  pr "Benchmarks faster than serial interp at 4 domains: %d/%d (geomean %.1fx)\n"
-    (List.length wins) (List.length at4)
-    (geomean (List.map fst at4));
-  (* hand-rolled JSON: no JSON library in the container *)
-  let buf = Buffer.create 4096 in
-  let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  bpr "{\n  \"bench\": \"speedup\",\n  \"domain_counts\": [%s],\n"
-    (String.concat ", " (List.map string_of_int domain_counts));
-  bpr "  \"results\": [\n";
-  List.iteri
-    (fun i (name, n, t_serial, r) ->
-      bpr "    {\"name\": \"%s\", \"n\": %d, \"serial_s\": %.6e" name n
-        t_serial;
-      (match r with
-       | Error why -> bpr ", \"supported\": false, \"why\": \"%s\"" why
-       | Ok (runs, reuse_spawns, fresh_spawns) ->
-         bpr ", \"supported\": true, \"runs\": [";
-         List.iteri
-           (fun j (d, t, s, ok) ->
-             bpr "%s{\"domains\": %d, \"parallel_s\": %.6e, \"speedup\": \
-                  %.3f, \"checksum_match\": %b}"
-               (if j > 0 then ", " else "")
-               d t s ok)
-           runs;
-         bpr "], \"spawns_at_4_reuse\": %d, \"spawns_at_4_fresh\": %d"
-           reuse_spawns fresh_spawns);
-      bpr "}%s\n" (if i < List.length rows - 1 then "," else ""))
-    rows;
-  bpr "  ],\n";
-  bpr "  \"summary\": {\"checksum_mismatches\": %d, \
-       \"faster_than_serial_at_4\": %d, \"geomean_speedup_at_4\": %.3f}\n"
-    (List.length mismatches) (List.length wins)
-    (geomean (List.map fst at4));
-  bpr "}\n";
-  Out_channel.with_open_text "BENCH_3.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  pr "Wrote BENCH_3.json\n"
+  pr "Frames allocated on warm (best-timed) reps: %d (expected: 0)\n"
+    warm_frames;
+  pr "\n%28s" "geomean over benchmarks:";
+  List.iter
+    (fun d ->
+      let rs = at d in
+      pr "  %dd %.2fx (eff %2.0f%%)" d
+        (geomean (List.map (fun r -> r.dr_speedup) rs))
+        (100.0 *. geomean (List.map (fun r -> r.dr_eff) rs)))
+    domain_counts;
+  pr "\n";
+  (match out with
+   | None -> ()
+   | Some path ->
+     (* hand-rolled JSON: no JSON library in the container *)
+     let buf = Buffer.create 4096 in
+     let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+     bpr "{\n  \"bench\": \"scaling\",\n  \"min_serial_ms\": %.1f,\n"
+       min_serial_ms;
+     bpr "  \"domain_counts\": [%s],\n"
+       (String.concat ", " (List.map string_of_int domain_counts));
+     bpr "  \"results\": [\n";
+     List.iteri
+       (fun i r ->
+         bpr "    {\"name\": \"%s\", \"n\": %d, \"serial_s\": %.6e" r.br_name
+           r.br_n r.br_serial;
+         (match r.br_result with
+          | Error why -> bpr ", \"supported\": false, \"why\": \"%s\"" why
+          | Ok (runs, reuse_spawns, fresh_spawns) ->
+            bpr ", \"supported\": true, \"runs\": [";
+            List.iteri
+              (fun j dr ->
+                bpr
+                  "%s{\"domains\": %d, \"parallel_s\": %.6e, \"speedup\": \
+                   %.3f, \"efficiency\": %.3f, \"checksum_match\": %b, \
+                   \"launches\": %d, \"barrier_phases\": %d, \
+                   \"chunks_grabbed\": %d, \"frames_allocated_warm\": %d}"
+                  (if j > 0 then ", " else "")
+                  dr.dr_d dr.dr_t dr.dr_speedup dr.dr_eff dr.dr_ok
+                  dr.dr_stats.Runtime.Exec.launches
+                  dr.dr_stats.Runtime.Exec.barrier_phases
+                  dr.dr_stats.Runtime.Exec.chunks_grabbed
+                  dr.dr_stats.Runtime.Exec.frames_allocated)
+              runs;
+            bpr "], \"spawns_at_4_reuse\": %d, \"spawns_at_4_fresh\": %d"
+              reuse_spawns fresh_spawns);
+         bpr "}%s\n" (if i < List.length rows - 1 then "," else ""))
+       rows;
+     bpr "  ],\n";
+     bpr "  \"summary\": {\"checksum_mismatches\": %d, \
+          \"frames_allocated_warm\": %d,\n"
+       (List.length mismatches) warm_frames;
+     bpr "    \"geomean_speedup\": {%s},\n"
+       (String.concat ", "
+          (List.map
+             (fun d ->
+               Printf.sprintf "\"%d\": %.3f" d
+                 (geomean (List.map (fun r -> r.dr_speedup) (at d))))
+             domain_counts));
+     bpr "    \"geomean_efficiency\": {%s},\n"
+       (String.concat ", "
+          (List.map
+             (fun d ->
+               Printf.sprintf "\"%d\": %.3f" d
+                 (geomean (List.map (fun r -> r.dr_eff) (at d))))
+             domain_counts));
+     bpr "    \"positive_scaling_at_4\": %b}\n"
+       (match (at 4, at 1) with
+        | (_ :: _ as r4), (_ :: _ as r1) ->
+          geomean (List.map (fun r -> r.dr_speedup) r4)
+          > geomean (List.map (fun r -> r.dr_speedup) r1)
+        | _ -> false);
+     bpr "}\n";
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc (Buffer.contents buf));
+     pr "Wrote %s\n" path);
+  rows
+
+(* CI tripwire: tiny workloads, 1 vs 4 domains, no file written.  Fails
+   (exit 1) on any checksum mismatch, on a nonzero warm frame
+   allocation, or if 4 domains is more than 2x slower than 1 domain in
+   the geomean — the launch-overhead regression this PR exists to
+   prevent.  This box has one core, so "not much slower" is the honest
+   bound; on real multicore hardware the speedup harness is the
+   interesting number. *)
+let perf_smoke () =
+  let rows =
+    speedup ~min_serial_ms:3.0 ~reps:2 ~domain_counts:[ 1; 4 ] ~out:None ()
+  in
+  let supported =
+    List.filter_map
+      (fun r -> match r.br_result with Ok v -> Some v | Error _ -> None)
+      rows
+  in
+  let bad_ck =
+    List.exists
+      (fun (runs, _, _) -> List.exists (fun r -> not r.dr_ok) runs)
+      supported
+  in
+  let warm_frames =
+    List.fold_left
+      (fun acc (runs, _, _) ->
+        List.fold_left
+          (fun acc r -> acc + r.dr_stats.Runtime.Exec.frames_allocated)
+          acc runs)
+      0 supported
+  in
+  let ratio41 =
+    geomean
+      (List.filter_map
+         (fun (runs, _, _) ->
+           match
+             ( List.find_opt (fun r -> r.dr_d = 4) runs,
+               List.find_opt (fun r -> r.dr_d = 1) runs )
+           with
+           | Some r4, Some r1 -> Some (r4.dr_t /. r1.dr_t)
+           | _ -> None)
+         supported)
+  in
+  pr "\nperf-smoke: geomean t(4 domains) / t(1 domain) = %.2f (limit 2.00)\n"
+    ratio41;
+  let fail = ref false in
+  if bad_ck then begin
+    pr "perf-smoke FAIL: checksum mismatch vs the serial interpreter\n";
+    fail := true
+  end;
+  if warm_frames > 0 then begin
+    pr "perf-smoke FAIL: %d frames allocated on warm launches (want 0)\n"
+      warm_frames;
+    fail := true
+  end;
+  if not (ratio41 <= 2.0) then begin
+    pr "perf-smoke FAIL: 4 domains more than 2x slower than 1 domain\n";
+    fail := true
+  end;
+  if !fail then exit 1;
+  pr "perf-smoke OK\n"
 
 (* --- bechamel micro-benchmarks of the compiler itself --- *)
 
@@ -673,6 +864,46 @@ let micro () =
         estimates)
     tests
 
+(* Flags of the scaling harness (everything after "speedup"):
+   --min-serial-ms F   workload sizing target (default 80)
+   --reps N            timing repetitions, best-of (default 3)
+   --domains 1,2,4,8   comma-separated domain counts
+   --out FILE          JSON output path (default BENCH_4.json) *)
+let speedup_with_flags () =
+  let min_serial_ms = ref 80.0 in
+  let reps = ref 3 in
+  let domain_counts = ref [ 1; 2; 4; 8 ] in
+  let out = ref (Some "BENCH_4.json") in
+  let i = ref 2 in
+  let next name =
+    incr i;
+    if !i >= Array.length Sys.argv then begin
+      prerr_endline ("missing value for " ^ name);
+      exit 1
+    end;
+    Sys.argv.(!i)
+  in
+  while !i < Array.length Sys.argv do
+    (match Sys.argv.(!i) with
+     | "--min-serial-ms" -> min_serial_ms := float_of_string (next "--min-serial-ms")
+     | "--reps" -> reps := int_of_string (next "--reps")
+     | "--domains" ->
+       domain_counts :=
+         List.map int_of_string (String.split_on_char ',' (next "--domains"))
+     | "--out" -> out := Some (next "--out")
+     | other ->
+       prerr_endline ("unknown speedup flag: " ^ other);
+       exit 1);
+    incr i
+  done;
+  if not (List.mem 1 !domain_counts) then begin
+    prerr_endline "--domains must include 1 (the efficiency baseline)";
+    exit 1
+  end;
+  ignore
+    (speedup ~min_serial_ms:!min_serial_ms ~reps:!reps
+       ~domain_counts:!domain_counts ~out:!out ())
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match which with
@@ -682,7 +913,8 @@ let () =
    | "fig14_scaling" -> fig14_scaling ()
    | "fig15_resnet" -> fig15_resnet ()
    | "robust" -> robust ()
-   | "speedup" -> speedup ()
+   | "speedup" -> speedup_with_flags ()
+   | "perf-smoke" -> perf_smoke ()
    | "micro" -> micro ()
    | "all" ->
      fig12 ();
@@ -691,7 +923,7 @@ let () =
      fig14_scaling ();
      fig15_resnet ();
      robust ();
-     speedup ();
+     ignore (speedup ());
      micro ()
    | other ->
      prerr_endline ("unknown figure: " ^ other);

@@ -247,9 +247,10 @@ let run_serial (m : Ir.Op.op) (f : Ir.Op.op) (entry : string)
    degraded to the serial interpreter (one more degradation rung, exit
    code 1). *)
 let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
-    ~(schedule : Runtime.Schedule.policy) ~(team_reuse : bool)
-    ~(runtime_fault : bool) (m : Ir.Op.op) (entry : string)
-    (sizes : int list) : (bool, [ `Msg of string ]) result =
+    ~(schedule : Runtime.Schedule.policy) ~(chunk : int option)
+    ~(team_reuse : bool) ~(stats : bool) ~(runtime_fault : bool)
+    (m : Ir.Op.op) (entry : string) (sizes : int list) :
+    (bool, [ `Msg of string ]) result =
   match Ir.Op.find_func m entry with
   | None -> Error (`Msg (Printf.sprintf "no function @%s in the module" entry))
   | Some f -> begin
@@ -260,7 +261,7 @@ let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
     | `Parallel -> begin
       let args = make_args f sizes in
       match
-        Runtime.Exec.run_module ~domains ~schedule ~team_reuse
+        Runtime.Exec.run_module ~domains ~schedule ?chunk ~team_reuse
           ~inject_fault:runtime_fault m entry args
       with
       | _, rstats ->
@@ -270,6 +271,15 @@ let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
           entry domains rstats.Runtime.Exec.launches
           rstats.Runtime.Exec.barrier_phases
           rstats.Runtime.Exec.domain_spawns;
+        if stats then
+          Printf.printf
+            "runtime stats @%s: launches=%d barrier_phases=%d \
+             domain_spawns=%d chunks_grabbed=%d frames_allocated=%d\n"
+            entry rstats.Runtime.Exec.launches
+            rstats.Runtime.Exec.barrier_phases
+            rstats.Runtime.Exec.domain_spawns
+            rstats.Runtime.Exec.chunks_grabbed
+            rstats.Runtime.Exec.frames_allocated;
         print_checksum entry args;
         Ok false
       | exception e ->
@@ -375,7 +385,7 @@ let do_replay (path : string) : (int, [ `Msg of string ]) result =
           Ok 3)
 
 let main file cuda_lower mcuda mode emit_ir run_name sizes exec domains
-    schedule no_team_reuse time_threads machine check check_each
+    schedule chunk no_team_reuse stats time_threads machine check check_each
     inject_faults fault_seed crash_dir replay :
   (int, [ `Msg of string ]) result =
   match replay with
@@ -434,9 +444,9 @@ let main file cuda_lower mcuda mode emit_ir run_name sizes exec domains
                 let runtime_fault =
                   List.exists (fun (s, _) -> s = "runtime") faults
                 in
-                run_entry ~exec ~domains ~schedule
-                  ~team_reuse:(not no_team_reuse) ~runtime_fault m entry
-                  sizes
+                run_entry ~exec ~domains ~schedule ~chunk
+                  ~team_reuse:(not no_team_reuse) ~stats ~runtime_fault m
+                  entry sizes
               | None -> Ok false
             in
             (match ran with
@@ -520,6 +530,19 @@ let cmd =
                                    parallel, one of %s"
                      (Arg.doc_alts_enum policies)))
   in
+  let chunk =
+    Arg.(value & opt (some int) None & info [ "chunk" ]
+           ~doc:"chunk size of each dynamic/guided atomic grab for \
+                 --exec parallel (default: dynamic batches at least 8 \
+                 iterations, guided decays to 1)")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"print extended runtime counters after --exec parallel: \
+                 launches, barrier phases, domain spawns, worksharing \
+                 chunks grabbed, and register-file frames allocated \
+                 (0 on repeated launches in team-reuse mode)")
+  in
   let no_team_reuse =
     Arg.(value & flag & info [ "no-team-reuse" ]
            ~doc:"spawn and join a fresh domain team for every \
@@ -595,9 +618,9 @@ let cmd =
     Term.(
       term_result
         (const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
-         $ sizes $ exec $ domains $ schedule $ no_team_reuse $ time_threads
-         $ machine $ check $ check_each $ inject_faults $ fault_seed
-         $ crash_dir $ replay))
+         $ sizes $ exec $ domains $ schedule $ chunk $ no_team_reuse $ stats
+         $ time_threads $ machine $ check $ check_each $ inject_faults
+         $ fault_seed $ crash_dir $ replay))
 
 let () =
   (* distinct exit codes: 0 ok, 1 degraded (via main's return value),

@@ -168,6 +168,22 @@ let eval_cast dtype (v : Mem.rv) : Mem.rv =
   | Types.I1 -> Mem.Int (if Mem.as_int_or_trunc v <> 0 then 1 else 0)
   | Types.I32 | Types.I64 | Types.Index -> Mem.Int (Mem.as_int_or_trunc v)
 
+(* The one static worksharing partition, shared with the parallel
+   runtime ([Runtime.Schedule] delegates here): a balanced contiguous
+   split where the first [n mod size] ranks take one extra iteration,
+   so chunk sizes differ by at most 1 and no rank is ever empty while
+   another holds two chunks' worth.  The differential tests compare
+   bitwise checksums, and for the (racy but tolerated) benchmarks whose
+   result depends on the partition, the runtime at [size] domains must
+   reproduce the interpreter at [team_size = size] — which is why this
+   lives here and not in two places. *)
+let static_chunk ~rank ~size ~n =
+  if size <= 0 then invalid_arg "static_chunk: size must be positive";
+  let base = n / size and rem = n mod size in
+  let lo = (rank * base) + min rank rem in
+  let len = base + (if rank < rem then 1 else 0) in
+  (lo, lo + len)
+
 (* --- fiber scheduling for barrier semantics --- *)
 
 type fiber_status =
@@ -466,13 +482,9 @@ and exec_wsloop st env (op : Op.op) : unit =
   let iters = Array.of_list space in
   let n = Array.length iters in
   let lo, hi =
-    if st.in_team then begin
-      (* static contiguous chunking across the team *)
-      let t = st.team_size in
-      let rank = st.team_rank in
-      let chunk = (n + t - 1) / t in
-      (min n (rank * chunk), min n ((rank * chunk) + chunk))
-    end
+    if st.in_team then
+      (* balanced static contiguous chunking across the team *)
+      static_chunk ~rank:st.team_rank ~size:st.team_size ~n
     else (0, n)
   in
   for i = lo to hi - 1 do

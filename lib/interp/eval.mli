@@ -27,6 +27,16 @@ type state
     team of one (all iterations, in order). *)
 val create : ?team_size:int -> Ir.Op.op -> state
 
+(** [static_chunk ~rank ~size ~n] is the contiguous [lo, hi) slice of
+    rank [rank] in a team of [size] over [n] iterations: a balanced
+    partition in which the first [n mod size] ranks take one extra
+    iteration, so the ranges form a disjoint cover of [0, n) with
+    chunk sizes differing by at most 1.  This is the single source of
+    truth for static worksharing — [Runtime.Schedule.static_chunk]
+    delegates here so the parallel runtime and the interpreter always
+    agree bit-for-bit on partition-dependent results. *)
+val static_chunk : rank:int -> size:int -> n:int -> int * int
+
 (** [run ?team_size modul fname args] interprets the named host function;
     returns its result (if any) and the execution statistics.
     [team_size] defaults to [4]; see {!create} for its exact contract.

@@ -39,6 +39,7 @@ let create size =
   }
 
 let phases t = Atomic.get t.phases
+let is_poisoned t = Atomic.get t.poisoned
 
 let poison t =
   Atomic.set t.poisoned true;

@@ -26,5 +26,9 @@ val wait : t -> unit
 (** Unblock every current and future waiter with {!Poisoned}. *)
 val poison : t -> unit
 
+(** Whether {!poison} has been called.  A poisoned barrier is dead: a
+    persistent team built around one must be rebuilt, never reused. *)
+val is_poisoned : t -> bool
+
 (** Number of completed phases (all threads arrived), for tests. *)
 val phases : t -> int

@@ -7,17 +7,35 @@
     by dense per-function slots — and runs [omp.parallel] regions on
     OCaml 5 domains from a persistent {!Pool}.
 
-    At a team launch every thread gets a {e per-thread memory view}: a
-    shallow copy of the register files, so SSA scalars defined before
-    the region are private (and [alloca]s executed inside the region
-    create private buffers), while buffers allocated outside are shared
-    by reference — exactly the interpreter's sharing structure.
+    {2 Access paths}
+
+    Loads and stores compile to a {e checked} path with the bounds test
+    and the [Fdata]/[Idata] dtype dispatch inlined into the closure (no
+    [Mem.get_f] call, no index-array allocation), or — for the
+    innermost-affine pattern [buf[i1;..;ik; iv]] with loop-invariant
+    buffer and prefix indices — to an {e unchecked} path: a guard at
+    loop entry validates rank, dtype and the whole [iv] range once,
+    precomputes the row base, and the loop body variant then accesses
+    the raw data array with [unsafe_get]/[unsafe_set].  Guard failure
+    falls back to the checked body for that loop entry, so bounds
+    violations fail with exactly the interpreter's error.
+
+    {2 Launch lifecycle}
+
+    The first team launch builds a persistent team state: one
+    cache-line-padded frame per thread plus the team barrier.  Every
+    later launch (same domain count) only blits the master's register
+    files into those frames and posts a cached job closure — the steady
+    state allocates nothing, which {!stats.frames_allocated} proves.
+    SSA scalars are per-thread (the blit), buffers stay shared by
+    reference — exactly the interpreter's sharing structure.
 
     [omp.wsloop] partitions its linearized iteration space by
     {!Schedule.policy}; [Static] reproduces the serial interpreter's
-    contiguous chunks bit-for-bit.  [omp.barrier] is a sense-reversing
-    {!Barrier}; a team member that dies poisons it so the team unwinds
-    instead of deadlocking.
+    balanced contiguous chunks bit-for-bit.  [omp.barrier] is a
+    sense-reversing {!Barrier}; a team member that dies poisons it so
+    the team unwinds instead of deadlocking (and the poisoned team
+    state is rebuilt on the next launch).
 
     Scalar semantics mirror the interpreter exactly: all float
     arithmetic in double precision, f32 rounding only at [f32]
@@ -44,6 +62,12 @@ type stats =
   { mutable launches : int (** [omp.parallel] team launches *)
   ; mutable barrier_phases : int (** completed barrier phases, summed *)
   ; mutable domain_spawns : int (** [Domain.spawn]s this run caused *)
+  ; mutable chunks_grabbed : int
+    (** worksharing ranges executed: one per thread per static wsloop,
+        one per successful atomic grab for dynamic/guided *)
+  ; mutable frames_allocated : int
+    (** register-file frames built this run; 0 on the second and later
+        runs of a compiled kernel in team-reuse mode *)
   }
 
 type compiled
@@ -57,18 +81,26 @@ val compile : Op.op -> string -> compiled
     [domains] (default 4) is the team size of every top-level
     [omp.parallel]; [1] is the deterministic single-domain mode (no
     worker domains, everything on the caller, static partition).
-    [schedule] (default [Static]) picks the worksharing policy.
-    [team_reuse] (default true) uses the process-wide cached pool;
-    [false] spawns and joins a fresh pool per launch (the
-    [--no-team-reuse] ablation).  [inject_fault] raises {!Injected}
-    from inside a team thread mid-launch.
+    [schedule] (default [Static]) picks the worksharing policy, and
+    [chunk] the batch size of each dynamic/guided atomic grab (see
+    {!Schedule.next}).  [team_reuse] (default true) keeps the team
+    state (frames, barrier) and the process-wide domain pool across
+    launches; [false] rebuilds both per launch (the [--no-team-reuse]
+    ablation — visible as nonzero {!stats.frames_allocated} on every
+    run).  [inject_fault] raises {!Injected} from inside a team thread
+    mid-launch.
 
-    Not thread-safe: one [run] at a time per [compiled].
+    Not thread-safe: one [run] at a time per [compiled].  The entry
+    frame and team frames persist inside [compiled] between runs (they
+    are what makes repeated launches allocation-free), so a [compiled]
+    value retains its last run's buffers until the next run rebinds
+    them.
 
     @raise Mem.Runtime_error on the same conditions as the interpreter. *)
 val run :
   ?domains:int ->
   ?schedule:Schedule.policy ->
+  ?chunk:int ->
   ?team_reuse:bool ->
   ?inject_fault:bool ->
   compiled ->
@@ -79,6 +111,7 @@ val run :
 val run_module :
   ?domains:int ->
   ?schedule:Schedule.policy ->
+  ?chunk:int ->
   ?team_reuse:bool ->
   ?inject_fault:bool ->
   Op.op ->

@@ -5,11 +5,17 @@
    and signals back.  One pair per worker (not a shared queue) keeps
    wakeups targeted: posting N jobs wakes exactly the N workers. *)
 
+(* [idle_job] is a sentinel so posting a job writes a closure that
+   already exists instead of wrapping it in [Some] — launch hot paths
+   must not allocate (see Exec's zero-allocation launch contract). *)
+let idle_job (_ : int) = ()
+
 type worker =
   { rank : int
   ; m : Mutex.t
   ; cv : Condition.t
-  ; mutable job : (int -> unit) option
+  ; mutable job : int -> unit
+  ; mutable has_job : bool
   ; mutable done_ : bool
   ; mutable exn_ : exn option
   ; mutable stop : bool
@@ -30,7 +36,7 @@ let worker_loop (w : worker) : unit =
   let running = ref true in
   while !running do
     Mutex.lock w.m;
-    while w.job = None && not w.stop do
+    while (not w.has_job) && not w.stop do
       Condition.wait w.cv w.m
     done;
     if w.stop then begin
@@ -38,14 +44,13 @@ let worker_loop (w : worker) : unit =
       running := false
     end
     else begin
-      let job = Option.get w.job in
+      let job = w.job in
       Mutex.unlock w.m;
-      let result = try Ok (job w.rank) with e -> Error e in
+      let exn_ = match job w.rank with () -> None | exception e -> Some e in
       Mutex.lock w.m;
-      (match result with
-       | Ok () -> ()
-       | Error e -> w.exn_ <- Some e);
-      w.job <- None;
+      w.exn_ <- exn_;
+      w.job <- idle_job;
+      w.has_job <- false;
       w.done_ <- true;
       Condition.broadcast w.cv;
       Mutex.unlock w.m
@@ -59,7 +64,8 @@ let create ~cached size : t =
         { rank = i + 1
         ; m = Mutex.create ()
         ; cv = Condition.create ()
-        ; job = None
+        ; job = idle_job
+        ; has_job = false
         ; done_ = false
         ; exn_ = None
         ; stop = false
@@ -116,13 +122,15 @@ let run (t : t) (job : int -> unit) : unit =
         Mutex.lock w.m;
         w.done_ <- false;
         w.exn_ <- None;
-        w.job <- Some job;
+        w.job <- job;
+        w.has_job <- true;
         Condition.broadcast w.cv;
         Mutex.unlock w.m)
       t.workers;
     (* the caller is rank 0 of the team *)
-    let mine = try Ok (job 0) with e -> Error e in
-    let first_exn = ref (match mine with Ok () -> None | Error e -> Some e) in
+    let first_exn =
+      ref (match job 0 with () -> None | exception e -> Some e)
+    in
     Array.iter
       (fun w ->
         Mutex.lock w.m;

@@ -6,15 +6,21 @@
    bitwise, no tolerance, since a correct race-free execution is
    schedule-independent.  The domain counts come from RUNTIME_DOMAINS
    (comma-separated, default "1,2,4"); the @runtime dune alias runs this
-   executable once with RUNTIME_DOMAINS=1 and once with =4.
+   executable once with RUNTIME_DOMAINS=1 and once with =2,4,8.
 
    Unit tests cover the sense-reversing barrier under contention and
    poisoning, domain-pool reuse and exception propagation, schedule
-   partition/exactly-once properties, worksharing via builder-built IR
-   under many team sizes and all three schedules (including a skewed
-   load for dynamic work stealing), the interpreter's team-size
-   plumbing (wsloops inside GPU block regions must NOT be chunked), and
-   fault injection through the parallel path. *)
+   partition/exactly-once properties and the balanced static partition
+   (single source of truth in Interp.Eval), the compiled access paths
+   (a QCheck differential of strided loads/stores against the
+   interpreter, including out-of-bounds ranges that must be rejected at
+   loop entry), the per-compile unbound-register sentinel, the
+   zero-allocation relaunch contract and the --chunk knob, worksharing
+   via builder-built IR under many team sizes and all three schedules
+   (including a skewed load for dynamic work stealing), the
+   interpreter's team-size plumbing (wsloops inside GPU block regions
+   must NOT be chunked), and fault injection through the parallel
+   path. *)
 
 open Ir
 
@@ -483,6 +489,283 @@ let test_inject_fault_parallel () =
            (Interp.Mem.float_contents buf2)))
     [ 1; 4 ]
 
+(* --- balanced static partition --- *)
+
+(* The partition is defined once, in Interp.Eval.static_chunk;
+   Runtime.Schedule delegates to it.  Beyond exactly-once cover (tested
+   above), the balanced partition must be contiguous ascending and give
+   every rank within one iteration of every other — the old ceil-chunk
+   partition left trailing ranks empty (e.g. n=64 size=7: 10,10,10,10,
+   10,10,4), which is a tail-imbalance bug, not just an aesthetic one. *)
+let test_static_chunk_balanced () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun size ->
+          let chunks =
+            List.init size (fun rank ->
+                Runtime.Schedule.static_chunk ~rank ~size ~n)
+          in
+          List.iteri
+            (fun rank c ->
+              Alcotest.(check (pair int int))
+                (Printf.sprintf "runtime = interp, n=%d size=%d rank=%d" n
+                   size rank)
+                (Interp.Eval.static_chunk ~rank ~size ~n)
+                c)
+            chunks;
+          Alcotest.(check bool)
+            (Printf.sprintf "cover n=%d size=%d" n size)
+            true
+            (covers_exactly_once ~n chunks);
+          ignore
+            (List.fold_left
+               (fun prev_hi (lo, hi) ->
+                 Alcotest.(check int)
+                   (Printf.sprintf "contiguous n=%d size=%d" n size)
+                   prev_hi lo;
+                 Alcotest.(check bool) "nonnegative length" true (hi >= lo);
+                 hi)
+               0 chunks);
+          let lens = List.map (fun (lo, hi) -> hi - lo) chunks in
+          let mx = List.fold_left max 0 lens in
+          let mn = List.fold_left min max_int lens in
+          Alcotest.(check bool)
+            (Printf.sprintf "balanced (max-min<=1) n=%d size=%d" n size)
+            true
+            (mx - mn <= 1))
+        [ 1; 2; 3; 4; 5; 7; 8; 16 ])
+    [ 0; 1; 2; 3; 5; 7; 8; 63; 64; 65; 100; 1000 ]
+
+(* --- access paths: compiled strided access vs the interpreter --- *)
+
+(* func @k(buf : memref<rows x cols x f64>) { for i in [lo,hi):
+   buf[row][i] <- buf[row][i] + 1.0 } with row/lo/hi baked in as
+   constants — exactly the innermost-affine shape the engine compiles to
+   a guarded unchecked access path (raw array + hoisted row base).
+   In-bounds runs must match the interpreter bit-for-bit; any
+   out-of-bounds range must raise Runtime_error from BOTH engines — the
+   loop-entry guard may never turn a bounds violation into a silent
+   unsafe access. *)
+let mk_strided_module ~rows ~cols ~row ~lo ~hi : Op.op =
+  Builder.module_
+    [ Builder.func "k"
+        [ ("buf", Types.memref Types.F64 [ Some rows; Some cols ]) ]
+        (fun params ->
+          let buf = params.(0) in
+          let s = Builder.Seq.create () in
+          let ci k =
+            Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index k)
+          in
+          let crow = ci row in
+          let clo = ci lo in
+          let chi = ci hi in
+          let c1 = ci 1 in
+          let one =
+            Builder.Seq.emitv s (Builder.const_float ~dtype:Types.F64 1.0)
+          in
+          ignore
+            (Builder.Seq.emit s
+               (Builder.for_ ~lo:clo ~hi:chi ~step:c1 (fun i ->
+                    let s2 = Builder.Seq.create () in
+                    let v =
+                      Builder.Seq.emitv s2 (Builder.load buf [ crow; i ])
+                    in
+                    let v' =
+                      Builder.Seq.emitv s2 (Builder.binop Op.Add v one)
+                    in
+                    ignore
+                      (Builder.Seq.emit s2
+                         (Builder.store v' buf [ crow; i ]));
+                    Builder.Seq.to_list s2)));
+          Builder.Seq.to_list s)
+    ]
+
+let strided_outcome ~rows ~cols (run : Interp.Mem.buffer -> unit) :
+  (float array, string) result =
+  let buf =
+    Interp.Mem.of_float_array
+      ~dims:[| rows; cols |]
+      (Array.init (rows * cols) (fun k -> (float_of_int k *. 0.5) +. 0.25))
+  in
+  match run buf with
+  | () -> Ok (Interp.Mem.float_contents buf)
+  | exception Interp.Mem.Runtime_error msg -> Error msg
+
+let prop_strided_access =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun rows ->
+      int_range 1 16 >>= fun cols ->
+      int_range (-1) rows >>= fun row ->
+      int_range (-2) (cols + 2) >>= fun lo ->
+      int_range lo (cols + 3) >>= fun hi -> return (rows, cols, row, lo, hi))
+  in
+  let print (rows, cols, row, lo, hi) =
+    Printf.sprintf "rows=%d cols=%d row=%d lo=%d hi=%d" rows cols row lo hi
+  in
+  QCheck.Test.make ~count:200
+    ~name:"compiled strided access = interpreter (incl. OOB)"
+    (QCheck.make ~print gen)
+    (fun (rows, cols, row, lo, hi) ->
+      let m = mk_strided_module ~rows ~cols ~row ~lo ~hi in
+      let interp =
+        strided_outcome ~rows ~cols (fun b ->
+            ignore (Interp.Eval.run m "k" [ Interp.Mem.Buf b ]))
+      in
+      let engine =
+        strided_outcome ~rows ~cols (fun b ->
+            ignore (Runtime.Exec.run_module m "k" [ Interp.Mem.Buf b ]))
+      in
+      match (interp, engine) with
+      | Ok a, Ok b -> a = b
+      | Error _, Error _ -> true
+      | Ok _, Error e ->
+        QCheck.Test.fail_reportf "engine raised but interp succeeded: %s" e
+      | Error e, Ok _ ->
+        QCheck.Test.fail_reportf "interp raised (%s) but engine succeeded" e)
+
+(* Deterministic pin of the same shape against the bounds-checked typed
+   accessor API (Mem.lindex + get_f/set_f), so a bug that broke both
+   engines identically would still be caught. *)
+let test_strided_expected () =
+  let rows = 3 and cols = 8 and row = 1 and lo = 2 and hi = 7 in
+  let init () =
+    Interp.Mem.of_float_array
+      ~dims:[| rows; cols |]
+      (Array.init (rows * cols) (fun k -> float_of_int k))
+  in
+  let buf = init () in
+  let m = mk_strided_module ~rows ~cols ~row ~lo ~hi in
+  ignore (Runtime.Exec.run_module m "k" [ Interp.Mem.Buf buf ]);
+  let expect = init () in
+  for i = lo to hi - 1 do
+    let li = Interp.Mem.lindex expect [| row; i |] in
+    Interp.Mem.set_f expect li (Interp.Mem.get_f expect li +. 1.0)
+  done;
+  Alcotest.(check bool) "unchecked path = Mem.lindex + typed accessors" true
+    (Interp.Mem.float_contents buf = Interp.Mem.float_contents expect)
+
+let test_strided_oob_rejected () =
+  (* hi one past the row: the loop-entry guard must refuse the unchecked
+     path and the checked body must then raise, in both engines *)
+  let m = mk_strided_module ~rows:2 ~cols:8 ~row:1 ~lo:0 ~hi:9 in
+  let raises run =
+    let buf =
+      Interp.Mem.of_float_array ~dims:[| 2; 8 |] (Array.make 16 0.0)
+    in
+    match run buf with
+    | () -> false
+    | exception Interp.Mem.Runtime_error _ -> true
+  in
+  Alcotest.(check bool) "interp rejects OOB" true
+    (raises (fun b -> ignore (Interp.Eval.run m "k" [ Interp.Mem.Buf b ])));
+  Alcotest.(check bool) "engine rejects OOB" true
+    (raises (fun b ->
+         ignore (Runtime.Exec.run_module m "k" [ Interp.Mem.Buf b ])))
+
+(* --- unbound buffer register: the per-compile sentinel --- *)
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Malformed IR (a load from an SSA memref value no op ever defines)
+   must die with a located "unbound buffer register" error, not a bounds
+   failure on a shared zero-length dummy buffer. *)
+let test_unbound_buffer_register () =
+  let dangling =
+    Value.fresh ~name:"phantom" (Types.memref Types.F64 [ Some 4 ])
+  in
+  let m =
+    Builder.module_
+      [ Builder.func "k"
+          [ ("buf", Types.memref Types.F64 [ Some 4 ]) ]
+          (fun _params ->
+            let s = Builder.Seq.create () in
+            let c0 =
+              Builder.Seq.emitv s (Builder.const_int ~dtype:Types.Index 0)
+            in
+            ignore (Builder.Seq.emit s (Builder.load dangling [ c0 ]));
+            Builder.Seq.to_list s)
+      ]
+  in
+  let buf = Interp.Mem.alloc_buffer Types.F64 [| 4 |] in
+  match Runtime.Exec.run_module m "k" [ Interp.Mem.Buf buf ] with
+  | _ -> Alcotest.fail "expected Runtime_error on the dangling load"
+  | exception Interp.Mem.Runtime_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the unbound register (got: %s)" msg)
+      true
+      (contains_substring ~sub:"unbound buffer register" msg)
+
+(* --- launch lifecycle: zero-allocation relaunch, --chunk plumbing --- *)
+
+let test_zero_alloc_relaunch () =
+  Runtime.Pool.shutdown_cached ();
+  let n = 64 in
+  let m = mk_barrier_team_module n in
+  let c = Runtime.Exec.compile m "k" in
+  let go () =
+    let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+    let _, st = Runtime.Exec.run ~domains:4 c [ Interp.Mem.Buf buf ] in
+    (st, Interp.Mem.float_contents buf)
+  in
+  let st1, out1 = go () in
+  Alcotest.(check bool) "cold run builds entry + team frames (>= 5)" true
+    (st1.Runtime.Exec.frames_allocated >= 5);
+  Alcotest.(check bool) "cold run grabs chunks" true
+    (st1.Runtime.Exec.chunks_grabbed > 0);
+  let st2, out2 = go () in
+  Alcotest.(check int) "warm relaunch allocates zero frames" 0
+    st2.Runtime.Exec.frames_allocated;
+  Alcotest.(check int) "warm relaunch spawns zero domains" 0
+    st2.Runtime.Exec.domain_spawns;
+  Alcotest.(check int) "one team launch per run" 1
+    st2.Runtime.Exec.launches;
+  Alcotest.(check bool) "the omp.barrier is counted" true
+    (st2.Runtime.Exec.barrier_phases >= 1);
+  Alcotest.(check bool) "warm result identical" true (out1 = out2);
+  Runtime.Pool.shutdown_cached ()
+
+let test_chunk_flag () =
+  let n = 101 in
+  let m = mk_wsloop_module n in
+  List.iter
+    (fun chunk ->
+      List.iter
+        (fun schedule ->
+          List.iter
+            (fun domains ->
+              let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+              let _, st =
+                Runtime.Exec.run_module ~domains ~schedule ~chunk m "k"
+                  [ Interp.Mem.Buf buf ]
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "chunk=%d %s @ %d domains: exactly once"
+                   chunk
+                   (Runtime.Schedule.to_string schedule)
+                   domains)
+                true
+                (Array.for_all
+                   (fun x -> x = 1.0)
+                   (Interp.Mem.float_contents buf));
+              (* with an explicit chunk, dynamic grabs are exactly
+                 ceil(n/chunk) batches — the contention knob is real *)
+              if schedule = Runtime.Schedule.Dynamic && domains > 1 then
+                Alcotest.(check int)
+                  (Printf.sprintf "dynamic chunk=%d grab count" chunk)
+                  ((n + chunk - 1) / chunk)
+                  st.Runtime.Exec.chunks_grabbed)
+            [ 1; 2; 4 ])
+        [ Runtime.Schedule.Static
+        ; Runtime.Schedule.Dynamic
+        ; Runtime.Schedule.Guided
+        ])
+    [ 1; 3; 16; 200 ]
+
 (* --- stats: team reuse visible end-to-end --- *)
 
 let test_exec_team_reuse_stats () =
@@ -529,6 +812,23 @@ let () =
     ; ( "schedule",
         [ Alcotest.test_case "partition / exactly-once" `Quick
             test_schedule_partition
+        ; Alcotest.test_case "static partition balanced + lockstep" `Quick
+            test_static_chunk_balanced
+        ] )
+    ; ( "access-paths",
+        [ Alcotest.test_case "strided vs typed accessors" `Quick
+            test_strided_expected
+        ; Alcotest.test_case "OOB rejected by both engines" `Quick
+            test_strided_oob_rejected
+        ; QCheck_alcotest.to_alcotest prop_strided_access
+        ; Alcotest.test_case "unbound buffer register located error" `Quick
+            test_unbound_buffer_register
+        ] )
+    ; ( "launch-lifecycle",
+        [ Alcotest.test_case "zero-allocation relaunch" `Quick
+            test_zero_alloc_relaunch
+        ; Alcotest.test_case "chunk flag: exactly-once + grab count" `Quick
+            test_chunk_flag
         ] )
     ; ( "wsloop",
         [ Alcotest.test_case "exactly-once, all schedules x team sizes"
