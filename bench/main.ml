@@ -17,6 +17,10 @@
      dune exec bench/main.exe perf-smoke -- tiny CI tripwire (exit 1 on
                                             checksum mismatch, warm frame
                                             allocation, or 4d > 2x 1d)
+     dune exec bench/main.exe fuzz       -- differential-fuzzer throughput:
+                                            cases/min through the full
+                                            oracle, divergences found
+                                            (flags: --seed --cases)
      dune exec bench/main.exe micro      -- bechamel compiler micro-benches *)
 
 let commodity = Runtime.Machine.commodity
@@ -810,6 +814,46 @@ let perf_smoke () =
   if !fail then exit 1;
   pr "perf-smoke OK\n"
 
+(* --- fuzz: differential-fuzzer throughput --- *)
+
+(* How fast the differential oracle chews through generated kernels:
+   every case runs the full rung ladder (each pipeline stage verified
+   and interpreted, plus both executors), so cases/min is an honest
+   compiler+interpreter+runtime throughput number.  On a healthy build
+   the divergence count is 0. *)
+let fuzz_bench ~seed ~cases () =
+  header
+    (Printf.sprintf
+       "Fuzz — differential oracle throughput (%d cases from seed %d)" cases
+       seed);
+  let r = Fuzz.Fuzzer.run_campaign ~seed ~cases () in
+  pr "\n%s" (Fuzz.Fuzzer.report_to_string r);
+  if r.Fuzz.Fuzzer.findings <> [] then exit 1
+
+(* Flags after "fuzz": --seed N (default 1), --cases N (default 200) *)
+let fuzz_with_flags () =
+  let seed = ref 1 in
+  let cases = ref 200 in
+  let i = ref 2 in
+  let next name =
+    incr i;
+    if !i >= Array.length Sys.argv then begin
+      prerr_endline ("missing value for " ^ name);
+      exit 1
+    end;
+    Sys.argv.(!i)
+  in
+  while !i < Array.length Sys.argv do
+    (match Sys.argv.(!i) with
+     | "--seed" -> seed := int_of_string (next "--seed")
+     | "--cases" -> cases := int_of_string (next "--cases")
+     | other ->
+       prerr_endline ("unknown fuzz flag: " ^ other);
+       exit 1);
+    incr i
+  done;
+  fuzz_bench ~seed:!seed ~cases:!cases ()
+
 (* --- bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -915,6 +959,7 @@ let () =
    | "robust" -> robust ()
    | "speedup" -> speedup_with_flags ()
    | "perf-smoke" -> perf_smoke ()
+   | "fuzz" -> fuzz_with_flags ()
    | "micro" -> micro ()
    | "all" ->
      fig12 ();

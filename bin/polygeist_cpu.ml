@@ -243,14 +243,38 @@ let run_serial (m : Ir.Op.op) (f : Ir.Op.op) (entry : string)
     stats.Interp.Eval.barriers;
   print_checksum entry args
 
+let schedule_name = function
+  | Runtime.Schedule.Static -> "static"
+  | Runtime.Schedule.Dynamic -> "dynamic"
+  | Runtime.Schedule.Guided -> "guided"
+
+let schedule_of_name = function
+  | "dynamic" -> Runtime.Schedule.Dynamic
+  | "guided" -> Runtime.Schedule.Guided
+  | _ -> Runtime.Schedule.Static
+
+(* Why a parallel execution failed, as the one-line diagnostic that also
+   identifies the failure in a runtime crash bundle. *)
+let runtime_why = function
+  | Runtime.Exec.Unsupported s -> "unsupported: " ^ s
+  | Runtime.Exec.Injected -> "injected fault"
+  | Runtime.Exec.Timeout ms ->
+    Printf.sprintf "timeout: launch exceeded %d ms (watchdog cancel)" ms
+  | Interp.Mem.Runtime_error s -> s
+  | e -> Printexc.to_string e
+
 (* Returns [Ok true] when the parallel runtime failed and execution
    degraded to the serial interpreter (one more degradation rung, exit
-   code 1). *)
+   code 1).  On such a failure, [crash_dir] (when given) receives a
+   replayable runtime crash bundle recording the execution
+   configuration alongside the usual pipeline context. *)
 let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
     ~(schedule : Runtime.Schedule.policy) ~(chunk : int option)
-    ~(team_reuse : bool) ~(stats : bool) ~(runtime_fault : bool)
-    (m : Ir.Op.op) (entry : string) (sizes : int list) :
-    (bool, [ `Msg of string ]) result =
+    ~(team_reuse : bool) ~(stats : bool)
+    ~(runtime_fault : Core.Fault.kind option) ~(timeout_ms : int)
+    ~(crash_dir : string option) ~(faults : Core.Fault.plan)
+    ~(src : string) ~(repro : string) (m : Ir.Op.op) (entry : string)
+    (sizes : int list) : (bool, [ `Msg of string ]) result =
   match Ir.Op.find_func m entry with
   | None -> Error (`Msg (Printf.sprintf "no function @%s in the module" entry))
   | Some f -> begin
@@ -260,9 +284,13 @@ let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
       Ok false
     | `Parallel -> begin
       let args = make_args f sizes in
+      (* [hang] parks a team thread until the watchdog cancels; every
+         other runtime fault kind raises mid-launch *)
+      let inject_hang = runtime_fault = Some Core.Fault.Hang in
+      let inject_fault = runtime_fault <> None && not inject_hang in
       match
         Runtime.Exec.run_module ~domains ~schedule ?chunk ~team_reuse
-          ~inject_fault:runtime_fault m entry args
+          ~inject_fault ~inject_hang ~timeout_ms m entry args
       with
       | _, rstats ->
         Printf.printf
@@ -286,17 +314,45 @@ let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
         (* runtime failure is one more degradation rung: report, then
            fall back to the serial interpreter on FRESH arguments (the
            failed run may have partially mutated the buffers) *)
-        let why =
-          match e with
-          | Runtime.Exec.Unsupported s -> "unsupported: " ^ s
-          | Runtime.Exec.Injected -> "injected fault"
-          | Interp.Mem.Runtime_error s -> s
-          | e -> Printexc.to_string e
-        in
+        let why = runtime_why e in
         Printf.eprintf
           "polygeist-cpu: parallel runtime failed (%s); degrading to the \
            serial interpreter\n"
           why;
+        (match crash_dir with
+         | None -> ()
+         | Some dir ->
+           let bundle =
+             { Core.Crashbundle.version = Core.Crashbundle.current_version
+             ; stage = "runtime"
+             ; stage_index = 0
+             ; rung = "runtime"
+             ; exn_text = why
+             ; backtrace = ""
+             ; repro
+             ; options = Core.Cpuify.default_options
+             ; faults
+             ; runtime =
+                 Some
+                   { rexec = "parallel"
+                   ; rdomains = domains
+                   ; rschedule = schedule_name schedule
+                   ; rchunk = chunk
+                   ; rseed = None
+                   ; rtimeout_ms =
+                       (if timeout_ms > 0 then Some timeout_ms else None)
+                   }
+             ; source = src
+             ; ir_before = Ir.Printer.op_to_string m
+             }
+           in
+           (match Core.Crashbundle.write ~dir bundle with
+            | Ok path ->
+              Printf.eprintf "polygeist-cpu: wrote runtime crash bundle %s\n"
+                path
+            | Error msg ->
+              Printf.eprintf "polygeist-cpu: could not write crash bundle: %s\n"
+                msg));
         run_serial m f entry sizes;
         Ok true
     end
@@ -341,13 +397,135 @@ let time_entry (m : Ir.Op.op) ~(machine : string) ~(threads : int)
       Ok ()
   end
 
+(* Replaying a fuzz bundle (rung "fuzz"): re-run the differential
+   oracle on the embedded reduced source and require the same stage and
+   failure class. *)
+let replay_fuzz (b : Core.Crashbundle.t) : (int, [ `Msg of string ]) result =
+  guard "replay" (fun () ->
+      match Fuzz.Fuzzer.replay b with
+      | Ok s ->
+        Printf.printf "replay: reproduced the recorded fuzz failure\n  %s\n" s;
+        Ok 0
+      | Error msg ->
+        Printf.printf
+          "replay: %s\n\
+           replay: the recorded failure did NOT reproduce (stale bundle?)\n"
+          msg;
+        Ok 3)
+
+(* Replaying a runtime bundle (stage "runtime"): rebuild the lowered
+   module from the embedded source under the recorded options and fault
+   plan, then re-run the recorded parallel execution configuration; the
+   recorded failure text must recur. *)
+let replay_runtime (b : Core.Crashbundle.t) : (int, [ `Msg of string ]) result
+    =
+  guard "replay" (fun () ->
+      let m = Cudafe.Codegen.compile b.Core.Crashbundle.source in
+      (match
+         Core.Passmgr.run_pipeline ~options:b.Core.Crashbundle.options
+           ~faults:b.Core.Crashbundle.faults
+           ~source:b.Core.Crashbundle.source ~repro:b.Core.Crashbundle.repro
+           m
+       with
+       | Ok _ -> ()
+       | Error (_, f) ->
+         Printf.printf "replay: pipeline failed first: %s\n"
+           (Core.Passmgr.failure_to_string f));
+      ignore (Core.Omp_lower.run m);
+      Core.Canonicalize.run m;
+      let rt =
+        match b.Core.Crashbundle.runtime with
+        | Some rt -> rt
+        | None ->
+          { Core.Crashbundle.rexec = "parallel"
+          ; rdomains = 4
+          ; rschedule = "static"
+          ; rchunk = None
+          ; rseed = None
+          ; rtimeout_ms = None
+          }
+      in
+      (* the entry name and --size arguments live in the recorded
+         command line *)
+      let entry, sizes =
+        let entry = ref None and sizes = ref [] in
+        let rec scan = function
+          | ("-run" | "--run") :: v :: rest ->
+            entry := Some v;
+            scan rest
+          | ("-size" | "--size") :: v :: rest ->
+            (match int_of_string_opt v with
+             | Some n -> sizes := !sizes @ [ n ]
+             | None -> ());
+            scan rest
+          | _ :: rest -> scan rest
+          | [] -> ()
+        in
+        scan (String.split_on_char ' ' b.Core.Crashbundle.repro);
+        let entry =
+          match !entry with
+          | Some e -> e
+          | None -> begin
+            match Ir.Op.funcs m with
+            | f :: _ -> Ir.Op.func_name f
+            | [] -> ""
+          end
+        in
+        (entry, !sizes)
+      in
+      match Ir.Op.find_func m entry with
+      | None -> Error (`Msg (Printf.sprintf "replay: no function @%s" entry))
+      | Some f ->
+        let args = make_args f sizes in
+        let runtime_faults =
+          List.filter
+            (fun (s, _) -> s = "runtime")
+            b.Core.Crashbundle.faults
+        in
+        let inject_hang =
+          List.exists (fun (_, k) -> k = Core.Fault.Hang) runtime_faults
+        in
+        let inject_fault = (not inject_hang) && runtime_faults <> [] in
+        let why =
+          match
+            Runtime.Exec.run_module ~domains:rt.rdomains
+              ~schedule:(schedule_of_name rt.rschedule)
+              ?chunk:rt.rchunk ~inject_fault ~inject_hang
+              ~timeout_ms:(Option.value rt.rtimeout_ms ~default:0)
+              m entry args
+          with
+          | _ -> None
+          | exception e -> Some (runtime_why e)
+        in
+        (match why with
+         | Some why when String.equal why b.Core.Crashbundle.exn_text ->
+           Printf.printf
+             "replay: reproduced the recorded runtime failure\n  %s\n" why;
+           Ok 0
+         | Some why ->
+           Printf.printf
+             "replay: saw instead: %s\n\
+              replay: the recorded failure did NOT reproduce (stale \
+              bundle?)\n"
+             why;
+           Ok 3
+         | None ->
+           Printf.printf
+             "replay: parallel execution now succeeds\n\
+              replay: the recorded failure did NOT reproduce (stale \
+              bundle?)\n";
+           Ok 3))
+
 (* --replay: recompile the bundle's embedded source and re-run the
    pipeline under the recorded options and fault plan; the pipeline is
    deterministic, so the recorded failure must recur.  Exit 0 when it
-   does, 3 when the bundle is stale and it does not. *)
+   does, 3 when the bundle is stale and it does not.  Fuzz and runtime
+   bundles dispatch to their own replay logic. *)
 let do_replay (path : string) : (int, [ `Msg of string ]) result =
   match Core.Crashbundle.read path with
   | Error e -> Error (`Msg e)
+  | Ok b when b.Core.Crashbundle.rung = "fuzz" -> replay_fuzz b
+  | Ok b when b.Core.Crashbundle.stage = "runtime" -> replay_runtime b
   | Ok b ->
     guard "replay" (fun () ->
         let m = Cudafe.Codegen.compile b.Core.Crashbundle.source in
@@ -385,8 +563,8 @@ let do_replay (path : string) : (int, [ `Msg of string ]) result =
           Ok 3)
 
 let main file cuda_lower mcuda mode emit_ir run_name sizes exec domains
-    schedule chunk no_team_reuse stats time_threads machine check check_each
-    inject_faults fault_seed crash_dir replay :
+    schedule chunk no_team_reuse stats timeout_ms time_threads machine check
+    check_each inject_faults fault_seed crash_dir replay :
   (int, [ `Msg of string ]) result =
   match replay with
   | Some bundle -> do_replay bundle
@@ -440,13 +618,16 @@ let main file cuda_lower mcuda mode emit_ir run_name sizes exec domains
               | Some entry ->
                 (* faults aimed at the "runtime" stage are not a pass-
                    manager concern: they fire inside the parallel
-                   execution engine *)
+                   execution engine (the [hang] kind parks a thread for
+                   the watchdog to cancel) *)
                 let runtime_fault =
-                  List.exists (fun (s, _) -> s = "runtime") faults
+                  List.find_map
+                    (fun (s, k) -> if s = "runtime" then Some k else None)
+                    faults
                 in
                 run_entry ~exec ~domains ~schedule ~chunk
-                  ~team_reuse:(not no_team_reuse) ~stats ~runtime_fault m
-                  entry sizes
+                  ~team_reuse:(not no_team_reuse) ~stats ~runtime_fault
+                  ~timeout_ms ~crash_dir ~faults ~src ~repro m entry sizes
               | None -> Ok false
             in
             (match ran with
@@ -550,6 +731,14 @@ let cmd =
                  pool (ablation for the paper's thread-reuse \
                  optimization)")
   in
+  let timeout_ms =
+    Arg.(value & opt int 60000 & info [ "timeout-ms" ]
+           ~doc:"watchdog bound on the wall-clock of each --exec parallel \
+                 launch, in milliseconds; on expiry the launch is \
+                 cancelled (barriers poisoned, workers unparked) and \
+                 execution degrades to the serial interpreter with exit \
+                 code 1.  0 disables the watchdog")
+  in
   let time_threads =
     Arg.(value & opt (some int) None & info [ "time" ]
            ~doc:"report simulated time with this many threads")
@@ -582,9 +771,12 @@ let cmd =
     Arg.(value & opt_all fault_conv [] & info [ "inject-fault" ]
            ~docv:"STAGE:KIND"
            ~doc:"inject a deterministic one-shot fault into the named \
-                 pipeline stage; KIND is raise, corrupt or exhaust \
+                 pipeline stage; KIND is raise, corrupt, exhaust or hang \
                  (repeatable; each entry fires once, so two entries for \
-                 the same stage take down successive ladder rungs)")
+                 the same stage take down successive ladder rungs).  The \
+                 stage \"runtime\" targets the parallel execution engine \
+                 instead of a pass: runtime:hang parks a team thread \
+                 until the --timeout-ms watchdog cancels the launch")
   in
   let fault_seed =
     Arg.(value & opt (some int) None & info [ "fault-seed" ]
@@ -611,22 +803,92 @@ let cmd =
          (Cmd.Exit.info 0 ~doc:"success" :: Cmd.Exit.info 1
             ~doc:"success, but degraded: a pipeline stage failed and a \
                   degradation-ladder rung engaged, or the parallel \
-                  runtime failed and execution fell back to the serial \
-                  interpreter"
+                  runtime failed (fault, error or watchdog timeout) and \
+                  execution fell back to the serial interpreter"
           :: Cmd.Exit.info 2 ~doc:"failure (pipeline, runtime or check error)"
           :: Cmd.Exit.defaults))
     Term.(
       term_result
         (const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
          $ sizes $ exec $ domains $ schedule $ chunk $ no_team_reuse $ stats
-         $ time_threads $ machine $ check $ check_each $ inject_faults
-         $ fault_seed $ crash_dir $ replay))
+         $ timeout_ms $ time_threads $ machine $ check $ check_each
+         $ inject_faults $ fault_seed $ crash_dir $ replay))
+
+(* [polygeist-cpu fuzz ...]: the differential fuzzing campaign.  It is
+   dispatched on the first argument rather than via [Cmd.group] so the
+   primary positional-FILE interface keeps working unchanged. *)
+let fuzz_cmd =
+  let seed =
+      Arg.(value & opt int 1 & info [ "seed" ]
+             ~doc:"first generator seed; case $(i,i) uses seed + i, so a \
+                   campaign is fully determined by --seed and --cases")
+    in
+    let cases =
+      Arg.(value & opt int 200 & info [ "cases" ]
+             ~doc:"number of generated kernels to run through the \
+                   differential oracle")
+    in
+    let fuzz_crash_dir =
+      Arg.(value & opt (some string) None & info [ "crash-dir" ]
+             ~docv:"DIR"
+             ~doc:"write each reduced finding as a replayable crash \
+                   bundle into DIR (replay with --replay)")
+    in
+    let fuzz_timeout_ms =
+      Arg.(value & opt int 5000 & info [ "timeout-ms" ]
+             ~doc:"watchdog bound for the oracle's parallel-execution \
+                   rungs, in milliseconds")
+    in
+    let no_reduce =
+      Arg.(value & flag & info [ "no-reduce" ]
+             ~doc:"report raw failing kernels without shrinking them")
+    in
+    let fuzz_main seed cases crash_dir timeout_ms no_reduce :
+      (int, [ `Msg of string ]) result =
+      guard "fuzz" (fun () ->
+          let progress done_ found =
+            if done_ mod 50 = 0 then
+              Printf.eprintf "fuzz: %d/%d cases, %d finding(s)\n%!" done_
+                cases found
+          in
+          let r =
+            Fuzz.Fuzzer.run_campaign ?crash_dir ~timeout_ms
+              ~reduce:(not no_reduce) ~progress ~seed ~cases ()
+          in
+          print_string (Fuzz.Fuzzer.report_to_string r);
+          Ok (if r.Fuzz.Fuzzer.findings = [] then 0 else 1))
+    in
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:"differential kernel fuzzing: generate seeded race-free \
+               mini-CUDA kernels, compare every pipeline stage and both \
+               executors against the GPU-semantics interpreter, and \
+               shrink each divergence to a small replayable witness"
+         ~exits:
+           (Cmd.Exit.info 0 ~doc:"no divergence found"
+            :: Cmd.Exit.info 1 ~doc:"at least one divergence found"
+            :: Cmd.Exit.defaults))
+      Term.(
+        term_result
+          (const fuzz_main $ seed $ cases $ fuzz_crash_dir $ fuzz_timeout_ms
+           $ no_reduce))
 
 let () =
   (* distinct exit codes: 0 ok, 1 degraded (via main's return value),
      2 pipeline/check failure (term_result errors), 124/125 cmdliner's
      usual CLI/internal errors *)
-  match Cmd.eval_value cmd with
+  let eval =
+    let argv = Sys.argv in
+    if Array.length argv > 1 && argv.(1) = "fuzz" then
+      Cmd.eval_value
+        ~argv:
+          (Array.append
+             [| argv.(0) ^ " fuzz" |]
+             (Array.sub argv 2 (Array.length argv - 2)))
+        fuzz_cmd
+    else Cmd.eval_value cmd
+  in
+  match eval with
   | Ok (`Ok code) -> exit code
   | Ok (`Version | `Help) -> exit 0
   | Error `Term -> exit 2

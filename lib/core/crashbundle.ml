@@ -12,8 +12,21 @@
    the recorded failure recurs (or the bundle is stale and the replay
    says so). *)
 
+(* Runtime-side configuration, recorded since format v2 so runtime and
+   fuzz-oracle failures replay under the exact execution setup that
+   produced them.  Plain strings/ints: Core must not depend on Runtime. *)
+type runtime_cfg =
+  { rexec : string (* "interp" | "parallel" *)
+  ; rdomains : int
+  ; rschedule : string (* "static" | "dynamic" | "guided" *)
+  ; rchunk : int option
+  ; rseed : int option (* fuzz generator seed, when applicable *)
+  ; rtimeout_ms : int option
+  }
+
 type t =
-  { stage : string
+  { version : int (* bundle format version this file was parsed from *)
+  ; stage : string
   ; stage_index : int (* occurrence index within pipeline_stages *)
   ; rung : string (* ladder rung being attempted when it failed *)
   ; exn_text : string
@@ -21,11 +34,14 @@ type t =
   ; repro : string (* CLI line that led here *)
   ; options : Cpuify.options
   ; faults : Fault.plan
+  ; runtime : runtime_cfg option (* None in v1 bundles and pure pass failures *)
   ; source : string (* original CUDA translation unit *)
   ; ir_before : string (* pre-stage IR dump *)
   }
 
-let magic = "polygeist-cpu crash bundle v1"
+let current_version = 2
+let magic_v1 = "polygeist-cpu crash bundle v1"
+let magic = "polygeist-cpu crash bundle v2"
 let source_marker = "=== source ==="
 let ir_marker = "=== pre-stage ir ==="
 
@@ -64,6 +80,62 @@ let options_of_string (s : string) : (Cpuify.options, string) result =
          | _ -> err := Some (Printf.sprintf "unknown option %S" k)));
   match !err with Some e -> Error e | None -> Ok !o
 
+let opt_int_to_string = function None -> "-" | Some n -> string_of_int n
+
+let opt_int_of_string (k : string) (v : string) :
+  (int option, string) result =
+  if v = "-" then Ok None
+  else begin
+    match int_of_string_opt v with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "bad integer %S for %s" v k)
+  end
+
+let runtime_to_string (r : runtime_cfg) : string =
+  Printf.sprintf "exec=%s,domains=%d,schedule=%s,chunk=%s,seed=%s,timeout-ms=%s"
+    r.rexec r.rdomains r.rschedule
+    (opt_int_to_string r.rchunk)
+    (opt_int_to_string r.rseed)
+    (opt_int_to_string r.rtimeout_ms)
+
+let runtime_of_string (s : string) : (runtime_cfg, string) result =
+  let r =
+    ref
+      { rexec = "interp"
+      ; rdomains = 1
+      ; rschedule = "static"
+      ; rchunk = None
+      ; rseed = None
+      ; rtimeout_ms = None
+      }
+  in
+  let err = ref None in
+  String.split_on_char ',' s
+  |> List.iter (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> err := Some (Printf.sprintf "bad runtime field %S" kv)
+      | Some i ->
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let opt setter =
+          match opt_int_of_string k v with
+          | Ok o -> r := setter !r o
+          | Error e -> err := Some e
+        in
+        (match k with
+         | "exec" -> r := { !r with rexec = v }
+         | "schedule" -> r := { !r with rschedule = v }
+         | "domains" -> begin
+           match int_of_string_opt v with
+           | Some n -> r := { !r with rdomains = n }
+           | None -> err := Some (Printf.sprintf "bad domains %S" v)
+         end
+         | "chunk" -> opt (fun r o -> { r with rchunk = o })
+         | "seed" -> opt (fun r o -> { r with rseed = o })
+         | "timeout-ms" -> opt (fun r o -> { r with rtimeout_ms = o })
+         | _ -> err := Some (Printf.sprintf "unknown runtime field %S" k)));
+  match !err with Some e -> Error e | None -> Ok !r
+
 let to_string (b : t) : string =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -75,6 +147,9 @@ let to_string (b : t) : string =
   line "repro: %s" b.repro;
   line "options: %s" (options_to_string b.options);
   line "faults: %s" (Fault.plan_to_string b.faults);
+  (match b.runtime with
+   | Some r -> line "runtime: %s" (runtime_to_string r)
+   | None -> ());
   line "backtrace:";
   String.split_on_char '\n' b.backtrace
   |> List.iter (fun l -> if String.trim l <> "" then line "| %s" l);
@@ -89,7 +164,8 @@ let to_string (b : t) : string =
 let of_string (s : string) : (t, string) result =
   let lines = String.split_on_char '\n' s in
   match lines with
-  | m :: rest when m = magic -> begin
+  | m :: rest when m = magic || m = magic_v1 -> begin
+    let version = if m = magic_v1 then 1 else current_version in
     let stage = ref "" in
     let stage_index = ref 0 in
     let rung = ref "" in
@@ -97,6 +173,7 @@ let of_string (s : string) : (t, string) result =
     let repro = ref "" in
     let options = ref Cpuify.default_options in
     let faults = ref [] in
+    let runtime = ref None in
     let backtrace = Buffer.create 256 in
     let source = Buffer.create 1024 in
     let ir = Buffer.create 1024 in
@@ -155,6 +232,13 @@ let of_string (s : string) : (t, string) result =
                | Error e -> fail "bad faults line: %s" e
              end
              | None ->
+             match strip "runtime: " with
+             | Some v -> begin
+               match runtime_of_string v with
+               | Ok r -> runtime := Some r
+               | Error e -> fail "bad runtime line: %s" e
+             end
+             | None ->
              match strip "| " with
              | Some v ->
                Buffer.add_string backtrace v;
@@ -168,7 +252,8 @@ let of_string (s : string) : (t, string) result =
       if !stage = "" then Error "bundle has no stage line"
       else
         Ok
-          { stage = !stage
+          { version
+          ; stage = !stage
           ; stage_index = !stage_index
           ; rung = !rung
           ; exn_text = !exn_text
@@ -176,6 +261,7 @@ let of_string (s : string) : (t, string) result =
           ; repro = !repro
           ; options = !options
           ; faults = !faults
+          ; runtime = !runtime
           ; source = Buffer.contents source
           ; ir_before =
               (* drop the final '\n' the line-splitting round trip adds *)

@@ -9,8 +9,22 @@
     source under the recorded options and fault plan reproduces the
     failure. *)
 
+(** Runtime-side configuration recorded since format v2, so runtime and
+    fuzz-oracle failures replay under the exact execution setup that
+    produced them (plain strings/ints: Core does not depend on
+    Runtime). *)
+type runtime_cfg =
+  { rexec : string (** ["interp"] or ["parallel"] *)
+  ; rdomains : int
+  ; rschedule : string (** ["static"], ["dynamic"] or ["guided"] *)
+  ; rchunk : int option
+  ; rseed : int option (** fuzz generator seed, when applicable *)
+  ; rtimeout_ms : int option
+  }
+
 type t =
-  { stage : string
+  { version : int (** bundle format version this file was parsed from *)
+  ; stage : string
   ; stage_index : int (** occurrence index within the pipeline *)
   ; rung : string (** ladder rung being attempted when it failed *)
   ; exn_text : string
@@ -18,9 +32,15 @@ type t =
   ; repro : string (** CLI line that led here *)
   ; options : Cpuify.options
   ; faults : Fault.plan
+  ; runtime : runtime_cfg option
+    (** [None] in v1 bundles and pure pass-pipeline failures *)
   ; source : string (** original CUDA translation unit *)
   ; ir_before : string (** pre-stage IR dump *)
   }
+
+(** The format version {!to_string}/{!write} emit (2).  {!of_string}
+    also accepts v1 bundles, which simply lack the [runtime] line. *)
+val current_version : int
 
 val to_string : t -> string
 val of_string : string -> (t, string) result
@@ -35,3 +55,5 @@ val read : string -> (t, string) result
 
 val options_to_string : Cpuify.options -> string
 val options_of_string : string -> (Cpuify.options, string) result
+val runtime_to_string : runtime_cfg -> string
+val runtime_of_string : string -> (runtime_cfg, string) result

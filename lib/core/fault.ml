@@ -13,6 +13,11 @@ type kind =
   | Raise (* the stage raises before doing any work *)
   | Corrupt (* the stage completes, then the IR is made unverifiable *)
   | Exhaust (* the stage's fuel budget is exhausted immediately *)
+  | Hang
+    (* the target spins forever: meaningful for the "runtime" stage,
+       where one team rank blocks until the watchdog cancels the
+       launch; pass-pipeline stages treat it like [Raise] (the pass
+       manager's fuel budget already covers diverging passes) *)
 
 type entry = string * kind
 type plan = entry list
@@ -23,11 +28,13 @@ let kind_to_string = function
   | Raise -> "raise"
   | Corrupt -> "corrupt"
   | Exhaust -> "exhaust"
+  | Hang -> "hang"
 
 let kind_of_string = function
   | "raise" -> Some Raise
   | "corrupt" -> Some Corrupt
   | "exhaust" -> Some Exhaust
+  | "hang" -> Some Hang
   | _ -> None
 
 let entry_to_string (stage, kind) = stage ^ ":" ^ kind_to_string kind
@@ -38,7 +45,7 @@ let entry_of_string (s : string) : (entry, string) result =
     Error
       (Printf.sprintf
          "invalid fault %S: expected STAGE:KIND with KIND one of \
-          raise|corrupt|exhaust" s)
+          raise|corrupt|exhaust|hang" s)
   | Some i ->
     let stage = String.sub s 0 i in
     let kind = String.sub s (i + 1) (String.length s - i - 1) in
@@ -49,7 +56,8 @@ let entry_of_string (s : string) : (entry, string) result =
       | None ->
         Error
           (Printf.sprintf
-             "invalid fault kind %S: expected raise|corrupt|exhaust" kind)
+             "invalid fault kind %S: expected raise|corrupt|exhaust|hang"
+             kind)
     end
 
 let plan_to_string (p : plan) = String.concat "," (List.map entry_to_string p)

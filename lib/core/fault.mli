@@ -10,6 +10,10 @@ type kind =
   | Raise (** the stage raises before doing any work *)
   | Corrupt (** the stage completes, then the IR is made unverifiable *)
   | Exhaust (** the stage's fuel budget is exhausted immediately *)
+  | Hang
+    (** the target spins forever — meaningful for the ["runtime"]
+        stage, where one team rank blocks until the watchdog cancels
+        the launch; pass-pipeline stages treat it like [Raise] *)
 
 type entry = string * kind
 type plan = entry list

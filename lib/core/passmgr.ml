@@ -100,7 +100,7 @@ let stage_fuel = 1_000_000
 exception Abort of stage_failure
 
 let run_pipeline ?(options = Cpuify.default_options) ?(faults = [])
-    ?crash_dir ?(source = "") ?(repro = "") (m : Op.op) :
+    ?crash_dir ?(source = "") ?(repro = "") ?runtime (m : Op.op) :
   (report, report * stage_failure) result =
   Printexc.record_backtrace true;
   let pending = Fault.pending_of_plan faults in
@@ -116,7 +116,8 @@ let run_pipeline ?(options = Cpuify.default_options) ?(faults = [])
     | None -> None
     | Some dir -> begin
       let b =
-        { Crashbundle.stage
+        { Crashbundle.version = Crashbundle.current_version
+        ; stage
         ; stage_index
         ; rung = rung_to_string rung
         ; exn_text
@@ -124,6 +125,7 @@ let run_pipeline ?(options = Cpuify.default_options) ?(faults = [])
         ; repro
         ; options
         ; faults
+        ; runtime
         ; source
         ; ir_before = Printer.op_to_string snap
         }
@@ -184,7 +186,10 @@ let run_pipeline ?(options = Cpuify.default_options) ?(faults = [])
     (unit, string) result =
     match Fault.take pending stage with
     | None -> body m
-    | Some Fault.Raise ->
+    | Some (Fault.Raise | Fault.Hang) ->
+      (* [Hang] only means "spin forever" inside the parallel runtime;
+         a pass stage has the fuel budget for divergence, so here it
+         degrades to an immediate raise *)
       raise (Fault.Injected (Fault.entry_to_string (stage, Fault.Raise)))
     | Some Fault.Exhaust ->
       Fuel.with_budget 0 (fun () ->

@@ -1,0 +1,43 @@
+(** The differential fuzzing campaign: {!Gen} → {!Oracle} → {!Reduce} →
+    crash bundle, deterministic given the seed.  Wall-clock appears only
+    in the stats report, never in pass/fail decisions. *)
+
+type finding =
+  { fseed : int
+  ; ffailure : Oracle.failure
+  ; fsource : string (** the generated program *)
+  ; freduced : string (** after shrinking; [= fsource] if irreducible *)
+  ; fops : int (** IR ops of the reduced witness ({!Reduce.ir_ops}) *)
+  ; fbundle : string option (** written bundle path, if any *)
+  }
+
+type report =
+  { cases : int
+  ; findings : finding list
+  ; secs : float
+  }
+
+(** Run [cases] seeds starting at [seed].  Each failure is shrunk
+    (unless [reduce] is [false]) and, when [crash_dir] is given, written
+    as a v2 crash bundle with rung ["fuzz"] and the generator seed in
+    its runtime line.  [progress done_ found] is called after each
+    case. *)
+val run_campaign :
+  ?options:Core.Cpuify.options ->
+  ?timeout_ms:int ->
+  ?crash_dir:string ->
+  ?reduce:bool ->
+  ?progress:(int -> int -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+
+(** Human-readable stats: cases, cases/min, findings with their reduced
+    sizes and bundle paths. *)
+val report_to_string : report -> string
+
+(** Re-run the oracle on a fuzz bundle's embedded source; [Ok] iff the
+    recorded stage and class still fail (the [--replay] path for bundles
+    whose rung is ["fuzz"]). *)
+val replay : Core.Crashbundle.t -> (string, string) result

@@ -1,0 +1,215 @@
+(* Seeded generator of well-formed mini-CUDA kernels for differential
+   fuzzing.  Every generated program is race-free and deterministic by
+   construction — the same discipline as [test_random]: within one
+   barrier interval a thread only touches its own slot of each shared
+   array, and any cross-thread read is fenced by [__syncthreads] on both
+   sides.  That makes the GPU-semantics interpreter's result the unique
+   correct answer, so any divergence after a pipeline stage is a
+   transformation bug, never generator noise.
+
+   The phase mix is deliberately biased toward the constructs the
+   barrier-lowering passes have to get right:
+
+   - values live across a barrier (the min-cut splitter must cache
+     exactly the crossing set),
+   - [for]/[while] loops containing uniform barriers (loop interchange,
+     including the thread-0 condition capture for [while]),
+   - barriers whose only job is protecting a write-after-read (the
+     redundant-barrier eliminator must keep them),
+   - thread-0 reductions and block-uniform [if]s (divergent-looking but
+     uniform barrier positions).
+
+   The frontend has no atomics, so the guarded thread-0 reduction phase
+   stands in for the atomic-update pattern. *)
+
+let blocks = 2
+
+type cfg =
+  { threads : int
+  ; n : int (* total elements: blocks * threads *)
+  }
+
+let cfg_of_seed seed =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let threads = if Random.State.bool rng then 4 else 8 in
+  { threads; n = blocks * threads }
+
+(* Each phase is a string of statements; [fresh] keeps scalar names
+   unique so mem2reg sees straight-line SSA-able locals. *)
+type st =
+  { rng : Random.State.t
+  ; t : int (* threads per block *)
+  ; mutable fresh : int
+  }
+
+let fv st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s%d" prefix st.fresh
+
+let pick st l = List.nth l (Random.State.int st.rng (List.length l))
+let int st n = Random.State.int st.rng n
+
+(* Race-free without synchronization: reads/writes only index [t]. *)
+let per_thread_stmt st =
+  let dst = pick st [ "s1"; "s2" ] in
+  let src = pick st [ "s1"; "s2" ] in
+  let c = 1 + int st 5 in
+  pick st
+    [ Printf.sprintf "%s[t] = %s[t] + %d.0f;" dst src c
+    ; Printf.sprintf "%s[t] = %s[t] * 0.%df + in[b * %d + t];" dst src c st.t
+    ; Printf.sprintf "%s[t] = in[b * %d + t] - %s[t] * 0.5f;" dst st.t src
+    ; Printf.sprintf "if (t < %d) { %s[t] = %s[t] + 1.0f; }"
+        (1 + int st (st.t - 1))
+        dst dst
+    ]
+
+(* Rotated read fenced on both sides.  The trailing barrier protects the
+   next interval's writes to [src] against this interval's reads — a
+   write-after-read dependence, exactly what an over-eager
+   redundant-barrier eliminator would drop. *)
+let cross_thread_phase st =
+  let k = 1 + int st (st.t - 1) in
+  let dst, src = if Random.State.bool st.rng then ("s1", "s2") else ("s2", "s1") in
+  Printf.sprintf
+    "__syncthreads();\n  %s[t] = %s[(t + %d) %% %d] * 0.5f;\n  __syncthreads();"
+    dst src k st.t
+
+(* A scalar computed before the barrier and used after it: the splitter
+   must carry it across the cut (min-cut picks the crossing values). *)
+let live_across_phase st =
+  let v = fv st "v" in
+  let c = 1 + int st 7 in
+  let k = 1 + int st (st.t - 1) in
+  Printf.sprintf
+    "float %s = s1[t] * 0.%df + s2[t];\n\
+    \  __syncthreads();\n\
+    \  s2[t] = %s + s1[(t + %d) %% %d] * 0.5f;\n\
+    \  __syncthreads();"
+    v c v k st.t
+
+(* Serial loop whose body contains barriers: loop interchange must
+   distribute the loop around each barrier interval.  Interval 1 reads a
+   rotated slot into a private scalar (reads only), interval 2 writes the
+   thread's own slot — race-free per interval, racy without the fences.
+   The leading barrier fences the first iteration's rotated read against
+   the previous phase's (own-slot) writes. *)
+let for_barrier_phase st =
+  let i = fv st "i" and w = fv st "w" in
+  let trips = 1 + int st 3 in
+  let k = int st st.t in
+  Printf.sprintf
+    "__syncthreads();\n\
+    \  for (int %s = 0; %s < %d; %s++) {\n\
+    \    float %s = s2[(t + %s + %d) %% %d];\n\
+    \    __syncthreads();\n\
+    \    s2[t] = %s * 0.75f + 1.0f;\n\
+    \    __syncthreads();\n\
+    \  }"
+    i i trips i w i k st.t w
+
+(* While loop with a uniform private condition and barriers in the body:
+   interchange of [while] captures the condition once (from thread 0)
+   per trip — the thread-0 capture is load-bearing. *)
+let while_barrier_phase st =
+  let c = fv st "c" in
+  let trips = 1 + int st 3 in
+  Printf.sprintf
+    "int %s = 0;\n\
+    \  while (%s < %d) {\n\
+    \    s1[t] = s1[t] * 0.5f + s2[t] * 0.25f;\n\
+    \    __syncthreads();\n\
+    \    s2[t] = s2[t] + s1[(t + 1) %% %d] * 0.125f;\n\
+    \    __syncthreads();\n\
+    \    %s = %s + 1;\n\
+    \  }"
+    c c trips st.t c c
+
+(* Guarded single-writer reduction: thread 0 folds the whole array while
+   everyone else waits at the fences.  Divergent-looking control flow
+   around uniform barriers, and the atomics stand-in. *)
+let reduction_phase st =
+  let a = fv st "r" and j = fv st "j" in
+  let dst, src = if Random.State.bool st.rng then ("s1", "s2") else ("s2", "s1") in
+  Printf.sprintf
+    "__syncthreads();\n\
+    \  if (t == 0) {\n\
+    \    float %s = 0.0f;\n\
+    \    for (int %s = 0; %s < %d; %s++) { %s = %s + %s[%s]; }\n\
+    \    %s[0] = %s[0] * 0.5f + %s * 0.125f;\n\
+    \  }\n\
+    \  __syncthreads();"
+    a j j st.t j a a src j dst dst a
+
+(* Block-uniform branch containing barriers: every thread of a block
+   takes the same arm, so the barrier is uniform even though the program
+   point is control-dependent. *)
+let uniform_if_phase st =
+  let k = 1 + int st (st.t - 1) in
+  Printf.sprintf
+    "if (b %% 2 == 0) {\n\
+    \    __syncthreads();\n\
+    \    s1[t] = s2[(t + %d) %% %d] * 0.5f + s1[t];\n\
+    \    __syncthreads();\n\
+    \  }"
+    k st.t
+
+(* Plain serial compute loop, occasionally nested — grist for licm,
+   mem2reg and the affine passes, no synchronization involved. *)
+let serial_loop_phase st =
+  let i = fv st "i" in
+  let trips = 1 + int st 3 in
+  let body = per_thread_stmt st in
+  if Random.State.bool st.rng then
+    Printf.sprintf "for (int %s = 0; %s < %d; %s++) {\n    %s\n  }" i i trips i
+      body
+  else begin
+    let j = fv st "j" in
+    Printf.sprintf
+      "for (int %s = 0; %s < %d; %s++) {\n\
+      \    for (int %s = 0; %s < 2; %s++) {\n\
+      \      %s\n\
+      \    }\n\
+      \  }"
+      i i trips i j j j body
+  end
+
+let phase st =
+  match int st 10 with
+  | 0 | 1 -> per_thread_stmt st
+  | 2 -> cross_thread_phase st
+  | 3 | 4 -> live_across_phase st
+  | 5 -> for_barrier_phase st
+  | 6 -> while_barrier_phase st
+  | 7 -> reduction_phase st
+  | 8 -> uniform_if_phase st
+  | _ -> serial_loop_phase st
+
+let source ~seed =
+  let cfg = cfg_of_seed seed in
+  let st =
+    { rng = Random.State.make [| 0x5eed; seed |]; t = cfg.threads; fresh = 0 }
+  in
+  (* burn the draw [cfg_of_seed] made so phases differ across seeds with
+     equal thread counts *)
+  ignore (Random.State.bool st.rng);
+  let n_phases = 3 + int st 4 in
+  let phases = List.init n_phases (fun _ -> phase st) in
+  Printf.sprintf
+    {|
+__global__ void k(float* out, float* in) {
+  __shared__ float s1[%d];
+  __shared__ float s2[%d];
+  int t = threadIdx.x;
+  int b = blockIdx.x;
+  s1[t] = in[b * %d + t];
+  s2[t] = in[b * %d + t] * 0.25f;
+  __syncthreads();
+  %s
+  __syncthreads();
+  out[b * %d + t] = s1[t] + s2[t];
+}
+void launch(float* out, float* in) { k<<<%d, %d>>>(out, in); }
+|}
+    cfg.threads cfg.threads cfg.threads cfg.threads
+    (String.concat "\n  " phases)
+    cfg.threads blocks cfg.threads

@@ -1,0 +1,28 @@
+(** Seeded generator of well-formed mini-CUDA kernels.
+
+    Every program is race-free and deterministic by construction (the
+    [test_random] discipline: own-slot accesses within a barrier
+    interval, cross-thread reads fenced on both sides), so the
+    GPU-semantics interpreter's result is the unique correct answer and
+    any post-stage divergence found by {!Oracle} is a transformation
+    bug.  The phase mix is biased toward the constructs the
+    barrier-lowering passes must get right: values live across barriers
+    (min-cut), loops containing uniform barriers (interchange, thread-0
+    [while]-condition capture), write-after-read-protecting barriers
+    (redundant-barrier elimination), thread-0 reductions and
+    block-uniform branches. *)
+
+(** Grid width of every generated program (the launch is always
+    [k<<<blocks, threads>>>]). *)
+val blocks : int
+
+type cfg =
+  { threads : int (** block width: 4 or 8, drawn from the seed *)
+  ; n : int (** total output elements, [blocks * threads] *)
+  }
+
+val cfg_of_seed : int -> cfg
+
+(** The generated program: kernel [k] plus host entry
+    [void launch(float* out, float* in)].  Same seed, same source. *)
+val source : seed:int -> string

@@ -1,0 +1,42 @@
+(** Differential oracle for one mini-CUDA program.
+
+    Runs the program through every stage of
+    [Core.Cpuify.pipeline_stages] individually — verifying the IR and
+    comparing an interpreter checksum against the pristine module after
+    each, so a divergence is attributed to the first stage that
+    introduced it — then through OpenMP lowering (interpreted at team
+    sizes 1 and 4) and the compiled multicore engine at 1 and 4 domains,
+    watchdog-armed via [timeout_ms].
+
+    The program must follow the {!Gen} contract: host entry
+    [void launch(float* out, float* in)]. *)
+
+type failure =
+  { f_stage : string
+    (** pipeline stage name, or ["frontend"], ["omp-lower"],
+        ["post-canonicalize"], ["exec-d1"], ["exec-d4"] *)
+  ; f_class : string
+    (** ["verifier"], ["checksum"], ["error-mismatch"], ["crash"],
+        ["stuck"], ["timeout"], ["exec-unsupported"] or ["frontend"] *)
+  ; f_detail : string
+  }
+
+type outcome =
+  | Passed
+  | Failed of failure
+
+val failure_to_string : failure -> string
+
+(** Stage and class equal — the invariant the reducer preserves. *)
+val same_failure : failure -> failure -> bool
+
+(** [run src] is [Passed], or the first failing rung.  [timeout_ms]
+    (default 5000) bounds each parallel execution; the interpreter runs
+    are fuel-bounded, so no rung can hang. *)
+val run :
+  ?options:Core.Cpuify.options -> ?timeout_ms:int -> string -> outcome
+
+(** The IR as it stood {e before} the named stage (the crash bundle's
+    pre-stage section); for ["frontend"] or executor stages, the
+    frontend output resp. fully-lowered IR. *)
+val ir_before : ?options:Core.Cpuify.options -> string -> string -> string

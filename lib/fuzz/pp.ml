@@ -1,0 +1,172 @@
+(* Mini-CUDA AST pretty-printer: inverse of the parser, used by the
+   test-case reducer to turn an edited AST back into source the frontend
+   re-accepts.  Every compound expression is parenthesized, so printing
+   never has to reason about precedence and a reparse is guaranteed to
+   rebuild the same tree shape. *)
+
+open Cudafe.Ast
+
+let binop_str = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Bmod -> "%"
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Beq -> "=="
+  | Bne -> "!="
+  | Bland -> "&&"
+  | Blor -> "||"
+  | Bband -> "&"
+  | Bbor -> "|"
+  | Bxor -> "^"
+  | Bshl -> "<<"
+  | Bshr -> ">>"
+
+let unop_str = function
+  | Uneg -> "-"
+  | Unot -> "!"
+  | Ubnot -> "~"
+
+let builtin_str b d =
+  let base =
+    match b with
+    | Thread_idx -> "threadIdx"
+    | Block_idx -> "blockIdx"
+    | Block_dim -> "blockDim"
+    | Grid_dim -> "gridDim"
+  in
+  let dim = match d with X -> "x" | Y -> "y" | Z -> "z" in
+  base ^ "." ^ dim
+
+(* A float literal the lexer reads back as the same value: [%.9g] is
+   exact for the f32-rounded constants the generator and reducer emit;
+   doubles need a '.' or exponent to lex as FLOAT, floats take the 'f'
+   suffix directly. *)
+let float_lit f is_double =
+  let s = Printf.sprintf "%.9g" f in
+  let has_mark =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s
+  in
+  let s = if is_double then (if has_mark then s else s ^ ".0") else s ^ "f" in
+  if f < 0.0 then "(" ^ s ^ ")" else s
+
+let rec expr = function
+  | E_int i -> if i < 0 then Printf.sprintf "(%d)" i else string_of_int i
+  | E_float (f, d) -> float_lit f d
+  | E_id x -> x
+  | E_builtin (b, d) -> builtin_str b d
+  | E_bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop_str op) (expr b)
+  | E_un (op, a) -> Printf.sprintf "(%s%s)" (unop_str op) (expr a)
+  | E_call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | E_index (a, idxs) ->
+    expr a ^ String.concat "" (List.map (fun i -> "[" ^ expr i ^ "]") idxs)
+  | E_deref a -> Printf.sprintf "(*%s)" (expr a)
+  | E_cast (t, a) -> Printf.sprintf "((%s)%s)" (ctype_to_string t) (expr a)
+  | E_cond (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr c) (expr a) (expr b)
+  | E_assign (l, r) -> Printf.sprintf "(%s = %s)" (expr l) (expr r)
+  | E_opassign (op, l, r) ->
+    Printf.sprintf "(%s %s= %s)" (expr l) (binop_str op) (expr r)
+  | E_incr a -> Printf.sprintf "(%s++)" (expr a)
+  | E_decr a -> Printf.sprintf "(%s--)" (expr a)
+
+let dim3_str ((a, b, c) : dim3) =
+  match (b, c) with
+  | None, None -> expr a
+  | _ ->
+    Printf.sprintf "dim3(%s, %s, %s)" (expr a)
+      (expr (Option.value b ~default:(E_int 1)))
+      (expr (Option.value c ~default:(E_int 1)))
+
+let decl_str (d : decl) =
+  Printf.sprintf "%s%s %s%s%s"
+    (if d.d_shared then "__shared__ " else "")
+    (ctype_to_string d.d_type) d.d_name
+    (String.concat "" (List.map (fun e -> "[" ^ expr e ^ "]") d.d_dims))
+    (match d.d_init with None -> "" | Some e -> " = " ^ expr e)
+
+let buf = Buffer.create 4096
+
+let rec stmt ind (s : stmt) =
+  let pad = String.make ind ' ' in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
+  match s.s with
+  | S_decl d -> line "%s;" (decl_str d)
+  | S_expr e -> line "%s;" (expr e)
+  | S_sync -> line "__syncthreads();"
+  | S_return None -> line "return;"
+  | S_return (Some e) -> line "return %s;" (expr e)
+  | S_block body ->
+    line "{";
+    List.iter (stmt (ind + 2)) body;
+    line "}"
+  | S_if (c, a, []) ->
+    line "if (%s) {" (expr c);
+    List.iter (stmt (ind + 2)) a;
+    line "}"
+  | S_if (c, a, b) ->
+    line "if (%s) {" (expr c);
+    List.iter (stmt (ind + 2)) a;
+    line "} else {";
+    List.iter (stmt (ind + 2)) b;
+    line "}"
+  | S_for (h, body) | S_omp_for (h, body) ->
+    (match s.s with
+     | S_omp_for _ -> line "#pragma omp parallel for"
+     | _ -> ());
+    let init =
+      match h.f_init with
+      | None -> ""
+      | Some { s = S_decl d; _ } -> decl_str d
+      | Some { s = S_expr e; _ } -> expr e
+      | Some _ -> ""
+    in
+    line "for (%s; %s; %s) {" init
+      (match h.f_cond with None -> "" | Some e -> expr e)
+      (match h.f_step with None -> "" | Some e -> expr e);
+    List.iter (stmt (ind + 2)) body;
+    line "}"
+  | S_while (c, body) ->
+    line "while (%s) {" (expr c);
+    List.iter (stmt (ind + 2)) body;
+    line "}"
+  | S_do_while (body, c) ->
+    line "do {";
+    List.iter (stmt (ind + 2)) body;
+    line "} while (%s);" (expr c)
+  | S_launch (f, grid, block, args) ->
+    line "%s<<<%s, %s>>>(%s);" f (dim3_str grid) (dim3_str block)
+      (String.concat ", " (List.map expr args))
+
+let func (f : func) =
+  let qual =
+    match f.fn_qual with
+    | Q_global -> "__global__ "
+    | Q_device -> "__device__ "
+    | Q_host -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s(%s) {\n" qual
+       (ctype_to_string f.fn_ret)
+       f.fn_name
+       (String.concat ", "
+          (List.map
+             (fun (t, x) -> ctype_to_string t ^ " " ^ x)
+             f.fn_params)));
+  List.iter (stmt 2) f.fn_body;
+  Buffer.add_string buf "}\n"
+
+let program (p : program) =
+  Buffer.clear buf;
+  List.iter
+    (fun f ->
+      func f;
+      Buffer.add_char buf '\n')
+    p;
+  Buffer.contents buf

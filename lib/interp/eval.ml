@@ -53,6 +53,7 @@ type state =
   ; team_size : int (* interpreted OpenMP team size *)
   ; mutable team_rank : int (* rank of the currently-executing team thread *)
   ; mutable in_team : bool
+  ; mutable fuel : int (* remaining op budget; negative = unbounded *)
   }
 
 let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
@@ -243,6 +244,11 @@ let rec exec_ops (st : state) (env : env) (ops : Op.op list) : unit =
 
 and exec_op (st : state) (env : env) (op : Op.op) : unit =
   st.stats.ops <- st.stats.ops + 1;
+  if st.fuel >= 0 then begin
+    if st.fuel = 0 then
+      Mem.fail "interpreter fuel exhausted after %d ops" st.stats.ops;
+    st.fuel <- st.fuel - 1
+  end;
   match op.kind with
   | Op.Module | Op.Func _ -> Mem.fail "cannot execute module/func as a statement"
   | Op.Yield -> ()
@@ -505,12 +511,18 @@ and call_func st (f : Op.op) (args : Mem.rv array) : Mem.rv option =
 
 (* --- public API --- *)
 
-let create ?(team_size = 4) (modul : Op.op) : state =
-  { modul; stats = new_stats (); team_size; team_rank = 0; in_team = false }
+let create ?(team_size = 4) ?fuel (modul : Op.op) : state =
+  { modul
+  ; stats = new_stats ()
+  ; team_size
+  ; team_rank = 0
+  ; in_team = false
+  ; fuel = (match fuel with Some n when n >= 0 -> n | _ -> -1)
+  }
 
-let run ?(team_size = 4) (modul : Op.op) (name : string)
+let run ?(team_size = 4) ?fuel (modul : Op.op) (name : string)
     (args : Mem.rv list) : Mem.rv option * stats =
-  let st = create ~team_size modul in
+  let st = create ~team_size ?fuel modul in
   let f =
     match Op.find_func modul name with
     | Some f -> f

@@ -25,7 +25,7 @@ type state
     barrier-synchronized block region is executed in full by every
     thread.  An [omp.wsloop] outside any [omp.parallel] behaves as a
     team of one (all iterations, in order). *)
-val create : ?team_size:int -> Ir.Op.op -> state
+val create : ?team_size:int -> ?fuel:int -> Ir.Op.op -> state
 
 (** [static_chunk ~rank ~size ~n] is the contiguous [lo, hi) slice of
     rank [rank] in a team of [size] over [n] iterations: a balanced
@@ -40,6 +40,15 @@ val static_chunk : rank:int -> size:int -> n:int -> int * int
 (** [run ?team_size modul fname args] interprets the named host function;
     returns its result (if any) and the execution statistics.
     [team_size] defaults to [4]; see {!create} for its exact contract.
+    [fuel], when given and non-negative, bounds the total op count:
+    exceeding it raises [Mem.Runtime_error] ("interpreter fuel
+    exhausted").  The fuzzer and test-case reducer rely on this so a
+    reduction candidate that loops forever fails instead of hanging.
     @raise Mem.Runtime_error on memory faults, barrier divergence, etc. *)
 val run :
-  ?team_size:int -> Ir.Op.op -> string -> Mem.rv list -> Mem.rv option * stats
+  ?team_size:int ->
+  ?fuel:int ->
+  Ir.Op.op ->
+  string ->
+  Mem.rv list ->
+  Mem.rv option * stats

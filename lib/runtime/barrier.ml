@@ -41,9 +41,15 @@ let create size =
 let phases t = Atomic.get t.phases
 let is_poisoned t = Atomic.get t.poisoned
 
+(* Poison must broadcast immediately, not wait for the next arrival: a
+   rank asleep in [Condition.wait] has to observe it promptly.  Setting
+   the flag and broadcasting under the mutex closes the lost-wakeup
+   window — a sleeper holds the mutex between its re-check of the wait
+   condition and the [Condition.wait] call, so the broadcast cannot
+   slot into that gap. *)
 let poison t =
-  Atomic.set t.poisoned true;
   Mutex.lock t.m;
+  Atomic.set t.poisoned true;
   Condition.broadcast t.cv;
   Mutex.unlock t.m
 

@@ -47,6 +47,10 @@ open Interp
 exception Unsupported of string
 exception Injected
 
+(* The run exceeded its wall-clock bound and the watchdog cancelled it;
+   carries the bound in milliseconds. *)
+exception Timeout of int
+
 type stats =
   { mutable launches : int
   ; mutable barrier_phases : int
@@ -55,6 +59,15 @@ type stats =
   ; mutable frames_allocated : int
   }
 
+(* What --inject-fault runtime:KIND does inside a team: [Inject_raise]
+   kills one rank outright (exercising poison/unwind), [Inject_hang]
+   parks one rank in a non-terminating loop that only the watchdog's
+   cancel ends (exercising timeout/poison/degradation). *)
+type inject =
+  | Inject_none
+  | Inject_raise
+  | Inject_hang
+
 (* Mutated by [run] before execution starts; read from inside compiled
    closures via the frame. *)
 type config =
@@ -62,7 +75,8 @@ type config =
   ; mutable schedule : Schedule.policy
   ; mutable chunk : int option
   ; mutable team_reuse : bool
-  ; mutable inject : bool
+  ; mutable inject : inject
+  ; mutable timeout_ms : int (* 0 = no watchdog *)
   }
 
 (* One dynamic/guided worksharing region instance (one generation of one
@@ -97,6 +111,12 @@ type glob =
   ; stats : stats
   ; chunks : int Atomic.t
   ; frames : int Atomic.t
+  ; cancel : bool Atomic.t
+    (* set by the watchdog; observed at while-loop back-edges, wsloop
+       grabs and launch boundaries, which all raise [Timeout] *)
+  ; live : team option Atomic.t
+    (* the team currently inside Pool.run, so the watchdog can poison
+       its barrier and wake ranks sleeping there *)
   ; mutable ts : tstate option
   }
 
@@ -717,8 +737,13 @@ and compile_op (ce : cenv) (op : Op.op) : code =
     in
     let body = compile_region ce op.Op.regions.(1).Op.body in
     fun fr ->
+      let g = fr.glob in
       let continue_ = ref true in
       while !continue_ do
+        (* while loops are the one compiled construct with no static
+           trip bound, so they carry the cancellation check (a plain
+           atomic load — negligible against any real loop body) *)
+        if Atomic.get g.cancel then raise (Timeout g.cfg.timeout_ms);
         cond_ops fr;
         if cond_val fr <> 0 then body fr else continue_ := false
       done
@@ -1091,7 +1116,21 @@ and compile_omp_parallel ce op : code =
         | _ ->
           let j rank =
             try
-              if g.cfg.inject && rank = size - 1 then raise Injected;
+              (match g.cfg.inject with
+               | Inject_raise when rank = size - 1 -> raise Injected
+               | Inject_hang when rank = size - 1 ->
+                 (* the fault-injected non-terminating loop: models a
+                    mis-lowered kernel spinning forever while the rest
+                    of the team piles up at the next barrier; only the
+                    watchdog's cancel ends it *)
+                 let n = ref 0 in
+                 while not (Atomic.get g.cancel) do
+                   incr n;
+                   if !n land 4095 = 0 then Unix.sleepf 0.0005
+                   else Domain.cpu_relax ()
+                 done;
+                 raise (Timeout g.cfg.timeout_ms)
+               | _ -> ());
               body ts.tframes.(rank)
             with
             | Barrier.Poisoned ->
@@ -1116,10 +1155,12 @@ and compile_omp_parallel ce op : code =
         Array.blit fr.bregs 0 t.bregs 0 nb
       done;
       let finish () =
+        Atomic.set g.live None;
         let ph = Barrier.phases ts.tteam.barrier in
         g.stats.barrier_phases <- g.stats.barrier_phases + (ph - ts.tphases);
         ts.tphases <- ph
       in
+      Atomic.set g.live (Some ts.tteam);
       (match
          if size = 1 then job 0
          else begin
@@ -1129,7 +1170,15 @@ and compile_omp_parallel ce op : code =
              (fun () -> Pool.run pool job)
          end
        with
-       | () -> finish ()
+       | () ->
+         finish ();
+         (* a watchdog-poisoned team unwinds with every rank swallowing
+            [Barrier.Poisoned], so the launch "succeeds" with partial
+            results; surface the cancellation here *)
+         if Atomic.get g.cancel then begin
+           g.ts <- None;
+           raise (Timeout g.cfg.timeout_ms)
+         end
        | exception e ->
          finish ();
          g.ts <- None;
@@ -1248,6 +1297,8 @@ and compile_wsloop ce op : code =
           let chunk = fr.glob.cfg.chunk in
           let grabbed = ref 0 in
           let rec grab_loop () =
+            if Atomic.get fr.glob.cancel then
+              raise (Timeout fr.glob.cfg.timeout_ms);
             match Schedule.next ?chunk ws.grab p ~size ~n with
             | Some (l, h) ->
               incr grabbed;
@@ -1350,7 +1401,8 @@ let compile (modul : Op.op) (name : string) : compiled =
             ; schedule = Schedule.Static
             ; chunk = None
             ; team_reuse = true
-            ; inject = false
+            ; inject = Inject_none
+            ; timeout_ms = 0
             }
         ; stats =
             { launches = 0
@@ -1361,28 +1413,38 @@ let compile (modul : Op.op) (name : string) : compiled =
             }
         ; chunks = Atomic.make 0
         ; frames = Atomic.make 0
+        ; cancel = Atomic.make false
+        ; live = Atomic.make None
         ; ts = None
         }
     ; eframe = None
     }
 
 let run ?(domains = 4) ?(schedule = Schedule.Static) ?chunk
-    ?(team_reuse = true) ?(inject_fault = false) (c : compiled)
-    (args : Mem.rv list) : Mem.rv option * stats =
+    ?(team_reuse = true) ?(inject_fault = false) ?(inject_hang = false)
+    ?(timeout_ms = 0) (c : compiled) (args : Mem.rv list) :
+  Mem.rv option * stats =
   if domains < 1 then invalid_arg "Exec.run: domains must be >= 1";
   (match chunk with
    | Some k when k < 1 -> invalid_arg "Exec.run: chunk must be >= 1"
    | _ -> ());
+  if timeout_ms < 0 then invalid_arg "Exec.run: timeout_ms must be >= 0";
   let g = c.glob in
   g.cfg.domains <- domains;
   g.cfg.schedule <- schedule;
   g.cfg.chunk <- chunk;
   g.cfg.team_reuse <- team_reuse;
-  g.cfg.inject <- inject_fault;
+  g.cfg.inject <-
+    (if inject_hang then Inject_hang
+     else if inject_fault then Inject_raise
+     else Inject_none);
+  g.cfg.timeout_ms <- timeout_ms;
   g.stats.launches <- 0;
   g.stats.barrier_phases <- 0;
   Atomic.set g.chunks 0;
   Atomic.set g.frames 0;
+  Atomic.set g.cancel false;
+  Atomic.set g.live None;
   let spawns0 = Pool.total_spawns () in
   let cf = c.entry in
   let args = Array.of_list args in
@@ -1400,7 +1462,25 @@ let run ?(domains = 4) ?(schedule = Schedule.Static) ?chunk
       fr
   in
   Array.iteri (fun i s -> bind_slot fr s args.(i)) cf.params;
-  let result = match cf.body fr with () -> None | exception Ret v -> v in
+  (* the watchdog bounds the whole run's wall clock: on expiry it flips
+     the cancel flag (observed at while back-edges and wsloop grabs)
+     and poisons the live team's barrier (waking ranks sleeping there),
+     so the run unwinds with [Timeout] instead of hanging *)
+  let tok =
+    if timeout_ms > 0 then
+      Some
+        (Watchdog.arm ~timeout_ms ~on_timeout:(fun () ->
+             Atomic.set g.cancel true;
+             match Atomic.get g.live with
+             | Some team -> Barrier.poison team.barrier
+             | None -> ()))
+    else None
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Watchdog.disarm tok)
+      (fun () -> match cf.body fr with () -> None | exception Ret v -> v)
+  in
   g.stats.domain_spawns <- Pool.total_spawns () - spawns0;
   g.stats.chunks_grabbed <- Atomic.get g.chunks;
   g.stats.frames_allocated <- Atomic.get g.frames;
@@ -1412,7 +1492,8 @@ let run ?(domains = 4) ?(schedule = Schedule.Static) ?chunk
     ; frames_allocated = g.stats.frames_allocated
     } )
 
-let run_module ?domains ?schedule ?chunk ?team_reuse ?inject_fault modul name
-    args =
-  run ?domains ?schedule ?chunk ?team_reuse ?inject_fault
+let run_module ?domains ?schedule ?chunk ?team_reuse ?inject_fault
+    ?inject_hang ?timeout_ms modul name args =
+  run ?domains ?schedule ?chunk ?team_reuse ?inject_fault ?inject_hang
+    ?timeout_ms
     (compile modul name) args

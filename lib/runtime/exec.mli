@@ -58,6 +58,14 @@ exception Unsupported of string
     poison/unwind path and the driver's degradation to serial. *)
 exception Injected
 
+(** The run exceeded its wall-clock bound ([timeout_ms], carried) and
+    the {!Watchdog} cancelled it: the cancel flag is observed at
+    while-loop back-edges and worksharing grabs, and ranks asleep at a
+    barrier are woken by poisoning it.  The driver treats this like any
+    other runtime failure — degrade to the serial interpreter on fresh
+    arguments, exit 1. *)
+exception Timeout of int
+
 type stats =
   { mutable launches : int (** [omp.parallel] team launches *)
   ; mutable barrier_phases : int (** completed barrier phases, summed *)
@@ -88,7 +96,11 @@ val compile : Op.op -> string -> compiled
     launches; [false] rebuilds both per launch (the [--no-team-reuse]
     ablation — visible as nonzero {!stats.frames_allocated} on every
     run).  [inject_fault] raises {!Injected} from inside a team thread
-    mid-launch.
+    mid-launch; [inject_hang] instead parks that thread in a
+    non-terminating loop that only the watchdog's cancel ends (use it
+    with [timeout_ms]).  [timeout_ms] (default [0] = unbounded) arms
+    the {!Watchdog} for the whole run and raises {!Timeout} on
+    expiry.
 
     Not thread-safe: one [run] at a time per [compiled].  The entry
     frame and team frames persist inside [compiled] between runs (they
@@ -103,6 +115,8 @@ val run :
   ?chunk:int ->
   ?team_reuse:bool ->
   ?inject_fault:bool ->
+  ?inject_hang:bool ->
+  ?timeout_ms:int ->
   compiled ->
   Mem.rv list ->
   Mem.rv option * stats
@@ -114,6 +128,8 @@ val run_module :
   ?chunk:int ->
   ?team_reuse:bool ->
   ?inject_fault:bool ->
+  ?inject_hang:bool ->
+  ?timeout_ms:int ->
   Op.op ->
   string ->
   Mem.rv list ->

@@ -1,0 +1,84 @@
+(* Wall-clock watchdog for parallel launches.
+
+   One lazily-spawned monitor domain sleeps in short quanta and fires
+   the action of any armed entry whose deadline has passed.  Arming is
+   cheap (a list push under a mutex plus a condvar signal), so the
+   runtime can arm per [Exec.run] without measurable overhead; the
+   monitor blocks on the condvar whenever nothing is armed, so an idle
+   process pays nothing.
+
+   The monitor never joins: like the {!Pool} worker domains it blocks
+   until process exit.  Actions run on the monitor domain, so they must
+   be async-signal-ish: set a flag, poison a barrier — never block. *)
+
+type token =
+  { deadline : float
+  ; action : unit -> unit
+  ; mutable armed : bool
+  ; mutable fired : bool
+  }
+
+let m = Mutex.create ()
+let cv = Condition.create ()
+let entries : token list ref = ref []
+let monitor_running = ref false
+
+(* Polling quantum: 5 ms bounds how late an expiry fires, which is
+   plenty for timeouts counted in hundreds of milliseconds. *)
+let quantum = 0.005
+
+let monitor_loop () =
+  while true do
+    Mutex.lock m;
+    while !entries = [] do
+      Condition.wait cv m
+    done;
+    let now = Unix.gettimeofday () in
+    let due, rest = List.partition (fun e -> now >= e.deadline) !entries in
+    entries := rest;
+    List.iter
+      (fun e ->
+        if e.armed then begin
+          e.armed <- false;
+          e.fired <- true
+        end)
+      due;
+    Mutex.unlock m;
+    List.iter (fun e -> if e.fired then try e.action () with _ -> ()) due;
+    Unix.sleepf quantum
+  done
+
+let ensure_monitor () =
+  (* called with [m] held *)
+  if not !monitor_running then begin
+    monitor_running := true;
+    ignore (Domain.spawn monitor_loop)
+  end
+
+let arm ~(timeout_ms : int) ~(on_timeout : unit -> unit) : token =
+  if timeout_ms <= 0 then invalid_arg "Watchdog.arm: timeout_ms must be > 0";
+  let e =
+    { deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0)
+    ; action = on_timeout
+    ; armed = true
+    ; fired = false
+    }
+  in
+  Mutex.lock m;
+  ensure_monitor ();
+  entries := e :: !entries;
+  Condition.signal cv;
+  Mutex.unlock m;
+  e
+
+let disarm (e : token) : unit =
+  Mutex.lock m;
+  e.armed <- false;
+  entries := List.filter (fun e' -> e' != e) !entries;
+  Mutex.unlock m
+
+let fired (e : token) : bool =
+  Mutex.lock m;
+  let f = e.fired in
+  Mutex.unlock m;
+  f

@@ -1,0 +1,26 @@
+(** Wall-clock watchdog for parallel launches.
+
+    A single lazily-spawned monitor domain tracks armed deadlines and
+    runs each entry's [on_timeout] action once its deadline passes
+    (within a ~5 ms polling quantum).  {!Exec.run} arms one entry per
+    execution when given a timeout; the action sets the engine's cancel
+    flag and poisons the live team barrier, so a launch stuck at a
+    barrier (or spinning in a [while] loop) unwinds through the
+    existing poison path instead of hanging the driver.
+
+    Actions run on the monitor domain: they must only flip flags and
+    poison barriers, never block. *)
+
+type token
+
+(** Arm a deadline [timeout_ms] milliseconds from now.  [on_timeout]
+    runs once if the deadline passes before {!disarm}.
+    @raise Invalid_argument if [timeout_ms <= 0]. *)
+val arm : timeout_ms:int -> on_timeout:(unit -> unit) -> token
+
+(** Cancel an armed entry.  If the action already started firing this
+    is a no-op; {!fired} tells which happened. *)
+val disarm : token -> unit
+
+(** Whether the entry's deadline passed and its action was invoked. *)
+val fired : token -> bool

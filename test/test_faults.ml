@@ -154,6 +154,53 @@ let cli_checks (driver : string) =
     fail "CLI: runtime fault exited %d, want 1 (degraded to serial)\n" code;
   if checksum_line out <> Some base_ck then
     fail "CLI: runtime-fault fallback changed the output checksum\n";
+  (* the watchdog: a hang-injected parallel launch under --timeout-ms
+     terminates instead of hanging the driver, degrades to the serial
+     interpreter (exit 1) with the reference checksum, and the runtime
+     crash bundle it writes replays deterministically *)
+  let rt_dir = Filename.temp_file "faults" ".rtcrash" in
+  Sys.remove rt_dir;
+  let code, out =
+    run
+      (Printf.sprintf
+         "--cuda-lower --run run --size 128 --exec parallel --domains 4 \
+          --timeout-ms 500 --inject-fault runtime:hang --crash-dir %s"
+         (Filename.quote rt_dir))
+  in
+  if code <> 1 then
+    fail "CLI: hang under the watchdog exited %d, want 1 (degraded)\n" code;
+  if checksum_line out <> Some base_ck then
+    fail "CLI: watchdog fallback changed the output checksum\n";
+  (match try Sys.readdir rt_dir with Sys_error _ -> [||] with
+   | [||] -> fail "CLI: no runtime crash bundle was written\n"
+   | rt_bundles ->
+     Array.iter
+       (fun bundle ->
+         let cmd =
+           Printf.sprintf "%s --replay %s > %s 2>/dev/null"
+             (Filename.quote driver)
+             (Filename.quote (Filename.concat rt_dir bundle))
+             (Filename.quote tmp)
+         in
+         let code = sh cmd in
+         if code <> 0 then
+           fail "CLI: runtime --replay %s exited %d, want 0 (reproduced)\n"
+             bundle code)
+       rt_bundles);
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat rt_dir f))
+       (Sys.readdir rt_dir);
+     Sys.rmdir rt_dir
+   with Sys_error _ -> ());
+  (* the fuzz subcommand: a tiny fixed-seed campaign on a healthy build
+     finds nothing and exits 0 (the real budget lives in @fuzz-smoke) *)
+  let code =
+    sh
+      (Printf.sprintf "%s fuzz --seed 1 --cases 3 > %s 2>/dev/null"
+         (Filename.quote driver) (Filename.quote tmp))
+  in
+  if code <> 0 then fail "CLI: fuzz --cases 3 exited %d, want 0\n" code;
   (* every stage, faulted: exit 1 (degraded, never a crash), same answer *)
   List.iter
     (fun stage ->
@@ -195,8 +242,8 @@ let cli_checks (driver : string) =
   in
   let code = sh cmd in
   if code <> 2 then fail "CLI: parse error exited %d, want 2\n" code;
-  Printf.printf "CLI checks: exit codes, checksum parity (serial and \
-                 parallel) and replay over %d stages\n"
+  Printf.printf "CLI checks: exit codes, checksum parity (serial, \
+                 parallel and watchdog fallback) and replay over %d stages\n"
     (List.length (Core.Cpuify.stage_names ()));
   Sys.remove tmp;
   Sys.remove bad;

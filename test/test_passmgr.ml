@@ -172,7 +172,8 @@ let test_snapshot_restore () =
 
 let test_bundle_roundtrip () =
   let b =
-    { Core.Crashbundle.stage = "cpuify"
+    { Core.Crashbundle.version = Core.Crashbundle.current_version
+    ; stage = "cpuify"
     ; stage_index = 5
     ; rung = "no-mincut"
     ; exn_text = "Fault.Injected(\"cpuify:raise\")"
@@ -180,6 +181,15 @@ let test_bundle_roundtrip () =
     ; repro = "polygeist-cpu --cpuify full x.cu"
     ; options = { Core.Cpuify.default_options with opt_budget = 7 }
     ; faults = [ ("cpuify", Core.Fault.Raise); ("cse", Core.Fault.Corrupt) ]
+    ; runtime =
+        Some
+          { Core.Crashbundle.rexec = "parallel"
+          ; rdomains = 4
+          ; rschedule = "dynamic"
+          ; rchunk = Some 8
+          ; rseed = None
+          ; rtimeout_ms = Some 500
+          }
     ; source = "__global__ void k() {}\n"
     ; ir_before = "module {\n}\n"
     }
@@ -201,8 +211,45 @@ let test_bundle_roundtrip () =
     Alcotest.(check string) "faults"
       (Core.Fault.plan_to_string b.faults)
       (Core.Fault.plan_to_string b'.faults);
+    (match b.runtime, b'.runtime with
+     | Some r, Some r' ->
+       Alcotest.(check string) "runtime"
+         (Core.Crashbundle.runtime_to_string r)
+         (Core.Crashbundle.runtime_to_string r')
+     | _ -> Alcotest.fail "runtime config lost in round trip");
+    Alcotest.(check int) "version" Core.Crashbundle.current_version b'.version;
     Alcotest.(check string) "source" b.source b'.source;
     Alcotest.(check string) "ir_before" b.ir_before b'.ir_before
+
+(* Bundles written before the format grew the runtime line (v1) must
+   still parse: version 1, no runtime configuration. *)
+let test_bundle_v1_accepted () =
+  let v1_text =
+    String.concat "\n"
+      [ "polygeist-cpu crash bundle v1"
+      ; "stage: cpuify"
+      ; "stage-index: 5"
+      ; "rung: no-mincut"
+      ; "exception: Fault.Injected(\"cpuify:raise\")"
+      ; "repro: polygeist-cpu old.cu -cuda-lower"
+      ; "options: mincut=true,barrier-elim=true,mem2reg=true,licm=true,budget=7"
+      ; "faults: cpuify:raise"
+      ; "=== source ==="
+      ; "__global__ void k() {}"
+      ; "=== pre-stage ir ==="
+      ; "module {"
+      ; "}"
+      ]
+  in
+  match Core.Crashbundle.of_string v1_text with
+  | Error e -> Alcotest.failf "v1 bundle rejected: %s" e
+  | Ok b ->
+    Alcotest.(check int) "version" 1 b.Core.Crashbundle.version;
+    Alcotest.(check string) "stage" "cpuify" b.Core.Crashbundle.stage;
+    Alcotest.(check bool) "no runtime cfg" true
+      (b.Core.Crashbundle.runtime = None);
+    Alcotest.(check string) "faults" "cpuify:raise"
+      (Core.Fault.plan_to_string b.Core.Crashbundle.faults)
 
 (* A bundle written by the pass manager replays deterministically:
    recompiling the embedded source under the recorded options and fault
@@ -284,6 +331,8 @@ let tests =
   ; Alcotest.test_case "snapshot / restore / structural_equal" `Quick
       test_snapshot_restore
   ; Alcotest.test_case "crash bundle round-trip" `Quick test_bundle_roundtrip
+  ; Alcotest.test_case "v1 crash bundle still accepted" `Quick
+      test_bundle_v1_accepted
   ; Alcotest.test_case "crash bundle replays deterministically" `Quick
       test_bundle_replay
   ; Alcotest.test_case "unrecoverable pipeline returns Error" `Quick

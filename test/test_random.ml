@@ -146,17 +146,56 @@ let test_affine_unroll =
          ignore (Core.Omp_lower.run m);
          Core.Canonicalize.run m))
 
-(* Seeded random fault plans through the fault-tolerant pass manager:
-   whatever the plan takes down, the pipeline must recover via the
-   degradation ladder and the degraded module must still match the
-   original GPU semantics exactly. *)
+(* Random fault plans through the fault-tolerant pass manager: whatever
+   the plan takes down, the pipeline must recover via the degradation
+   ladder and the degraded module must still match the original GPU
+   semantics exactly.
+
+   The plan is part of the QCheck input (not regrown from the seed
+   inside the property), so a failing case SHRINKS: QCheck drops plan
+   entries one at a time, simplifies kinds toward Raise and shrinks the
+   kernel seed, and the counterexample prints as the smallest
+   (seed, plan) pair that still breaks. *)
+let arb_seeded_plan =
+  let gen =
+    QCheck.Gen.(
+      small_nat >>= fun seed ->
+      list_size (int_range 1 3)
+        (pair
+           (oneofl (Core.Cpuify.stage_names ()))
+           (oneofl Core.Fault.[ Raise; Corrupt; Exhaust; Hang ]))
+      >>= fun plan -> return (seed, plan))
+  in
+  let print (seed, plan) =
+    Printf.sprintf "seed=%d plan=%s" seed (Core.Fault.plan_to_string plan)
+  in
+  let shrink (seed, plan) yield =
+    let rec drops pre = function
+      | [] -> ()
+      | e :: rest ->
+        yield (seed, List.rev_append pre rest);
+        drops (e :: pre) rest
+    in
+    drops [] plan;
+    List.iteri
+      (fun i (s, k) ->
+        if k <> Core.Fault.Raise then
+          yield
+            ( seed
+            , List.mapi
+                (fun j e -> if j = i then (s, Core.Fault.Raise) else e)
+                plan ))
+      plan;
+    QCheck.Shrink.int seed (fun seed' -> yield (seed', plan))
+  in
+  QCheck.make ~print ~shrink gen
+
 let test_faulted_passmgr =
   QCheck.Test.make ~name:"random kernels: seeded-fault pass-manager differential"
-    ~count:40 QCheck.small_nat (fun seed ->
+    ~count:40 arb_seeded_plan (fun (seed, faults) ->
       let src = gen_kernel seed in
       let reference = checksum (Cudafe.Codegen.compile src) in
       let m = Cudafe.Codegen.compile src in
-      let faults = Core.Fault.random_plan ~seed (Core.Cpuify.stage_names ()) in
       (match Core.Passmgr.run_pipeline ~faults m with
        | Ok _ -> ()
        | Error (_, f) ->

@@ -489,6 +489,135 @@ let test_inject_fault_parallel () =
            (Interp.Mem.float_contents buf2)))
     [ 1; 4 ]
 
+(* --- watchdog --- *)
+
+let test_watchdog_unit () =
+  let hit = Atomic.make 0 in
+  let t =
+    Runtime.Watchdog.arm ~timeout_ms:50 ~on_timeout:(fun () ->
+        Atomic.incr hit)
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Runtime.Watchdog.fired t)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  Alcotest.(check bool) "armed entry fires" true (Runtime.Watchdog.fired t);
+  Alcotest.(check int) "action ran exactly once" 1 (Atomic.get hit);
+  let t2 =
+    Runtime.Watchdog.arm ~timeout_ms:5000 ~on_timeout:(fun () ->
+        Atomic.incr hit)
+  in
+  Runtime.Watchdog.disarm t2;
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "disarmed entry never fires" false
+    (Runtime.Watchdog.fired t2);
+  Alcotest.(check int) "disarmed action did not run" 1 (Atomic.get hit);
+  let rejected =
+    match Runtime.Watchdog.arm ~timeout_ms:0 ~on_timeout:(fun () -> ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "timeout_ms <= 0 rejected" true rejected
+
+(* A genuinely non-terminating kernel from the frontend: in[0] starts at
+   0.0 and nothing ever writes it, so the while condition holds forever.
+   The compiled engine observes the watchdog's cancel flag at while-loop
+   back-edges, so the launch must end in Timeout — this is the "no test
+   can hang indefinitely" guarantee exercised end-to-end. *)
+let infinite_src =
+  "__global__ void k(float* out, float* in) {\n\
+  \  int t = threadIdx.x;\n\
+  \  while (in[0] < 1.0f) { out[t] = out[t] + 1.0f; }\n\
+   }\n\
+   void launch(float* out, float* in) { k<<<1, 4>>>(out, in); }\n"
+
+let test_watchdog_cancels_infinite_loop () =
+  let m = Cudafe.Codegen.compile infinite_src in
+  Core.Cpuify.run m;
+  ignore (Core.Omp_lower.run m);
+  Core.Canonicalize.run m;
+  List.iter
+    (fun domains ->
+      let out = Interp.Mem.alloc_buffer Types.F32 [| 4 |] in
+      let inp = Interp.Mem.alloc_buffer Types.F32 [| 4 |] in
+      let timed_out =
+        match
+          Runtime.Exec.run_module ~domains ~timeout_ms:300 m "launch"
+            [ Interp.Mem.Buf out; Interp.Mem.Buf inp ]
+        with
+        | _ -> false
+        | exception Runtime.Exec.Timeout ms -> ms = 300
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "Timeout(300) at %d domains" domains)
+        true timed_out)
+    [ 1; 4 ]
+
+(* inject_hang parks one rank in a loop only the watchdog's cancel ends;
+   the other ranks park at the team barrier, so the timeout path must
+   both flip the cancel flag and poison the barrier to unwind everyone.
+   Afterwards the poisoned team state must be rebuilt transparently: a
+   clean launch of the same compiled function still computes. *)
+let test_watchdog_hang_injection () =
+  let n = 16 in
+  let m = mk_barrier_team_module n in
+  let c = Runtime.Exec.compile m "k" in
+  let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+  let timed_out =
+    match
+      Runtime.Exec.run ~domains:4 ~inject_hang:true ~timeout_ms:300 c
+        [ Interp.Mem.Buf buf ]
+    with
+    | _ -> false
+    | exception Runtime.Exec.Timeout _ -> true
+  in
+  Alcotest.(check bool) "hang cancelled by the watchdog" true timed_out;
+  let buf2 = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+  ignore (Runtime.Exec.run ~domains:4 c [ Interp.Mem.Buf buf2 ]);
+  Alcotest.(check bool) "clean run after a timeout" true
+    (Array.for_all (fun x -> x = 2.0) (Interp.Mem.float_contents buf2))
+
+(* The driver's default bound (60 s) must never fire on real kernels:
+   every Rodinia benchmark completes under it at 4 domains with the
+   serial interpreter's exact checksum. *)
+let test_watchdog_no_false_fire () =
+  List.iter
+    (fun (b : Rodinia.Bench_def.t) ->
+      let m = build_bench b in
+      let expect = serial_checksum m b ~team_size:4 in
+      let w = b.mk_workload b.test_size in
+      ignore
+        (Runtime.Exec.run_module ~domains:4 ~timeout_ms:60000 m b.entry
+           (Rodinia.Bench_def.args_of_workload w));
+      Alcotest.(check (float 0.0))
+        (b.name ^ " completes under the default watchdog bound")
+        expect
+        (Interp.Mem.checksum w.Rodinia.Bench_def.buffers))
+    Rodinia.Registry.all
+
+(* One rank raising mid-wsloop at 4 domains: the poison broadcast must
+   wake the ranks parked on the barrier condvar promptly.  The generous
+   5 s bound guards against a deadlock-until-watchdog regression in the
+   wakeup broadcast, not a performance number. *)
+let test_poison_wakeup_latency () =
+  let n = 64 in
+  let m = mk_barrier_team_module n in
+  let c = Runtime.Exec.compile m "k" in
+  let buf = Interp.Mem.alloc_buffer Types.F64 [| n |] in
+  let t0 = Unix.gettimeofday () in
+  let injected =
+    match
+      Runtime.Exec.run ~domains:4 ~inject_fault:true c [ Interp.Mem.Buf buf ]
+    with
+    | _ -> false
+    | exception Runtime.Exec.Injected -> true
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "Injected surfaced" true injected;
+  Alcotest.(check bool)
+    (Printf.sprintf "all ranks unblocked in %.3f s (bound 5 s)" dt)
+    true (dt < 5.0)
+
 (* --- balanced static partition --- *)
 
 (* The partition is defined once, in Interp.Eval.static_chunk;
@@ -849,5 +978,16 @@ let () =
             test_inject_fault_parallel
         ; Alcotest.test_case "team-reuse stats" `Quick
             test_exec_team_reuse_stats
+        ] )
+    ; ( "watchdog",
+        [ Alcotest.test_case "arm / disarm / fired" `Quick test_watchdog_unit
+        ; Alcotest.test_case "infinite while loop cancelled" `Quick
+            test_watchdog_cancels_infinite_loop
+        ; Alcotest.test_case "hang injection cancelled, team rebuilt" `Quick
+            test_watchdog_hang_injection
+        ; Alcotest.test_case "no false fire on Rodinia at 60 s" `Quick
+            test_watchdog_no_false_fire
+        ; Alcotest.test_case "poison wakeup latency at 4 domains" `Quick
+            test_poison_wakeup_latency
         ] )
     ]
