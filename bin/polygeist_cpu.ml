@@ -60,22 +60,77 @@ let print_diags ~file diags =
     (fun d -> print_endline (Analysis.Diag.to_string ~file d))
     diags
 
-(* -check: frontend, cleanup, sanitize; nonzero exit iff errors. *)
-let check_source ~file (m : Ir.Op.op) : (unit, [ `Msg of string ]) result =
+(* -check: frontend, cleanup, sanitize.  Exit 0 when clean (or only
+   warnings), EXIT_CHECK_FINDINGS (4) when the sanitizer reports errors
+   — distinct from 2 so CI can tell "the kernel is buggy" from "the
+   tool failed". *)
+let exit_check_findings = 4
+
+let check_source ~file ~format (m : Ir.Op.op) :
+  (int, [ `Msg of string ]) result =
   cleanup m;
   let diags = Analysis.Kernelcheck.check_module m in
-  print_diags ~file diags;
+  (match format with
+   | `Text ->
+     print_diags ~file diags;
+     if diags = [] then Printf.printf "%s: no issues found\n" file
+   | `Json -> print_endline (Analysis.Diag.list_to_json ~file diags));
   let errs = List.filter Analysis.Diag.is_error diags in
-  if diags = [] then begin
-    Printf.printf "%s: no issues found\n" file;
-    Ok ()
+  if errs = [] then Ok 0
+  else begin
+    if format = `Text then
+      Printf.eprintf "polygeist-cpu: kernel check failed: %d error(s) in %s\n"
+        (List.length errs) file;
+    Ok exit_check_findings
   end
-  else if errs = [] then Ok ()
-  else
-    Error
-      (`Msg
-        (Printf.sprintf "kernel check failed: %d error(s) in %s"
-           (List.length errs) file))
+
+(* -repair: frontend, cleanup, sanitize, then the analysis-guided
+   barrier-repair search.  A repair is accepted only when the sanitizer
+   comes back clean AND — for programs following the fuzzer's [launch]
+   differential contract — the repaired module matches the GPU-semantics
+   reference on the whole differential oracle (every pipeline stage,
+   both executors at 1 and 4 domains).  Prints the patch as
+   file:line:col edits followed by the repaired pre-lowering IR. *)
+let repair_source ~file (m : Ir.Op.op) : (int, [ `Msg of string ]) result =
+  cleanup m;
+  let validate m' =
+    match Ir.Op.find_func m' Fuzz.Oracle.entry with
+    | None -> Ok () (* no differential contract: sanitizer-only *)
+    | Some _ -> (
+      match Fuzz.Oracle.run_module m' with
+      | Fuzz.Oracle.Passed -> Ok ()
+      | Fuzz.Oracle.Failed f -> Error (Fuzz.Oracle.failure_to_string f))
+  in
+  let initial_definite =
+    List.exists Analysis.Diag.is_error
+      (List.filter Core.Repair.target_diag
+         (Analysis.Kernelcheck.check_module ~report_possible:true m))
+  in
+  let out = Core.Repair.run ~validate m in
+  let tried = out.Core.Repair.stats.Core.Repair.candidates_tried in
+  match out.Core.Repair.status with
+  | Core.Repair.Clean ->
+    Printf.printf "%s: no issues found, nothing to repair\n" file;
+    Ok 0
+  | Core.Repair.Repaired edits ->
+    Printf.printf "%s: repaired with %d barrier edit(s) (%d candidate(s) \
+                   tried):\n" file (List.length edits) tried;
+    List.iter
+      (fun e -> print_endline ("  " ^ Core.Repair.edit_to_string ~file e))
+      edits;
+    print_newline ();
+    print_string (Ir.Printer.op_to_string m);
+    Ok 0
+  | Core.Repair.Failed why when not initial_definite ->
+    (* Only warning-level possible races (opaque indices the analysis
+       cannot prove disjoint) — kernel findings, not a tool failure. *)
+    Printf.printf
+      "%s: no definite errors; possible races remain unproven and no \
+       barrier edit discharges them (%s)\n"
+      file why;
+    Ok exit_check_findings
+  | Core.Repair.Failed why ->
+    Error (`Msg (Printf.sprintf "repair failed for %s: %s" file why))
 
 (* -check-after-each-pass: run the full cpuify pipeline one pass at a
    time, re-verifying the IR and re-running the race check after every
@@ -564,7 +619,7 @@ let do_replay (path : string) : (int, [ `Msg of string ]) result =
 
 let main file cuda_lower mcuda mode emit_ir run_name sizes exec domains
     schedule chunk no_team_reuse stats timeout_ms time_threads machine check
-    check_each inject_faults fault_seed crash_dir replay :
+    check_format check_each repair inject_faults fault_seed crash_dir replay :
   (int, [ `Msg of string ]) result =
   match replay with
   | Some bundle -> do_replay bundle
@@ -574,17 +629,21 @@ let main file cuda_lower mcuda mode emit_ir run_name sizes exec domains
   | Some file ->
     guard "internal error" (fun () ->
         let src = In_channel.with_open_text file In_channel.input_all in
-        if check || check_each then begin
+        if repair then repair_source ~file (Cudafe.Codegen.compile src)
+        else if check || check_each then begin
           (* the flags compose: with both, the full pre-lowering check gates
              the per-pass sweep (which only re-runs the race check —
              divergence and shared-init lose meaning mid-lowering) *)
           let first =
-            if check then check_source ~file (Cudafe.Codegen.compile src)
-            else Ok ()
+            if check then
+              check_source ~file ~format:check_format
+                (Cudafe.Codegen.compile src)
+            else Ok 0
           in
           match first with
           | Error _ as e -> e
-          | Ok () ->
+          | Ok code when code <> 0 -> Ok code
+          | Ok _ ->
             if check_each then
               Result.map (fun () -> 0)
                 (check_after_each_pass ~file (Cudafe.Codegen.compile src))
@@ -753,10 +812,32 @@ let cmd =
                  divergence, uninitialized __shared__ reads) on the \
                  pre-lowering IR and exit; nonzero exit iff errors")
   in
+  let check_format =
+    let formats = [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt (enum formats) `Text & info [ "check-format" ]
+           ~doc:(Printf.sprintf
+                   "output format for --check findings, one of %s: \
+                    human-readable text, or a JSON array with one object \
+                    per finding (kind, severity, file/line/col, message, \
+                    barrier intervals, notes) for CI"
+                   (Arg.doc_alts_enum formats)))
+  in
   let check_each =
     Arg.(value & flag & info [ "check-after-each-pass" ]
            ~doc:"run the -cpuify pipeline one pass at a time, re-running \
                  the IR verifier and the race check after every pass")
+  in
+  let repair =
+    Arg.(value & flag & info [ "repair" ]
+           ~doc:"run the analysis-guided barrier repair search on the \
+                 sanitizer's findings: insert barriers at interval \
+                 separation points of racing pairs and hoist/delete \
+                 divergent barriers, greedily with rollback, until the \
+                 sanitizer is clean; a candidate repair of a program \
+                 with a launch(out, in) entry must also match the \
+                 GPU-semantics reference on the full differential \
+                 oracle.  Prints the patch (file:line:col edits) and the \
+                 repaired pre-lowering IR")
   in
   let fault_conv =
     let parse s =
@@ -806,13 +887,17 @@ let cmd =
                   runtime failed (fault, error or watchdog timeout) and \
                   execution fell back to the serial interpreter"
           :: Cmd.Exit.info 2 ~doc:"failure (pipeline, runtime or check error)"
+          :: Cmd.Exit.info 4
+               ~doc:"--check found kernel errors (races, divergence, \
+                     uninitialized shared reads)"
           :: Cmd.Exit.defaults))
     Term.(
       term_result
         (const main $ file $ cuda_lower $ mcuda $ cpuify $ emit_ir $ run_name
          $ sizes $ exec $ domains $ schedule $ chunk $ no_team_reuse $ stats
-         $ timeout_ms $ time_threads $ machine $ check $ check_each
-         $ inject_faults $ fault_seed $ crash_dir $ replay))
+         $ timeout_ms $ time_threads $ machine $ check $ check_format
+         $ check_each $ repair $ inject_faults $ fault_seed $ crash_dir
+         $ replay))
 
 (* [polygeist-cpu fuzz ...]: the differential fuzzing campaign.  It is
    dispatched on the first argument rather than via [Cmd.group] so the
@@ -843,20 +928,51 @@ let fuzz_cmd =
       Arg.(value & flag & info [ "no-reduce" ]
              ~doc:"report raw failing kernels without shrinking them")
     in
-    let fuzz_main seed cases crash_dir timeout_ms no_reduce :
+    let gen_racy =
+      Arg.(value & flag & info [ "gen-racy" ]
+             ~doc:"racy-repair mode: generate seeded RACY mutants (each a \
+                   race-free kernel with one __syncthreads deleted), \
+                   keep the ones the static sanitizer flags until \
+                   --cases of them are collected, and run the \
+                   analysis-guided repair search on each, validating \
+                   every repair against the differential oracle.  Exit 1 \
+                   if any racy mutant cannot be repaired")
+    in
+    let fuzz_main seed cases crash_dir timeout_ms no_reduce gen_racy :
       (int, [ `Msg of string ]) result =
       guard "fuzz" (fun () ->
-          let progress done_ found =
-            if done_ mod 50 = 0 then
-              Printf.eprintf "fuzz: %d/%d cases, %d finding(s)\n%!" done_
-                cases found
-          in
-          let r =
-            Fuzz.Fuzzer.run_campaign ?crash_dir ~timeout_ms
-              ~reduce:(not no_reduce) ~progress ~seed ~cases ()
-          in
-          print_string (Fuzz.Fuzzer.report_to_string r);
-          Ok (if r.Fuzz.Fuzzer.findings = [] then 0 else 1))
+          if gen_racy then begin
+            let progress scanned racy =
+              if scanned mod 20 = 0 then
+                Printf.eprintf "fuzz --gen-racy: %d seeds scanned, %d racy \
+                                mutant(s)\n%!" scanned racy
+            in
+            let r =
+              Fuzz.Fuzzer.run_repair_campaign ~timeout_ms ~progress ~seed
+                ~racy:cases ()
+            in
+            print_string (Fuzz.Fuzzer.repair_report_to_string r);
+            let unrepaired =
+              List.exists
+                (fun (f : Fuzz.Fuzzer.repair_finding) ->
+                  Result.is_error f.Fuzz.Fuzzer.presult)
+                r.Fuzz.Fuzzer.rfindings
+            in
+            Ok (if unrepaired then 1 else 0)
+          end
+          else begin
+            let progress done_ found =
+              if done_ mod 50 = 0 then
+                Printf.eprintf "fuzz: %d/%d cases, %d finding(s)\n%!" done_
+                  cases found
+            in
+            let r =
+              Fuzz.Fuzzer.run_campaign ?crash_dir ~timeout_ms
+                ~reduce:(not no_reduce) ~progress ~seed ~cases ()
+            in
+            print_string (Fuzz.Fuzzer.report_to_string r);
+            Ok (if r.Fuzz.Fuzzer.findings = [] then 0 else 1)
+          end)
     in
     Cmd.v
       (Cmd.info "fuzz"
@@ -871,7 +987,7 @@ let fuzz_cmd =
       Term.(
         term_result
           (const fuzz_main $ seed $ cases $ fuzz_crash_dir $ fuzz_timeout_ms
-           $ no_reduce))
+           $ no_reduce $ gen_racy))
 
 let () =
   (* distinct exit codes: 0 ok, 1 degraded (via main's return value),

@@ -2,8 +2,13 @@
 
    A diagnostic carries a severity, the name of the check that produced
    it, a primary source location (from the op the frontend stamped), a
-   message, and optional notes pointing at related program points — e.g.
-   the second access of a racing pair. *)
+   message, optional notes pointing at related program points — e.g.
+   the second access of a racing pair — and, for interval-aware checks,
+   the pair of barrier intervals the finding spans (see {!Mhp}).
+
+   Two renderings: the classic [file:line:col: severity: [check] msg]
+   text, and a machine-readable JSON object per finding for CI
+   ([--check-format json]). *)
 
 open Ir
 
@@ -22,10 +27,14 @@ type t =
   ; loc : Srcloc.t option
   ; message : string
   ; notes : note list
+  ; intervals : (int * int) option
+    (* barrier intervals of the two program points of the finding
+       (racing pair; divergent barrier's closing/opening), when the
+       producing check is interval-aware *)
   }
 
-let mk ?loc ?(notes = []) severity check message =
-  { severity; check; loc; message; notes }
+let mk ?loc ?(notes = []) ?intervals severity check message =
+  { severity; check; loc; message; notes; intervals }
 
 let note ?loc msg = { n_loc = loc; n_msg = msg }
 
@@ -45,6 +54,12 @@ let to_string ~file (d : t) =
        (loc_to_string ~file d.loc)
        (severity_to_string d.severity)
        d.check d.message);
+  (match d.intervals with
+   | Some (i, j) ->
+     Buffer.add_string b
+       (if i = j then Printf.sprintf " (barrier interval %d)" i
+        else Printf.sprintf " (barrier intervals %d and %d)" i j)
+   | None -> ());
   List.iter
     (fun n ->
       Buffer.add_string b
@@ -52,19 +67,95 @@ let to_string ~file (d : t) =
     d.notes;
   Buffer.contents b
 
+(* --- machine-readable rendering --- *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_loc_fields = function
+  | Some (l : Srcloc.t) when Srcloc.is_known l ->
+    Printf.sprintf "\"line\":%d,\"col\":%d" l.Srcloc.line l.Srcloc.col
+  | _ -> "\"line\":null,\"col\":null"
+
+(* One JSON object per finding: kind, severity, location, message,
+   intervals (or null), notes.  Key order is fixed so the output is
+   byte-stable. *)
+let to_json ~file (d : t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"kind\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",%s"
+       (json_escape d.check)
+       (severity_to_string d.severity)
+       (json_escape file)
+       (json_loc_fields d.loc));
+  Buffer.add_string b
+    (Printf.sprintf ",\"message\":\"%s\"" (json_escape d.message));
+  (match d.intervals with
+   | Some (i, j) -> Buffer.add_string b (Printf.sprintf ",\"intervals\":[%d,%d]" i j)
+   | None -> Buffer.add_string b ",\"intervals\":null");
+  Buffer.add_string b ",\"notes\":[";
+  List.iteri
+    (fun k n ->
+      if k > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{%s,\"message\":\"%s\"}" (json_loc_fields n.n_loc)
+           (json_escape n.n_msg)))
+    d.notes;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* A JSON array of all findings, one object per line (stable, diffable). *)
+let list_to_json ~file (ds : t list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun k d ->
+      Buffer.add_string b (if k = 0 then "\n" else ",\n");
+      Buffer.add_string b (to_json ~file d))
+    ds;
+  Buffer.add_string b (if ds = [] then "]" else "\n]");
+  Buffer.contents b
+
 let is_error d = d.severity = Error
 
-(* Stable ordering for reporting: by location, then check name. *)
+let compare_loc a b =
+  match a, b with
+  | Some la, Some lb -> Srcloc.compare la lb
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> 0
+
+(* Stable ordering for reporting: by location, then check name, then
+   severity/message/notes/intervals — a total order, so sorting is
+   byte-deterministic regardless of discovery order. *)
 let compare_diag (a : t) (b : t) =
-  let lc =
-    match a.loc, b.loc with
-    | Some la, Some lb -> Srcloc.compare la lb
-    | Some _, None -> -1
-    | None, Some _ -> 1
-    | None, None -> 0
-  in
-  if lc <> 0 then lc
-  else
-    match compare a.check b.check with
-    | 0 -> compare a.message b.message
-    | c -> c
+  let cmp l = List.fold_left (fun acc c -> if acc <> 0 then acc else c ()) 0 l in
+  cmp
+    [ (fun () -> compare_loc a.loc b.loc)
+    ; (fun () -> compare a.check b.check)
+    ; (fun () -> compare a.severity b.severity)
+    ; (fun () -> compare a.message b.message)
+    ; (fun () -> compare a.intervals b.intervals)
+    ; (fun () ->
+        compare
+          (List.map (fun n -> (n.n_loc, n.n_msg)) a.notes)
+          (List.map (fun n -> (n.n_loc, n.n_msg)) b.notes))
+    ]
+
+(* Deduplicate and deterministically sort a diagnostic list (by file
+   order = location, then kind): every checker output goes through this
+   so repeated runs are byte-identical. *)
+let normalize (ds : t list) : t list = List.sort_uniq compare_diag ds

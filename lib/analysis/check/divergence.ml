@@ -1,4 +1,4 @@
-(* Barrier-divergence check.
+(* Barrier-divergence check, on top of the {!Mhp} interval analysis.
 
    [polygeist.barrier] (CUDA [__syncthreads]) requires that every thread
    of the block reach the same barrier the same number of times.  A
@@ -7,168 +7,46 @@
    threads — the classic divergent-barrier bug, which the fiber-based
    interpreter only detects at run time as a deadlock.
 
-   The check computes a thread-dependence taint over SSA values: thread
-   ivs of the block-parallel loop (minus those with extent 1) are
-   tainted, and taint propagates through pure arithmetic, loads (memory
-   may hold thread-dependent data), and calls.  Every barrier's ancestor
-   chain up to the block-parallel op is then inspected: a tainted [If]
-   condition, [For] bound, or [While] condition flags the barrier. *)
+   The thread-dependence taint lives in {!Mhp.mk_taint} (shared with
+   the race check); every barrier's ancestor chain up to the
+   block-parallel op is inspected: a tainted [If] condition, [For]
+   bound, or [While] condition flags the barrier.  Each finding records
+   the offending barrier and the divergent ancestor, plus the barrier's
+   interval pair (what it closes / what it opens) — the handles the
+   repair search uses to propose hoisting the barrier out of the
+   divergent construct. *)
 
 open Ir
 
-(* The condition value of a While op: the operand of the Condition
-   terminator of its cond region. *)
-let while_cond_value (op : Op.op) : Value.t option =
-  let found = ref None in
-  List.iter
-    (fun (o : Op.op) ->
-      if o.Op.kind = Op.Condition then found := Some o.Op.operands.(0))
-    op.Op.regions.(0).Op.body;
-  !found
+type finding =
+  { dv_barrier : Op.op
+  ; dv_anchor : Op.op (* the thread-dependent control ancestor *)
+  ; dv_diag : Diag.t
+  }
 
-(* Is the memref a per-thread instance: an allocation made strictly
-   inside the block-parallel region (every thread materializes its own
-   copy)? *)
-let thread_private (ctx : Effects.ctx) (par : Op.op) (v : Value.t) : bool =
-  let rec chase (v : Value.t) =
-    match Info.defining_op ctx.info v with
-    | Some ({ Op.kind = Op.Alloc | Op.Alloca; _ } as o) -> Some o
-    | Some { Op.kind = Op.Cast _; operands; _ } -> chase operands.(0)
+let findings (mhp : Mhp.t) : finding list =
+  let ctx = Mhp.ctx mhp in
+  let par = Mhp.par mhp in
+  let taint = Mhp.taint mhp in
+  let acc = ref [] in
+  let intervals_of (b : Op.op) =
+    (* what the barrier closes and what it opens: the span a hoisted
+       replacement has to cover *)
+    match Mhp.barrier_closes mhp b, Mhp.barrier_opens mhp b with
+    | Some (u, s), Some opened ->
+      let closed = match u @ s with [] -> 0 | l -> List.fold_left min max_int l in
+      Some (closed, opened)
     | _ -> None
   in
-  match chase v with
-  | Some o -> Info.is_ancestor ctx.info ~anc:par o
-  | None -> false
-
-(* Thread-dependence taint: can the value differ between two threads of
-   one block (at the same point of the lock-step execution)?  Memoized
-   per value.
-
-   Anything defined outside the block-parallel region is launch-uniform.
-   Inside, taint starts at the non-unit thread ivs and propagates
-   through arithmetic and through memory when the frontend spilled a
-   value to a stack slot: a load from a thread-private slot is tainted
-   iff some store to the slot stores a tainted value or executes under
-   tainted control (divergent threads then disagree on whether the store
-   happened at all).  Loads from anything shared between threads are
-   conservatively tainted. *)
-let mk_taint (ctx : Effects.ctx) : Value.t -> bool =
-  let non_unit = Value.Set.diff ctx.tids (Effects.unit_tids ctx) in
-  let memo = Hashtbl.create 64 in
-  (* Stores to (and escapes of) each memref inside the parallel region,
-     for the private-slot rule. *)
-  let slot_stores : (int, Op.op list ref) Hashtbl.t = Hashtbl.create 16 in
-  let escaped : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  (match ctx.par with
-   | Some par ->
-     Op.iter
-       (fun (o : Op.op) ->
-         match o.Op.kind with
-         | Op.Store ->
-           let b = o.Op.operands.(1) in
-           let r =
-             match Hashtbl.find_opt slot_stores b.Value.id with
-             | Some r -> r
-             | None ->
-               let r = ref [] in
-               Hashtbl.replace slot_stores b.Value.id r;
-               r
-           in
-           r := o :: !r
-         | Op.Copy -> Hashtbl.replace escaped o.Op.operands.(1).Value.id ()
-         | Op.Call _ ->
-           Array.iter
-             (fun (v : Value.t) -> Hashtbl.replace escaped v.Value.id ())
-             o.Op.operands
-         | _ -> ())
-       par
-   | None -> ());
-  let rec go (v : Value.t) : bool =
-    match Hashtbl.find_opt memo v.Value.id with
-    | Some b -> b
-    | None ->
-      (* cycle guard: assume uniform while computing *)
-      Hashtbl.replace memo v.Value.id false;
-      let r =
-        if Value.Set.mem v non_unit then true
-        else if Value.Set.mem v ctx.tids then false (* unit-extent tid *)
-        else begin
-          match Info.def ctx.info v with
-          | Info.Def_external -> false (* defined above the kernel *)
-          | Info.Def_arg (op, _) when outside op -> false
-          | Info.Def_op op when outside op -> false
-          | Info.Def_arg (op, _) -> begin
-            match op.Op.kind with
-            | Op.Func _ -> false (* parameters are launch-uniform *)
-            | Op.Parallel Op.Grid -> false (* same block for all threads *)
-            | Op.Parallel _ | Op.OmpWsloop | Op.OmpParallel -> true
-            | Op.For ->
-              (* uniform bounds => all threads see the same iv sequence
-                 (same-iteration/lock-step comparison) *)
-              go (Op.for_lo op) || go (Op.for_hi op) || go (Op.for_step op)
-            | _ -> true
-          end
-          | Info.Def_op op -> begin
-            match op.Op.kind with
-            | Op.Constant _ -> false
-            | Op.Alloc | Op.Alloca -> false (* the memref value itself *)
-            | Op.Load -> load_tainted op
-            | Op.Call _ -> true
-            | Op.Dim _ -> go op.Op.operands.(0)
-            | Op.Binop _ | Op.Cmp _ | Op.Select | Op.Cast _ | Op.Math _ ->
-              Array.exists go op.Op.operands
-            | _ -> true
-          end
-        end
-      in
-      Hashtbl.replace memo v.Value.id r;
-      r
-  and outside (op : Op.op) : bool =
-    match ctx.par with
-    | Some par -> not (Info.is_ancestor ctx.info ~anc:par op)
-    | None -> false
-  and load_tainted (load : Op.op) : bool =
-    match ctx.par with
-    | None -> true
-    | Some par ->
-      let b = load.Op.operands.(0) in
-      if not (thread_private ctx par b) || Hashtbl.mem escaped b.Value.id
-      then true (* other threads may have written the loaded value *)
-      else begin
-        let stores =
-          match Hashtbl.find_opt slot_stores b.Value.id with
-          | Some r -> !r
-          | None -> []
-        in
-        List.exists
-          (fun (s : Op.op) -> go s.Op.operands.(0) || ctrl_tainted par s)
-          stores
-      end
-  and ctrl_tainted (par : Op.op) (op : Op.op) : bool =
-    List.exists
-      (fun (anc : Op.op) ->
-        match anc.Op.kind with
-        | Op.If -> go anc.Op.operands.(0)
-        | Op.For ->
-          go (Op.for_lo anc) || go (Op.for_hi anc) || go (Op.for_step anc)
-        | Op.While -> begin
-          match while_cond_value anc with
-          | Some c -> go c
-          | None -> true
-        end
-        | _ -> false)
-      (Info.ancestors_up_to ctx.info ~stop:par op)
-  in
-  go
-
-let check (ctx : Effects.ctx) (par : Op.op) : Diag.t list =
-  let taint = mk_taint ctx in
-  let diags = ref [] in
   let flag (barrier : Op.op) (anc : Op.op) msg =
     let notes =
       [ Diag.note ?loc:anc.Op.loc "thread-dependent control flow is here" ]
     in
-    diags := Diag.mk ?loc:barrier.Op.loc ~notes Diag.Error "divergence" msg :: !diags
+    let diag =
+      Diag.mk ?loc:barrier.Op.loc ~notes ?intervals:(intervals_of barrier)
+        Diag.Error "divergence" msg
+    in
+    acc := { dv_barrier = barrier; dv_anchor = anc; dv_diag = diag } :: !acc
   in
   Op.iter_region
     (fun (b : Op.op) ->
@@ -191,7 +69,7 @@ let check (ctx : Effects.ctx) (par : Op.op) : Diag.t list =
                    threads may execute __syncthreads a different number of \
                    times"
             | Op.While -> begin
-              match while_cond_value anc with
+              match Mhp.while_cond_value anc with
               | Some c when taint c ->
                 flag b anc
                   "barrier inside a loop with thread-dependent condition: \
@@ -200,6 +78,9 @@ let check (ctx : Effects.ctx) (par : Op.op) : Diag.t list =
               | _ -> ()
             end
             | _ -> ())
-          (Info.ancestors_up_to ctx.info ~stop:par b))
+          (Info.ancestors_up_to ctx.Effects.info ~stop:par b))
     par.Op.regions.(0);
-  List.rev !diags
+  List.rev !acc
+
+let check (mhp : Mhp.t) : Diag.t list =
+  List.map (fun f -> f.dv_diag) (findings mhp)

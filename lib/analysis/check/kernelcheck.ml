@@ -25,31 +25,28 @@ let block_pars (m : Op.op) : Op.op list =
     m;
   List.rev !acc
 
+(* The interval analysis is shared by the race and divergence checks:
+   build it once per parallel region. *)
 let check_par ?report_possible (ctx : Effects.ctx) (par : Op.op) :
   Diag.t list =
-  Race.check ?report_possible ctx par
-  @ Divergence.check ctx par
+  let mhp = Mhp.analyze ctx par in
+  Race.check_mhp ?report_possible mhp
+  @ Divergence.check mhp
   @ Shared_init.check ctx par
 
-(** All diagnostics for the module, sorted by source location.
+(** All diagnostics for the module, deduplicated and deterministically
+    sorted by source location then check name ({!Diag.normalize}).
     [report_possible] also surfaces conservative maybe-races as
     warnings (default: only definite races, divergence and
     shared-init). *)
 let check_module ?report_possible (m : Op.op) : Diag.t list =
   let info = Info.build m in
-  let diags =
-    List.concat_map
-      (fun par ->
-        let ctx = Effects.make_ctx ~modul:m ~par info in
-        check_par ?report_possible ctx par)
-      (block_pars m)
-  in
-  List.sort_uniq
-    (fun a b ->
-      match Diag.compare_diag a b with
-      | 0 -> compare a b
-      | c -> c)
-    diags
+  Diag.normalize
+    (List.concat_map
+       (fun par ->
+         let ctx = Effects.make_ctx ~modul:m ~par info in
+         check_par ?report_possible ctx par)
+       (block_pars m))
 
 (** Race check only, for re-running after transformation passes
     ([-check-after-each-pass]): divergence/shared-init diagnostics lose
@@ -57,10 +54,11 @@ let check_module ?report_possible (m : Op.op) : Diag.t list =
     definite race must never appear in a race-free program. *)
 let check_module_races (m : Op.op) : Diag.t list =
   let info = Info.build m in
-  List.concat_map
-    (fun par ->
-      let ctx = Effects.make_ctx ~modul:m ~par info in
-      Race.check ctx par)
-    (block_pars m)
+  Diag.normalize
+    (List.concat_map
+       (fun par ->
+         let ctx = Effects.make_ctx ~modul:m ~par info in
+         Race.check ctx par)
+       (block_pars m))
 
 let has_errors (diags : Diag.t list) = List.exists Diag.is_error diags

@@ -1,13 +1,14 @@
-(* Static cross-thread data-race check.
+(* Static cross-thread data-race check, built on the {!Mhp} interval
+   analysis.
 
    Two accesses race when they can touch the same address from two
    different threads with at least one write and no barrier on any path
-   between them.  Candidate pairs come from {!Effects}: for every
-   access-bearing op, its own accesses are paired with themselves (the
+   between them.  The candidate pairs — accesses that may share a
+   dynamic barrier-interval instance — come from {!Mhp.conflicts},
+   which pairs every access-bearing leaf with its own accesses (the
    same statement executed by several threads) and with everything
-   reachable forward of it before the next barrier
-   ({!Effects.effects_after}, which follows branch, loop-exit and
-   wrap-around paths).
+   reachable forward of it before the next barrier, and annotates each
+   pair with the static intervals of its two sides.
 
    Conflicts are then classified:
 
@@ -20,7 +21,12 @@
      lost precision (unknown base, non-affine index, thread-dependent
      guard, ...).  Suppressed by default to keep the checker quiet on
      the benchmark suite; [~report_possible:true] surfaces them as
-     warnings. *)
+     warnings.
+
+   Each racing op pair yields ONE diagnostic carrying its strongest
+   classification, the interval pair, and — through {!findings} — the
+   source ops the repair search feeds to
+   {!Mhp.separation_points}. *)
 
 open Ir
 
@@ -46,64 +52,6 @@ let tid_extent (ctx : Effects.ctx) (par : Op.op) (v : Value.t) : int option =
     end
   done;
   !res
-
-(* A base allocated strictly inside the block-parallel region
-   ({!Divergence.thread_private}) is a per-thread instance: every thread
-   materializes its own copy, so two DIFFERENT threads can never touch
-   the same address through it.  The conservative conflict test does not
-   know this — it only has to be sound for barrier removal — but for
-   race reporting these are pure noise (typically loop-carried scalars
-   mem2reg cannot promote). *)
-let thread_private = Divergence.thread_private
-
-(* An access-bearing leaf op, with the guard context the plain effect
-   scan does not track: the pinned thread ivs of enclosing equality
-   guards and whether any enclosing condition is thread-dependent
-   WITHOUT pinning (such a guard may restrict execution to fewer threads
-   than the analysis assumes, so a conflict under it is never
-   definite). *)
-type leaf =
-  { l_op : Op.op
-  ; l_accs : Effects.access list
-  ; l_pinned : Value.Set.t
-  ; l_guarded : bool
-  }
-
-let collect_leaves (ctx : Effects.ctx) (taint : Value.t -> bool)
-    (par : Op.op) : leaf list =
-  let leaves = ref [] in
-  let shared_visible (a : Effects.access) =
-    match a.Effects.base with
-    | Some b -> not (thread_private ctx par b)
-    | None -> true
-  in
-  let rec go_op ~pinned ~guarded (op : Op.op) =
-    match op.Op.kind with
-    | Op.Load | Op.Store | Op.Copy | Op.Dealloc | Op.Call _ ->
-      let accs =
-        List.filter shared_visible (Effects.collect_op ctx ~pinned op)
-      in
-      if accs <> [] then
-        leaves :=
-          { l_op = op; l_accs = accs; l_pinned = pinned; l_guarded = guarded }
-          :: !leaves
-    | Op.If ->
-      let extra = Effects.pinned_by_cond ctx op.Op.operands.(0) in
-      let cond_tainted = taint op.Op.operands.(0) in
-      (* A pinning guard (tid == e) is fully accounted for by [pinned];
-         any other thread-dependent guard forfeits definiteness. *)
-      let then_guarded =
-        guarded || (cond_tainted && Value.Set.is_empty extra)
-      in
-      go_region ~pinned:(Value.Set.union pinned extra) ~guarded:then_guarded
-        op.Op.regions.(0);
-      go_region ~pinned ~guarded:(guarded || cond_tainted) op.Op.regions.(1)
-    | _ -> Array.iter (go_region ~pinned ~guarded) op.Op.regions
-  and go_region ~pinned ~guarded (r : Op.region) =
-    List.iter (go_op ~pinned ~guarded) r.body
-  in
-  go_region ~pinned:Value.Set.empty ~guarded:false par.Op.regions.(0);
-  List.rev !leaves
 
 let classify (ctx : Effects.ctx) ~(taint : Value.t -> bool)
     ~(extent : Value.t -> int option) (a : Effects.access) (ga : bool)
@@ -166,104 +114,114 @@ let classify (ctx : Effects.ctx) ~(taint : Value.t -> bool)
   in
   if definite then Definite else Possible
 
-let check ?(report_possible = false) (ctx : Effects.ctx) (par : Op.op) :
-  Diag.t list =
-  let taint = Divergence.mk_taint ctx in
-  let extent = tid_extent ctx par in
-  let leaves = collect_leaves ctx taint par in
-  let table = Hashtbl.create 64 in
-  List.iter (fun l -> Hashtbl.replace table l.l_op.Op.oid l) leaves;
-  let seen = Hashtbl.create 64 in
-  let diags = ref [] in
-  let report strength (a : Effects.access) (b : Effects.access) =
-    let oid (x : Effects.access) =
-      match x.Effects.src with Some o -> o.Op.oid | None -> -1
-    in
-    let key = (min (oid a) (oid b), max (oid a) (oid b)) in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.replace seen key ();
-      let p, q = if a.Effects.acc_kind = Effects.Write then (a, b) else (b, a) in
-      let loc_of (x : Effects.access) =
-        Option.bind x.Effects.src (fun o -> o.Op.loc)
-      in
-      let base_name =
-        match p.Effects.base with
-        | Some v -> Value.to_string v
-        | None -> "<unknown>"
-      in
-      let kindstr = function
-        | Effects.Write -> "write"
-        | Effects.Read -> "read"
-      in
-      let sev, adj =
-        match strength with
-        | Definite -> (Diag.Error, "")
-        | Possible -> (Diag.Warning, "possible ")
-      in
-      let msg =
-        Printf.sprintf
-          "%scross-thread data race on %s: %s conflicts with a %s by another \
-           thread, with no intervening barrier"
-          adj base_name (kindstr p.Effects.acc_kind)
-          (kindstr q.Effects.acc_kind)
-      in
-      let notes =
-        match p.Effects.src, q.Effects.src with
-        | Some x, Some y when x.Op.oid = y.Op.oid ->
-          [ Diag.note
-              "both accesses come from the same statement, executed by \
-               multiple threads"
-          ]
-        | _ ->
-          [ Diag.note ?loc:(loc_of q)
-              (Printf.sprintf "conflicting %s is here"
-                 (kindstr q.Effects.acc_kind))
-          ]
-      in
-      diags := Diag.mk ?loc:(loc_of p) ~notes sev "race" msg :: !diags
-    end
+(* A reported race with the handles the repair search needs: the two
+   source ops (write side first, as in the diagnostic) and whether the
+   pairing crossed a loop back-edge. *)
+type finding =
+  { f_diag : Diag.t
+  ; f_strength : strength
+  ; f_a : Op.op option (* the write side *)
+  ; f_b : Op.op option
+  ; f_shifted : bool
+  }
+
+let findings ?(report_possible = false) (mhp : Mhp.t) : finding list =
+  let ctx = Mhp.ctx mhp in
+  let taint = Mhp.taint mhp in
+  let extent = tid_extent ctx (Mhp.par mhp) in
+  (* one finding per op pair, keeping the strongest classification (an
+     early Possible pairing must not mask a later Definite one) *)
+  let best : (int * int, strength * Mhp.conflict) Hashtbl.t =
+    Hashtbl.create 64
   in
+  let order = ref [] in
   List.iter
-    (fun l ->
-      let after = Effects.effects_after ctx ~par ~shifted:false l.l_op in
-      (* The forward scan collects accesses with empty pin/guard context;
-         recover it from the leaf table via the access's source op. *)
-      let resolve (b : Effects.access) : Effects.access * bool =
-        match b.Effects.src with
-        | Some o -> begin
-          match Hashtbl.find_opt table o.Op.oid with
-          | Some lb ->
-            (* pins rely on the guard value being the same in both
-               executions; a wrap-around copy crosses an iteration
-               boundary, so drop them *)
-            let pinned =
-              if b.Effects.shifted then Value.Set.empty else lb.l_pinned
-            in
-            ({ b with Effects.pinned }, lb.l_guarded)
-          | None -> (b, true)
-        end
-        | None -> (b, true)
+    (fun (c : Mhp.conflict) ->
+      let oid (x : Effects.access) =
+        match x.Effects.src with Some o -> o.Op.oid | None -> -1
       in
-      let candidates =
-        List.map (fun x -> (x, l.l_guarded)) l.l_accs
-        @ List.map resolve
-            (List.filter
-               (fun (a : Effects.access) ->
-                 match a.Effects.base with
-                 | Some b -> not (thread_private ctx par b)
-                 | None -> true)
-               after)
+      let key =
+        (min (oid c.Mhp.cf_a) (oid c.Mhp.cf_b),
+         max (oid c.Mhp.cf_a) (oid c.Mhp.cf_b))
       in
-      List.iter
-        (fun a ->
-          List.iter
-            (fun (b, gb) ->
-              if Effects.cross_thread_conflict ctx a b then begin
-                match classify ctx ~taint ~extent a l.l_guarded b gb with
-                | Definite -> report Definite a b
-                | Possible -> if report_possible then report Possible a b
-              end)
-            candidates)
-        l.l_accs)
-    leaves;
-  List.rev !diags
+      let strength =
+        classify ctx ~taint ~extent c.Mhp.cf_a c.Mhp.cf_ga c.Mhp.cf_b
+          c.Mhp.cf_gb
+      in
+      match Hashtbl.find_opt best key with
+      | None ->
+        order := key :: !order;
+        Hashtbl.replace best key (strength, c)
+      | Some (Possible, _) when strength = Definite ->
+        Hashtbl.replace best key (strength, c)
+      | Some _ -> ())
+    (Mhp.conflicts mhp);
+  List.filter_map
+    (fun key ->
+      let strength, (c : Mhp.conflict) = Hashtbl.find best key in
+      if strength = Possible && not report_possible then None
+      else begin
+        let a = c.Mhp.cf_a and b = c.Mhp.cf_b in
+        let p, q =
+          if a.Effects.acc_kind = Effects.Write then (a, b) else (b, a)
+        in
+        let loc_of (x : Effects.access) =
+          Option.bind x.Effects.src (fun o -> o.Op.loc)
+        in
+        let base_name =
+          match p.Effects.base with
+          | Some v -> Value.to_string v
+          | None -> "<unknown>"
+        in
+        let kindstr = function
+          | Effects.Write -> "write"
+          | Effects.Read -> "read"
+        in
+        let sev, adj =
+          match strength with
+          | Definite -> (Diag.Error, "")
+          | Possible -> (Diag.Warning, "possible ")
+        in
+        let msg =
+          Printf.sprintf
+            "%scross-thread data race on %s: %s conflicts with a %s by \
+             another thread, with no intervening barrier"
+            adj base_name (kindstr p.Effects.acc_kind)
+            (kindstr q.Effects.acc_kind)
+        in
+        let notes =
+          match p.Effects.src, q.Effects.src with
+          | Some x, Some y when x.Op.oid = y.Op.oid ->
+            [ Diag.note
+                "both accesses come from the same statement, executed by \
+                 multiple threads"
+            ]
+          | _ ->
+            [ Diag.note ?loc:(loc_of q)
+                (Printf.sprintf "conflicting %s is here"
+                   (kindstr q.Effects.acc_kind))
+            ]
+        in
+        let intervals =
+          (* report in (write, other) order to match the message *)
+          if p == a then c.Mhp.cf_intervals
+          else begin
+            let i, j = c.Mhp.cf_intervals in
+            (j, i)
+          end
+        in
+        Some
+          { f_diag = Diag.mk ?loc:(loc_of p) ~notes ~intervals sev "race" msg
+          ; f_strength = strength
+          ; f_a = p.Effects.src
+          ; f_b = q.Effects.src
+          ; f_shifted = c.Mhp.cf_shifted
+          }
+      end)
+    (List.rev !order)
+
+let check_mhp ?report_possible (mhp : Mhp.t) : Diag.t list =
+  List.map (fun f -> f.f_diag) (findings ?report_possible mhp)
+
+let check ?report_possible (ctx : Effects.ctx) (par : Op.op) : Diag.t list =
+  check_mhp ?report_possible (Mhp.analyze ctx par)

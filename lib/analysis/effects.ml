@@ -159,16 +159,24 @@ let unit_tids (ctx : ctx) : Value.Set.t =
 let classify (ctx : ctx) (v : Value.t) : [ `Sym | `Expand | `Opaque ] =
   if Value.Set.mem v ctx.tids then `Sym
   else
-    match ctx.par with
-    | None -> `Sym (* no parallel context: every leaf is a plain symbol *)
-    | Some par ->
-      if not (Info.defined_inside ctx.info ~container:par v) then `Sym
-      else begin
-        match Info.def ctx.info v with
-        | Info.Def_arg ({ Op.kind = Op.For; _ }, _) -> `Sym
-        | Info.Def_arg _ -> `Opaque
-        | Info.Def_op _ | Info.Def_external -> `Expand
-      end
+    match Info.defining_op ctx.info v with
+    (* A constant is a constant wherever it is defined: expanding it
+       keeps [i * c] affine even when canonicalize hoisted [c] out of
+       the parallel region (a bare symbol would make the product
+       var*var and the whole index opaque). *)
+    | Some { Op.kind = Op.Constant _; _ } -> `Expand
+    | _ -> begin
+      match ctx.par with
+      | None -> `Sym (* no parallel context: every leaf is a plain symbol *)
+      | Some par ->
+        if not (Info.defined_inside ctx.info ~container:par v) then `Sym
+        else begin
+          match Info.def ctx.info v with
+          | Info.Def_arg ({ Op.kind = Op.For; _ }, _) -> `Sym
+          | Info.Def_arg _ -> `Opaque
+          | Info.Def_op _ | Info.Def_external -> `Expand
+        end
+    end
 
 let derive_idx (ctx : ctx) (idx_operands : Value.t array) :
   Affine.expr option list * Value.Set.t =
@@ -481,8 +489,10 @@ and tail_effects ctx ~(shifted : bool) (op : Op.op) : access list * bool =
     let tc, sc = scan_ops_back ctx ~shifted cond (List.length cond) in
     if sc then (tc, true)
     else begin
+      (* the last iteration's tail precedes the exit in program order —
+         not a wrap path, so keep the incoming flag (like For) *)
       let body = op.Op.regions.(1).Op.body in
-      let tb, _ = scan_ops_back ctx ~shifted:true body (List.length body) in
+      let tb, _ = scan_ops_back ctx ~shifted body (List.length body) in
       (tc @ tb, false) (* the body may have run zero times *)
     end
   | _ ->
@@ -537,7 +547,9 @@ and head_effects ctx ~(shifted : bool) (op : Op.op) : access list * bool =
     let hc, sc = scan_ops_fwd ctx ~shifted op.Op.regions.(0).body (-1) in
     if sc then (hc, true)
     else begin
-      let hb, _ = scan_ops_fwd ctx ~shifted:true op.Op.regions.(1).body (-1) in
+      (* first-iteration body head: the entry path, not a wrap (like
+         For) — later iterations are covered by the in-loop wrap walk *)
+      let hb, _ = scan_ops_fwd ctx ~shifted op.Op.regions.(1).body (-1) in
       (hc @ hb, false)
     end
   | _ ->
@@ -582,7 +594,11 @@ let rec effects_before ctx ~(par : Op.op) ~(shifted : bool) (at : Op.op) :
         let wrap, _wrap_stopped =
           scan_ops_back ctx ~shifted:true body (List.length body)
         in
-        here @ wrap @ effects_before ctx ~par ~shifted:true parent
+        (* only the back edge is a wrap: the entry path keeps the
+           incoming flag — accesses before the loop are ordered with the
+           leaf by plain program order, so a barrier between them
+           separates the pair (see [Mhp.separation_points]) *)
+        here @ wrap @ effects_before ctx ~par ~shifted parent
       | Op.While ->
         if ri = 0 then begin
           (* cond-start predecessors: the while entry (always) and the
@@ -591,7 +607,7 @@ let rec effects_before ctx ~(par : Op.op) ~(shifted : bool) (at : Op.op) :
           let wrap, _ =
             scan_ops_back ctx ~shifted:true body (List.length body)
           in
-          here @ wrap @ effects_before ctx ~par ~shifted:true parent
+          here @ wrap @ effects_before ctx ~par ~shifted parent
         end
         else begin
           (* body-start predecessor: the cond region end (the cond always
@@ -609,7 +625,7 @@ let rec effects_before ctx ~(par : Op.op) ~(shifted : bool) (at : Op.op) :
                   parent.Op.regions.(1).body
                   (List.length parent.Op.regions.(1).body)
               in
-              wrap @ effects_before ctx ~par ~shifted:true parent
+              wrap @ effects_before ctx ~par ~shifted parent
             end
           in
           here @ c @ beyond
@@ -634,14 +650,16 @@ let rec effects_after ctx ~(par : Op.op) ~(shifted : bool) (at : Op.op) :
            barrier).  The exit path must always be explored. *)
         let body = parent.Op.regions.(0).body in
         let wrap, _ = scan_ops_fwd ctx ~shifted:true body (-1) in
-        here @ wrap @ effects_after ctx ~par ~shifted:true parent
+        (* the wrap scan is shifted; the exit path keeps the incoming
+           flag — post-loop accesses follow the leaf in program order *)
+        here @ wrap @ effects_after ctx ~par ~shifted parent
       | Op.While ->
         if ri = 0 then begin
           (* after the cond: the body (if true, wrap) and whatever follows
              the while (if false — always possible) *)
           let body = parent.Op.regions.(1).body in
           let b, _ = scan_ops_fwd ctx ~shifted:true body (-1) in
-          here @ b @ effects_after ctx ~par ~shifted:true parent
+          here @ b @ effects_after ctx ~par ~shifted parent
         end
         else begin
           (* after the body: the cond region of the next iteration; if the
@@ -655,7 +673,7 @@ let rec effects_after ctx ~(par : Op.op) ~(shifted : bool) (at : Op.op) :
               let bh, _ =
                 scan_ops_fwd ctx ~shifted:true parent.Op.regions.(1).body (-1)
               in
-              bh @ effects_after ctx ~par ~shifted:true parent
+              bh @ effects_after ctx ~par ~shifted parent
             end
           in
           here @ c @ beyond

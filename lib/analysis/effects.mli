@@ -37,6 +37,11 @@ val mk_access :
   kind ->
   access
 
+(** The access as seen across a loop wrap-around: [shifted] set and
+    every index dimension that mentions a serial-loop iv dropped (iv
+    equalities do not hold across iterations). *)
+val shift_access : access -> access
+
 (** {2 Call effect summaries} *)
 
 type summary_item =

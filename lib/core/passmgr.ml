@@ -93,6 +93,23 @@ let corrupt_module (m : Op.op) : unit =
   let r = m.Op.regions.(0) in
   r.Op.body <- r.Op.body @ [ Op.mk Op.Barrier ]
 
+(* Speculative-edit harness: the same snapshot/restore substrate the
+   ladder uses, exposed for the repair search.  Runs [f]; when it
+   returns [false] or raises, the module is transplanted back to its
+   pre-call state (note restore replaces the regions with FRESH clones,
+   so op/region references into the module taken before the call are
+   dangling afterwards — callers must re-derive them). *)
+let with_rollback (m : Op.op) (f : unit -> bool) : bool =
+  let snap = Clone.snapshot m in
+  match f () with
+  | true -> true
+  | false ->
+    Clone.restore ~into:m snap;
+    false
+  | exception _ ->
+    Clone.restore ~into:m snap;
+    false
+
 (* Per-stage fuel: generous — real stages tick once per fixpoint
    iteration, so only a diverging pass (or an injected exhaust) hits it. *)
 let stage_fuel = 1_000_000

@@ -37,6 +37,43 @@ val run_campaign :
     sizes and bundle paths. *)
 val report_to_string : report -> string
 
+(** {2 The racy-repair campaign ([fuzz --gen-racy])} *)
+
+type repair_finding =
+  { pseed : int
+  ; perrors : int (** sanitizer errors before repair *)
+  ; pedits : int (** barrier edits applied (0 on failure) *)
+  ; ptried : int (** candidates speculatively applied *)
+  ; psecs : float (** search + validation wall-clock *)
+  ; presult : (string list, string) result
+    (** patch lines, or the failure reason *)
+  }
+
+type repair_report =
+  { rscanned : int (** seeds examined *)
+  ; rracy : int (** sanitizer-dirty mutants among them *)
+  ; rfindings : repair_finding list (** one per racy mutant, seed order *)
+  ; rsecs : float
+  }
+
+(** Scan seeds from [seed] until [racy] sanitizer-dirty mutants
+    ({!Gen.racy_source}) are found (or [max_seeds], default
+    [racy * 20], are scanned) and run the analysis-guided repair search
+    ({!Core.Repair}) on each, validating every sanitizer-clean repair
+    against the differential oracle ({!Oracle.run_module}).
+    Deterministic apart from the timing fields. *)
+val run_repair_campaign :
+  ?options:Core.Cpuify.options ->
+  ?timeout_ms:int ->
+  ?max_seeds:int ->
+  ?progress:(int -> int -> unit) ->
+  seed:int ->
+  racy:int ->
+  unit ->
+  repair_report
+
+val repair_report_to_string : repair_report -> string
+
 (** Re-run the oracle on a fuzz bundle's embedded source; [Ok] iff the
     recorded stage and class still fail (the [--replay] path for bundles
     whose rung is ["fuzz"]). *)

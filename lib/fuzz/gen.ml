@@ -184,6 +184,17 @@ let phase st =
   | 8 -> uniform_if_phase st
   | _ -> serial_loop_phase st
 
+(* All start offsets of [needle] in [hay], left to right. *)
+let find_all ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then List.rev acc
+    else if String.equal (String.sub hay i nl) needle then
+      go (i + nl) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
 let source ~seed =
   let cfg = cfg_of_seed seed in
   let st =
@@ -213,3 +224,23 @@ void launch(float* out, float* in) { k<<<%d, %d>>>(out, in); }
     cfg.threads cfg.threads cfg.threads cfg.threads
     (String.concat "\n  " phases)
     cfg.threads blocks cfg.threads
+
+(* A racy mutant of [source ~seed]: the same program with one
+   [__syncthreads] deleted, chosen by the seed.  Since every generated
+   program is race-free exactly BECAUSE of its fences, dropping one
+   usually — not always (some fences are redundant for the phases that
+   happened to be drawn) — introduces a real cross-thread race whose
+   known-good minimal repair is re-inserting the deleted barrier.  The
+   repair campaign keeps only the mutants the sanitizer flags. *)
+let racy_source ~seed =
+  let src = source ~seed in
+  let needle = "__syncthreads();" in
+  match find_all ~needle src with
+  | [] -> src
+  | occs ->
+    let rng = Random.State.make [| 0xbad; seed |] in
+    let at = List.nth occs (Random.State.int rng (List.length occs)) in
+    String.sub src 0 at
+    ^ String.sub src
+        (at + String.length needle)
+        (String.length src - at - String.length needle)

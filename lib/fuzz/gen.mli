@@ -26,3 +26,10 @@ val cfg_of_seed : int -> cfg
 (** The generated program: kernel [k] plus host entry
     [void launch(float* out, float* in)].  Same seed, same source. *)
 val source : seed:int -> string
+
+(** [source ~seed] with one seeded [__syncthreads] deleted — the racy
+    mutant whose known-good minimal repair is re-inserting it.  Not
+    every mutant is actually racy (some fences are redundant for the
+    drawn phases): the repair campaign keeps only the ones the
+    sanitizer flags. *)
+val racy_source : seed:int -> string

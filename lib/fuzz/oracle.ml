@@ -121,26 +121,26 @@ let classify_pass_exn exn =
   | Core.Cpuify.Stuck msg -> ("stuck", msg)
   | exn -> ("crash", Printexc.to_string exn)
 
-let run ?(options = Core.Cpuify.default_options) ?(timeout_ms = 5000) src :
-  outcome =
-  match Cudafe.Codegen.compile src with
-  | exception Cudafe.Parser.Error e ->
-    Failed { f_stage = "frontend"; f_class = "frontend"; f_detail = e }
-  | exception Cudafe.Codegen.Error e ->
-    Failed { f_stage = "frontend"; f_class = "frontend"; f_detail = e }
-  | reference -> (
-    let ref_rv = interp_run reference in
-    match ref_rv with
-    | Error msg
-      when String.length msg >= 24
-           && String.equal (String.sub msg 0 24) "interpreter fuel exhaust" ->
-      (* a nonterminating reference is not a valid differential subject
-         (this only arises for reduction candidates); bail before the
-         stage walk re-burns the fuel once per rung *)
-      Failed
-        { f_stage = "reference"; f_class = "nonterminating"; f_detail = msg }
-    | _ ->
-    let m = Cudafe.Codegen.compile src in
+(* [run] on a frontend-level module instead of source: the reference is
+   a pristine deep clone interpreted under GPU semantics, the working
+   copy another clone the rungs mutate — the input module is left
+   untouched.  This is the validation entry the repair search uses on
+   its edited (no longer source-backed) kernels. *)
+let run_module ?(options = Core.Cpuify.default_options) ?(timeout_ms = 5000)
+    (m0 : Ir.Op.op) : outcome =
+  let reference = Ir.Clone.snapshot m0 in
+  let ref_rv = interp_run reference in
+  match ref_rv with
+  | Error msg
+    when String.length msg >= 24
+         && String.equal (String.sub msg 0 24) "interpreter fuel exhaust" ->
+    (* a nonterminating reference is not a valid differential subject
+       (this only arises for reduction candidates); bail before the
+       stage walk re-burns the fuel once per rung *)
+    Failed
+      { f_stage = "reference"; f_class = "nonterminating"; f_detail = msg }
+  | _ ->
+    let m = Ir.Clone.snapshot m0 in
     let check_stage (name, pass, kind) : failure option =
       match pass m with
       | exception exn ->
@@ -180,9 +180,17 @@ let run ?(options = Core.Cpuify.default_options) ?(timeout_ms = 5000) src :
       List.map (fun st () -> check_stage st) (stage_list options)
       @ List.map (fun d () -> exec_stage d) [ 1; 4 ]
     in
-    match List.find_map (fun rung -> rung ()) rungs with
-    | Some f -> Failed f
-    | None -> Passed)
+    (match List.find_map (fun rung -> rung ()) rungs with
+     | Some f -> Failed f
+     | None -> Passed)
+
+let run ?options ?timeout_ms src : outcome =
+  match Cudafe.Codegen.compile src with
+  | exception Cudafe.Parser.Error e ->
+    Failed { f_stage = "frontend"; f_class = "frontend"; f_detail = e }
+  | exception Cudafe.Codegen.Error e ->
+    Failed { f_stage = "frontend"; f_class = "frontend"; f_detail = e }
+  | m0 -> run_module ?options ?timeout_ms m0
 
 let ir_before ?(options = Core.Cpuify.default_options) src stage : string =
   match Cudafe.Codegen.compile src with

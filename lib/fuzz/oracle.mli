@@ -27,6 +27,10 @@ type outcome =
 
 val failure_to_string : failure -> string
 
+(** The {!Gen} execution contract's host entry name ([launch]) — what a
+    module must define for {!run_module} to be applicable. *)
+val entry : string
+
 (** Stage and class equal — the invariant the reducer preserves. *)
 val same_failure : failure -> failure -> bool
 
@@ -35,6 +39,13 @@ val same_failure : failure -> failure -> bool
     are fuel-bounded, so no rung can hang. *)
 val run :
   ?options:Core.Cpuify.options -> ?timeout_ms:int -> string -> outcome
+
+(** [run] starting from a frontend-level module (which must follow the
+    same [launch] contract) instead of source; the input module is
+    deep-cloned, never mutated.  The validation entry the repair search
+    uses on its edited kernels. *)
+val run_module :
+  ?options:Core.Cpuify.options -> ?timeout_ms:int -> Ir.Op.op -> outcome
 
 (** The IR as it stood {e before} the named stage (the crash bundle's
     pre-stage section); for ["frontend"] or executor stages, the

@@ -1,0 +1,20 @@
+// Seeded loop-carried race: each iteration reads a neighbour's slot,
+// syncs, and writes its own — but nothing separates the write from the
+// NEXT iteration's read, so the wrap-around pair races.  The known-good
+// minimal repair is a single __syncthreads() cutting the back edge (at
+// the end of the loop body).
+__global__ void k(float* out, float* in) {
+  __shared__ float s[8];
+  int t = threadIdx.x;
+  int b = blockIdx.x;
+  s[t] = in[b * 8 + t];
+  __syncthreads();
+  for (int i = 0; i < 3; i++) {
+    float v = s[(t + 1) % 8];
+    __syncthreads();
+    s[t] = v * 0.5f;
+  }
+  __syncthreads();
+  out[b * 8 + t] = s[t];
+}
+void launch(float* out, float* in) { k<<<2, 8>>>(out, in); }

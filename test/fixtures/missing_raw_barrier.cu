@@ -1,0 +1,12 @@
+// Seeded read-after-write race: every thread stores into shared memory
+// and then immediately reads ANOTHER thread's slot with no barrier in
+// between.  The known-good minimal repair is a single __syncthreads()
+// between the store and the mirrored load (before line 7).
+__global__ void k(float* out, float* in) {
+  __shared__ float s[8];
+  int t = threadIdx.x;
+  int b = blockIdx.x;
+  s[t] = in[b * 8 + t];
+  out[b * 8 + t] = s[7 - t];
+}
+void launch(float* out, float* in) { k<<<2, 8>>>(out, in); }

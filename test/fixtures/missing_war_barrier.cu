@@ -1,0 +1,17 @@
+// Seeded write-after-read race: threads read a rotated neighbour slot
+// and then overwrite their own slot with no barrier in between, so a
+// slow reader can observe another thread's new value.  The known-good
+// minimal repair is a single __syncthreads() between the rotated read
+// and the overwrite.
+__global__ void k(float* out, float* in) {
+  __shared__ float s[8];
+  int t = threadIdx.x;
+  int b = blockIdx.x;
+  s[t] = in[b * 8 + t];
+  __syncthreads();
+  float v = s[(t + 3) % 8] + s[t];
+  s[t] = v * 2.0f;
+  __syncthreads();
+  out[b * 8 + t] = s[t] + v;
+}
+void launch(float* out, float* in) { k<<<2, 8>>>(out, in); }

@@ -1,0 +1,33 @@
+(* @repair-smoke (wired into `dune runtest`): a fixed-seed scan for
+   sanitizer-dirty racy mutants ({!Fuzz.Gen.racy_source} drops one
+   barrier from a generated kernel) that the analysis-guided repair
+   search must fix automatically.  Every repair is accepted only when
+   the sanitizer has nothing left to say AND the differential oracle
+   finds the repaired kernel checksum-identical to the serial
+   interpreter at 1 and 4 domains — the same double gate as the
+   driver's --repair.  Deterministic: fixed seeds, no wall-clock in any
+   pass/fail decision (the median-ms line is informational only). *)
+
+let racy = 20
+let seed = 1
+
+let () =
+  let r = Fuzz.Fuzzer.run_repair_campaign ~seed ~racy () in
+  print_string (Fuzz.Fuzzer.repair_report_to_string r);
+  let unrepaired =
+    List.filter
+      (fun (f : Fuzz.Fuzzer.repair_finding) -> Result.is_error f.presult)
+      r.rfindings
+  in
+  if r.rracy < racy then begin
+    Printf.printf
+      "repair-smoke: only %d racy mutants in %d seeds (wanted %d) — \
+       generator or sanitizer drift\n"
+      r.rracy r.rscanned racy;
+    exit 1
+  end;
+  if unrepaired <> [] then begin
+    Printf.printf "%d repair-smoke failure(s)\n" (List.length unrepaired);
+    exit 1
+  end;
+  print_endline "repair-smoke: clean"

@@ -10,5 +10,6 @@ let () =
     ; ("random", Test_random.tests)
     ; ("analysis", Test_analysis.tests)
     ; ("check", Test_check.tests)
+    ; ("mhp", Test_mhp.tests)
     ; ("passmgr", Test_passmgr.tests)
     ]
