@@ -25,6 +25,13 @@
                                             racy mutants repaired, candidates
                                             tried per accepted edit, median
                                             search time (flags: --seed --racy)
+     dune exec bench/main.exe serve      -- compile-service throughput: jobs/
+                                            sec, p50/p99 cold vs cache-warm
+                                            latency and Overloaded rejections
+                                            under a hot/cold replay with 1%
+                                            injected faults (writes
+                                            BENCH_5.json; flags: --jobs
+                                            --fault-pct --queue-cap --out)
      dune exec bench/main.exe micro      -- bechamel compiler micro-benches *)
 
 let commodity = Runtime.Machine.commodity
@@ -1010,6 +1017,216 @@ let speedup_with_flags () =
     (speedup ~min_serial_ms:!min_serial_ms ~reps:!reps
        ~domain_counts:!domain_counts ~out:!out ())
 
+(* --- compile-service throughput (BENCH_5.json) --- *)
+
+(* Sustained jobs/sec, p50/p99 latency and cache hit rate of the
+   in-process daemon core under a hot/cold job replay with a
+   configurable percentage of injected serve:raise faults, plus an
+   admission-control burst that must produce explicit Overloaded
+   rejections (never unbounded queueing).  Cold = first submission of
+   a cache key; warm = every later one (served from the
+   content-addressed cache).  The headline check mirrors the service's
+   reason to exist: warm latency must be at least 10x below cold. *)
+
+let serve_sources =
+  (* distinct scale constants = distinct sources = distinct cache keys *)
+  List.init 6 (fun i ->
+      Printf.sprintf
+        {|__global__ void saxpy(float* x, float* y, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) y[i] = %d.0f * x[i] + y[i];
+}
+void run(float* x, float* y, int n) {
+  saxpy<<<(n + 63) / 64, 64>>>(x, y, n);
+}
+|}
+        (i + 2))
+
+let percentile (xs : float array) (p : float) : float =
+  if Array.length xs = 0 then 0.0
+  else begin
+    let xs = Array.copy xs in
+    Array.sort compare xs;
+    let idx =
+      int_of_float (p /. 100.0 *. float_of_int (Array.length xs - 1))
+    in
+    xs.(min (Array.length xs - 1) idx)
+  end
+
+let serve_bench ?(jobs = 300) ?(fault_pct = 1) ?(queue_cap = 16)
+    ?(out = Some "BENCH_5.json") () =
+  header
+    (Printf.sprintf
+       "Compile service — sustained hot/cold replay, %d jobs, %d%% injected \
+        serve:raise faults"
+       jobs fault_pct);
+  let crash_dir = Filename.temp_file "bench_serve" ".crash" in
+  Sys.remove crash_dir;
+  let t =
+    Serve.Server.create
+      { Serve.Server.queue_cap
+      ; cache_dir = None
+      ; sup =
+          { Serve.Supervisor.default_config with
+            deadline_ms = 5000
+          ; crash_dir = Some crash_dir
+          ; backoff = { Serve.Backoff.default with base_ms = 1; cap_ms = 5 }
+          }
+      }
+  in
+  let nsrc = List.length serve_sources in
+  let sources = Array.of_list serve_sources in
+  let mk_job ?(faults = "") i =
+    { Serve.Proto.source = sources.(i mod nsrc)
+    ; entry = Some "run"
+    ; sizes = [ 256 ]
+    ; mode = "inner-serial"
+    ; exec = "interp"
+    ; domains = 2
+    ; schedule = "static"
+    ; faults
+    }
+  in
+  let cold = ref [] and warm = ref [] and faulted = ref [] in
+  let fault_every = if fault_pct <= 0 then max_int else 100 / fault_pct in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to jobs - 1 do
+    let faults = if i > 0 && i mod fault_every = 0 then "serve:raise" else "" in
+    let j0 = Unix.gettimeofday () in
+    (match Serve.Server.run t (mk_job ~faults i) with
+     | Serve.Proto.Done o ->
+       let dt = Unix.gettimeofday () -. j0 in
+       if o.Serve.Proto.exit_code <> 0 then
+         Printf.printf "  WARNING: job %d exited %d\n" i
+           o.Serve.Proto.exit_code;
+       if faults <> "" then faulted := dt :: !faulted
+       else if o.Serve.Proto.cached then warm := dt :: !warm
+       else cold := dt :: !cold
+     | Serve.Proto.Overloaded _ | Serve.Proto.Rejected _ ->
+       Printf.printf "  WARNING: synchronous job %d rejected\n" i)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* admission-control burst: async submissions beyond the queue bound
+     must be rejected explicitly, not queued into latency collapse *)
+  let burst = (queue_cap * 3) + 4 in
+  let tickets = ref [] in
+  let rejected = ref 0 in
+  for i = 0 to burst - 1 do
+    match Serve.Server.submit t (mk_job i) with
+    | `Ticket tk -> tickets := tk :: !tickets
+    | `Overloaded _ -> incr rejected
+    | `Draining -> ()
+  done;
+  List.iter (fun tk -> ignore (Serve.Server.await tk)) !tickets;
+  let s = (Serve.Server.supervisor t).Serve.Supervisor.stats in
+  let cs = Serve.Cache.stats (Serve.Server.cache t) in
+  Serve.Server.drain t;
+  let cold_a = Array.of_list !cold and warm_a = Array.of_list !warm in
+  let faulted_a = Array.of_list !faulted in
+  let ms x = x *. 1000.0 in
+  let cold_p50 = percentile cold_a 50.0 and cold_p99 = percentile cold_a 99.0 in
+  let warm_p50 = percentile warm_a 50.0 and warm_p99 = percentile warm_a 99.0 in
+  let hit_rate =
+    float_of_int cs.Serve.Cache.hits
+    /. float_of_int (max 1 (cs.Serve.Cache.hits + cs.Serve.Cache.misses))
+  in
+  let warm_speedup = cold_p50 /. Float.max warm_p50 1e-9 in
+  Printf.printf
+    "  %d jobs in %.2f s (%.1f jobs/sec sustained)\n\
+    \  cold (%d):    p50 %8.3f ms   p99 %8.3f ms\n\
+    \  warm (%d):    p50 %8.3f ms   p99 %8.3f ms   (%.0fx below cold p50)\n\
+    \  faulted (%d): p50 %8.3f ms (one-shot fault, retry, recover)\n\
+    \  cache: %d hits / %d misses (%.1f%% hit rate)\n\
+    \  admission burst: %d submissions, %d explicit Overloaded rejections\n\
+    \  fault wall: %d retries, %d crash bundles, 0 daemon deaths\n"
+    jobs elapsed
+    (float_of_int jobs /. elapsed)
+    (Array.length cold_a) (ms cold_p50) (ms cold_p99) (Array.length warm_a)
+    (ms warm_p50) (ms warm_p99) warm_speedup (Array.length faulted_a)
+    (ms (percentile faulted_a 50.0))
+    cs.Serve.Cache.hits cs.Serve.Cache.misses (100.0 *. hit_rate) burst
+    !rejected s.Serve.Supervisor.retries s.Serve.Supervisor.bundles;
+  if warm_speedup < 10.0 then
+    Printf.printf
+      "  WARNING: warm latency is only %.1fx below cold (want >= 10x)\n"
+      warm_speedup;
+  if !rejected = 0 then
+    Printf.printf
+      "  WARNING: the burst produced no Overloaded rejections (queue cap \
+       %d, burst %d)\n"
+      queue_cap burst;
+  (match out with
+   | None -> ()
+   | Some path ->
+     let buf = Buffer.create 2048 in
+     let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+     bpr "{\n";
+     bpr "  \"bench\": \"serve\",\n";
+     bpr "  \"jobs\": %d,\n" jobs;
+     bpr "  \"fault_pct\": %d,\n" fault_pct;
+     bpr "  \"queue_cap\": %d,\n" queue_cap;
+     bpr "  \"elapsed_s\": %.6e,\n" elapsed;
+     bpr "  \"jobs_per_sec\": %.3f,\n" (float_of_int jobs /. elapsed);
+     bpr
+       "  \"cold\": {\"count\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f},\n"
+       (Array.length cold_a) (ms cold_p50) (ms cold_p99);
+     bpr
+       "  \"warm\": {\"count\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f},\n"
+       (Array.length warm_a) (ms warm_p50) (ms warm_p99);
+     bpr
+       "  \"faulted\": {\"count\": %d, \"p50_ms\": %.4f},\n"
+       (Array.length faulted_a)
+       (ms (percentile faulted_a 50.0));
+     bpr "  \"warm_speedup_vs_cold_p50\": %.2f,\n" warm_speedup;
+     bpr "  \"warm_at_least_10x\": %b,\n" (warm_speedup >= 10.0);
+     bpr "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n"
+       cs.Serve.Cache.hits cs.Serve.Cache.misses hit_rate;
+     bpr
+       "  \"admission\": {\"burst\": %d, \"overloaded_rejections\": %d},\n"
+       burst !rejected;
+     bpr
+       "  \"fault_wall\": {\"retries\": %d, \"bundles\": %d, \
+        \"pool_rebuilds\": %d, \"daemon_deaths\": 0}\n"
+       s.Serve.Supervisor.retries s.Serve.Supervisor.bundles
+       s.Serve.Supervisor.pool_rebuilds;
+     bpr "}\n";
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc (Buffer.contents buf));
+     Printf.printf "  wrote %s\n" path)
+
+(* Flags of the serve bench (everything after "serve"):
+   --jobs N        replayed job count (default 300)
+   --fault-pct N   percentage of jobs with an injected serve:raise
+   --queue-cap N   admission bound for the Overloaded burst
+   --out FILE      JSON output path (default BENCH_5.json) *)
+let serve_with_flags () =
+  let jobs = ref 300 in
+  let fault_pct = ref 1 in
+  let queue_cap = ref 16 in
+  let out = ref (Some "BENCH_5.json") in
+  let i = ref 2 in
+  let next name =
+    incr i;
+    if !i >= Array.length Sys.argv then begin
+      prerr_endline ("missing value for " ^ name);
+      exit 1
+    end;
+    Sys.argv.(!i)
+  in
+  while !i < Array.length Sys.argv do
+    (match Sys.argv.(!i) with
+     | "--jobs" -> jobs := int_of_string (next "--jobs")
+     | "--fault-pct" -> fault_pct := int_of_string (next "--fault-pct")
+     | "--queue-cap" -> queue_cap := int_of_string (next "--queue-cap")
+     | "--out" -> out := Some (next "--out")
+     | other ->
+       prerr_endline ("unknown serve flag: " ^ other);
+       exit 1);
+    incr i
+  done;
+  serve_bench ~jobs:!jobs ~fault_pct:!fault_pct ~queue_cap:!queue_cap
+    ~out:!out ()
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match which with
@@ -1020,6 +1237,7 @@ let () =
    | "fig15_resnet" -> fig15_resnet ()
    | "robust" -> robust ()
    | "speedup" -> speedup_with_flags ()
+   | "serve" -> serve_with_flags ()
    | "perf-smoke" -> perf_smoke ()
    | "fuzz" -> fuzz_with_flags ()
    | "repair" -> repair_with_flags ()

@@ -247,33 +247,12 @@ let build ~(mcuda : bool) ~(cuda_lower : bool) ~(mode : cpuify_mode)
 (* Argument synthesis for -run: integer arguments come from --size;
    every pointer parameter gets a float/int buffer of the first size
    argument, filled with a deterministic pattern so the output checksum
-   is meaningful.  Callers that retry execution (runtime degradation)
-   must call this again: a failed parallel run may have half-mutated the
-   previous buffers. *)
-let make_args (f : Ir.Op.op) (sizes : int list) : Interp.Mem.rv list =
-  let default_n = match sizes with n :: _ -> n | [] -> 64 in
-  let sizes = ref sizes in
-  Array.to_list f.Ir.Op.regions.(0).rargs
-  |> List.map (fun (p : Ir.Value.t) ->
-      match p.Ir.Value.typ with
-      | Ir.Types.Memref { elem; _ } ->
-        if Ir.Types.is_float_dtype elem then
-          Interp.Mem.Buf
-            (Interp.Mem.of_float_array
-               (Array.init default_n (fun i ->
-                    float_of_int ((i * 7 mod 11) + 1) /. 3.0)))
-        else
-          Interp.Mem.Buf
-            (Interp.Mem.of_int_array
-               (Array.init default_n (fun i -> i * 13 mod 17)))
-      | Ir.Types.Scalar d when Ir.Types.is_int_dtype d -> begin
-        match !sizes with
-        | n :: rest ->
-          sizes := rest;
-          Interp.Mem.Int n
-        | [] -> Interp.Mem.Int default_n
-      end
-      | Ir.Types.Scalar _ -> Interp.Mem.Flt 1.0)
+   is meaningful.  The definition lives in [Serve.Supervisor] so the
+   compile daemon and the one-shot CLI can never drift apart — the
+   smoke test asserts their checksums match.  Callers that retry
+   execution (runtime degradation) must call this again: a failed
+   parallel run may have half-mutated the previous buffers. *)
+let make_args = Serve.Supervisor.make_args
 
 (* Commutative digest of the final buffer contents: the semantic output,
    identical across correct lowerings AND across serial/parallel
@@ -397,6 +376,7 @@ let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
                    ; rtimeout_ms =
                        (if timeout_ms > 0 then Some timeout_ms else None)
                    }
+             ; serve = None
              ; source = src
              ; ir_before = Ir.Printer.op_to_string m
              }
@@ -408,6 +388,10 @@ let run_entry ~(exec : [ `Interp | `Parallel ]) ~(domains : int)
             | Error msg ->
               Printf.eprintf "polygeist-cpu: could not write crash bundle: %s\n"
                 msg));
+        (* this degradation rung abandons the parallel engine: tear the
+           cached pool down (leaking any wedged worker) so the serial
+           re-run does not share the process with a poisoned team *)
+        Runtime.Pool.shutdown_cached ();
         run_serial m f entry sizes;
         Ok true
     end
@@ -571,15 +555,81 @@ let replay_runtime (b : Core.Crashbundle.t) : (int, [ `Msg of string ]) result
               bundle?)\n";
            Ok 3))
 
+(* Replaying a serve bundle (rung "serve"): rebuild the job the daemon
+   was running from the bundle (source, recorded execution config, the
+   entry/sizes embedded in the repro line, the full fault plan) and run
+   ONE unsupervised attempt through the same fault wall.  The recorded
+   failure text must recur. *)
+let replay_serve (b : Core.Crashbundle.t) : (int, [ `Msg of string ]) result =
+  guard "replay" (fun () ->
+      let entry = ref None and sizes = ref [] and mode = ref "inner-serial" in
+      let rec scan = function
+        | ("-run" | "--run") :: v :: rest ->
+          entry := Some v;
+          scan rest
+        | ("-size" | "--size") :: v :: rest ->
+          (match int_of_string_opt v with
+           | Some n -> sizes := !sizes @ [ n ]
+           | None -> ());
+          scan rest
+        | ("-cpuify" | "--cpuify") :: v :: rest ->
+          mode := v;
+          scan rest
+        | _ :: rest -> scan rest
+        | [] -> ()
+      in
+      scan (String.split_on_char ' ' b.Core.Crashbundle.repro);
+      let rt =
+        match b.Core.Crashbundle.runtime with
+        | Some rt -> rt
+        | None ->
+          { Core.Crashbundle.rexec = "parallel"
+          ; rdomains = 4
+          ; rschedule = "static"
+          ; rchunk = None
+          ; rseed = None
+          ; rtimeout_ms = None
+          }
+      in
+      let job =
+        { Serve.Proto.source = b.Core.Crashbundle.source
+        ; entry = !entry
+        ; sizes = !sizes
+        ; mode = !mode
+        ; exec = rt.Core.Crashbundle.rexec
+        ; domains = rt.Core.Crashbundle.rdomains
+        ; schedule = rt.Core.Crashbundle.rschedule
+        ; faults = Core.Fault.plan_to_string b.Core.Crashbundle.faults
+        }
+      in
+      let deadline_ms = Option.value rt.Core.Crashbundle.rtimeout_ms ~default:0 in
+      match Serve.Supervisor.replay_attempt ~deadline_ms job with
+      | Error why when String.equal why b.Core.Crashbundle.exn_text ->
+        Printf.printf "replay: reproduced the recorded serve failure\n  %s\n"
+          why;
+        Ok 0
+      | Error why ->
+        Printf.printf
+          "replay: saw instead: %s\n\
+           replay: the recorded failure did NOT reproduce (stale bundle?)\n"
+          why;
+        Ok 3
+      | Ok _ ->
+        Printf.printf
+          "replay: the job now succeeds\n\
+           replay: the recorded failure did NOT reproduce (stale bundle?)\n";
+        Ok 3)
+
 (* --replay: recompile the bundle's embedded source and re-run the
    pipeline under the recorded options and fault plan; the pipeline is
    deterministic, so the recorded failure must recur.  Exit 0 when it
-   does, 3 when the bundle is stale and it does not.  Fuzz and runtime
-   bundles dispatch to their own replay logic. *)
+   does, 3 when the bundle is stale and it does not.  Fuzz, runtime and
+   serve bundles dispatch to their own replay logic. *)
 let do_replay (path : string) : (int, [ `Msg of string ]) result =
   match Core.Crashbundle.read path with
   | Error e -> Error (`Msg e)
   | Ok b when b.Core.Crashbundle.rung = "fuzz" -> replay_fuzz b
+  | Ok b when b.Core.Crashbundle.rung = "serve" -> replay_serve b
   | Ok b when b.Core.Crashbundle.stage = "runtime" -> replay_runtime b
   | Ok b ->
     guard "replay" (fun () ->
@@ -989,19 +1039,224 @@ let fuzz_cmd =
           (const fuzz_main $ seed $ cases $ fuzz_crash_dir $ fuzz_timeout_ms
            $ no_reduce $ gen_racy))
 
+(* [polygeist-cpu serve ...]: the supervised compile daemon.  Jobs are
+   accepted over a Unix-domain socket, run inside the job fault wall
+   (deadline, retry/backoff, circuit breaker, crash bundles) and cached
+   by content address — see DESIGN.md section 12. *)
+let serve_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on")
+  in
+  let queue_cap =
+    Arg.(value & opt int 32 & info [ "queue-cap" ]
+           ~doc:"admission bound: submissions beyond this many queued \
+                 jobs are rejected with an explicit overloaded response")
+  in
+  let deadline_ms =
+    Arg.(value & opt int 10000 & info [ "deadline-ms" ]
+           ~doc:"per-job wall-clock budget enforced by the watchdog; 0 \
+                 disables it (and with it the cancellation of hung jobs)")
+  in
+  let max_retries =
+    Arg.(value & opt int 2 & info [ "max-retries" ]
+           ~doc:"retries for transient job failures (timeouts, injected \
+                 faults); deterministic failures are never retried")
+  in
+  let serve_crash_dir =
+    Arg.(value & opt (some string) None & info [ "crash-dir" ] ~docv:"DIR"
+           ~doc:"write a replayable rung=serve crash bundle for every \
+                 failed job attempt")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"load the artifact-cache index from DIR at startup and \
+                 flush it there on graceful drain")
+  in
+  let serve_main socket queue_cap deadline_ms max_retries crash_dir cache_dir :
+    (int, [ `Msg of string ]) result =
+    guard "serve" (fun () ->
+        let cfg =
+          { Serve.Server.queue_cap
+          ; cache_dir
+          ; sup =
+              { Serve.Supervisor.default_config with
+                deadline_ms
+              ; crash_dir
+              ; backoff =
+                  { Serve.Backoff.default with max_retries }
+              }
+          }
+        in
+        let t = Serve.Server.create cfg in
+        Printf.eprintf "polygeist-cpu serve: listening on %s (queue cap %d, \
+                        deadline %d ms)\n%!" socket queue_cap deadline_ms;
+        let admitted = Serve.Server.serve_unix ~socket t in
+        let s = (Serve.Server.supervisor t).Serve.Supervisor.stats in
+        let cs = Serve.Cache.stats (Serve.Server.cache t) in
+        Printf.eprintf
+          "polygeist-cpu serve: drained after %d admitted job(s): %d \
+           completed, %d failed, %d retries, %d crash bundle(s), %d pool \
+           rebuild(s); cache %d hit(s) / %d miss(es); %d overloaded \
+           rejection(s)\n"
+          admitted s.Serve.Supervisor.completed s.Serve.Supervisor.failed
+          s.Serve.Supervisor.retries s.Serve.Supervisor.bundles
+          s.Serve.Supervisor.pool_rebuilds cs.Serve.Cache.hits
+          cs.Serve.Cache.misses
+          (Serve.Server.overloaded_count t);
+        Ok 0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run the supervised compile daemon on a Unix-domain socket: \
+             bounded-queue admission, per-job deadlines and retry with \
+             backoff, a per-source circuit breaker, a content-addressed \
+             artifact cache, and a crash bundle for every job death \
+             (the daemon itself never dies)"
+       ~exits:(Cmd.Exit.info 0 ~doc:"drained gracefully" :: Cmd.Exit.defaults))
+    Term.(
+      term_result
+        (const serve_main $ socket $ queue_cap $ deadline_ms $ max_retries
+         $ serve_crash_dir $ cache_dir))
+
+(* [polygeist-cpu client ...]: submit one job (or a shutdown request)
+   to a running daemon and adopt the job's exit code, so a client call
+   is a drop-in for the equivalent one-shot invocation. *)
+let exit_overloaded = 75 (* EX_TEMPFAIL: try again later *)
+
+let client_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of a running polygeist-cpu serve")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.cu"
+           ~doc:"mini-CUDA source file to submit")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"ask the daemon to drain and exit instead of submitting a \
+                 job")
+  in
+  let run_name =
+    Arg.(value & opt (some string) None & info [ "run" ]
+           ~doc:"interpret the given host function after lowering")
+  in
+  let sizes =
+    Arg.(value & opt_all int [] & info [ "size" ]
+           ~doc:"integer argument(s) for --run (repeatable)")
+  in
+  let mode =
+    Arg.(value & opt string "inner-serial" & info [ "cpuify" ]
+           ~doc:"lowering recipe: inner-serial | inner-parallel | no-opt")
+  in
+  let exec =
+    Arg.(value & opt string "parallel" & info [ "exec" ]
+           ~doc:"execution engine for --run: interp | parallel")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ]
+           ~doc:"team size for --exec parallel")
+  in
+  let schedule =
+    Arg.(value & opt string "static" & info [ "schedule" ]
+           ~doc:"worksharing schedule: static | dynamic | guided")
+  in
+  let faults =
+    Arg.(value & opt string "" & info [ "inject-fault" ] ~docv:"PLAN"
+           ~doc:"fault plan forwarded to the daemon's fault wall (e.g. \
+                 serve:raise or cpuify:raise,serve:hang); faulted jobs \
+                 are never cached")
+  in
+  let client_main socket file shutdown run_name sizes mode exec domains
+      schedule faults : (int, [ `Msg of string ]) result =
+    guard "client" (fun () ->
+        let req =
+          if shutdown then Ok Serve.Proto.Shutdown
+          else
+            match file with
+            | None ->
+              Error (`Msg "missing FILE.cu argument (or --shutdown)")
+            | Some file ->
+              let source =
+                In_channel.with_open_text file In_channel.input_all
+              in
+              Ok
+                (Serve.Proto.Submit
+                   { Serve.Proto.source
+                   ; entry = run_name
+                   ; sizes
+                   ; mode
+                   ; exec
+                   ; domains
+                   ; schedule
+                   ; faults
+                   })
+        in
+        match req with
+        | Error _ as e -> e
+        | Ok req -> begin
+          match Serve.Client.request ~socket req with
+          | Error e -> Error (`Msg e)
+          | Ok (Serve.Proto.Rejected why) ->
+            Error (`Msg ("rejected by the daemon: " ^ why))
+          | Ok (Serve.Proto.Overloaded { depth; cap }) ->
+            Printf.eprintf
+              "polygeist-cpu client: daemon overloaded (queue %d/%d), try \
+               again later\n"
+              depth cap;
+            Ok exit_overloaded
+          | Ok (Serve.Proto.Done o) ->
+            print_string o.Serve.Proto.log;
+            if o.Serve.Proto.cached then
+              Printf.eprintf "polygeist-cpu client: served from cache\n";
+            if o.Serve.Proto.retries > 0 then
+              Printf.eprintf "polygeist-cpu client: succeeded after %d \
+                              retr%s\n"
+                o.Serve.Proto.retries
+                (if o.Serve.Proto.retries = 1 then "y" else "ies");
+            if o.Serve.Proto.breaker then
+              Printf.eprintf
+                "polygeist-cpu client: served conservatively (circuit \
+                 breaker tripped for this source)\n";
+            Ok o.Serve.Proto.exit_code
+        end)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"submit one compile(/run) job to a running polygeist-cpu \
+             serve daemon and exit with the job's one-shot exit code"
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"job succeeded"
+          :: Cmd.Exit.info 1 ~doc:"job succeeded degraded"
+          :: Cmd.Exit.info 2 ~doc:"job failed"
+          :: Cmd.Exit.info exit_overloaded
+               ~doc:"the daemon's admission queue is full; retry later"
+          :: Cmd.Exit.defaults))
+    Term.(
+      term_result
+        (const client_main $ socket $ file $ shutdown $ run_name $ sizes
+         $ mode $ exec $ domains $ schedule $ faults))
+
 let () =
   (* distinct exit codes: 0 ok, 1 degraded (via main's return value),
      2 pipeline/check failure (term_result errors), 124/125 cmdliner's
      usual CLI/internal errors *)
   let eval =
     let argv = Sys.argv in
-    if Array.length argv > 1 && argv.(1) = "fuzz" then
+    let sub name c =
       Cmd.eval_value
         ~argv:
           (Array.append
-             [| argv.(0) ^ " fuzz" |]
+             [| argv.(0) ^ " " ^ name |]
              (Array.sub argv 2 (Array.length argv - 2)))
-        fuzz_cmd
+        c
+    in
+    if Array.length argv > 1 && argv.(1) = "fuzz" then sub "fuzz" fuzz_cmd
+    else if Array.length argv > 1 && argv.(1) = "serve" then
+      sub "serve" serve_cmd
+    else if Array.length argv > 1 && argv.(1) = "client" then
+      sub "client" client_cmd
     else Cmd.eval_value cmd
   in
   match eval with

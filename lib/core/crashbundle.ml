@@ -24,6 +24,17 @@ type runtime_cfg =
   ; rtimeout_ms : int option
   }
 
+(* Serving-side job context, recorded since format v3 so a bundle from
+   the compile daemon shows how the job was doing when it died: how long
+   the failing attempt ran, how many retries the supervisor had already
+   burned, and how deep the admission queue was.  Plain ints: Core must
+   not depend on Serve. *)
+type serve_cfg =
+  { sduration_ms : int (* wall-clock of the failing attempt *)
+  ; sretries : int (* retries already performed when it failed *)
+  ; squeue_depth : int (* admission-queue depth at failure *)
+  }
+
 type t =
   { version : int (* bundle format version this file was parsed from *)
   ; stage : string
@@ -35,13 +46,15 @@ type t =
   ; options : Cpuify.options
   ; faults : Fault.plan
   ; runtime : runtime_cfg option (* None in v1 bundles and pure pass failures *)
+  ; serve : serve_cfg option (* None in v1/v2 bundles and one-shot failures *)
   ; source : string (* original CUDA translation unit *)
   ; ir_before : string (* pre-stage IR dump *)
   }
 
-let current_version = 2
+let current_version = 3
 let magic_v1 = "polygeist-cpu crash bundle v1"
-let magic = "polygeist-cpu crash bundle v2"
+let magic_v2 = "polygeist-cpu crash bundle v2"
+let magic = "polygeist-cpu crash bundle v3"
 let source_marker = "=== source ==="
 let ir_marker = "=== pre-stage ir ==="
 
@@ -136,6 +149,32 @@ let runtime_of_string (s : string) : (runtime_cfg, string) result =
          | _ -> err := Some (Printf.sprintf "unknown runtime field %S" k)));
   match !err with Some e -> Error e | None -> Ok !r
 
+let serve_to_string (s : serve_cfg) : string =
+  Printf.sprintf "duration-ms=%d,retries=%d,queue-depth=%d" s.sduration_ms
+    s.sretries s.squeue_depth
+
+let serve_of_string (str : string) : (serve_cfg, string) result =
+  let s = ref { sduration_ms = 0; sretries = 0; squeue_depth = 0 } in
+  let err = ref None in
+  String.split_on_char ',' str
+  |> List.iter (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> err := Some (Printf.sprintf "bad serve field %S" kv)
+      | Some i ->
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let int setter =
+          match int_of_string_opt v with
+          | Some n -> s := setter !s n
+          | None -> err := Some (Printf.sprintf "bad integer %S for %s" v k)
+        in
+        (match k with
+         | "duration-ms" -> int (fun s n -> { s with sduration_ms = n })
+         | "retries" -> int (fun s n -> { s with sretries = n })
+         | "queue-depth" -> int (fun s n -> { s with squeue_depth = n })
+         | _ -> err := Some (Printf.sprintf "unknown serve field %S" k)));
+  match !err with Some e -> Error e | None -> Ok !s
+
 let to_string (b : t) : string =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -149,6 +188,9 @@ let to_string (b : t) : string =
   line "faults: %s" (Fault.plan_to_string b.faults);
   (match b.runtime with
    | Some r -> line "runtime: %s" (runtime_to_string r)
+   | None -> ());
+  (match b.serve with
+   | Some s -> line "serve: %s" (serve_to_string s)
    | None -> ());
   line "backtrace:";
   String.split_on_char '\n' b.backtrace
@@ -164,8 +206,10 @@ let to_string (b : t) : string =
 let of_string (s : string) : (t, string) result =
   let lines = String.split_on_char '\n' s in
   match lines with
-  | m :: rest when m = magic || m = magic_v1 -> begin
-    let version = if m = magic_v1 then 1 else current_version in
+  | m :: rest when m = magic || m = magic_v2 || m = magic_v1 -> begin
+    let version =
+      if m = magic_v1 then 1 else if m = magic_v2 then 2 else current_version
+    in
     let stage = ref "" in
     let stage_index = ref 0 in
     let rung = ref "" in
@@ -174,6 +218,7 @@ let of_string (s : string) : (t, string) result =
     let options = ref Cpuify.default_options in
     let faults = ref [] in
     let runtime = ref None in
+    let serve = ref None in
     let backtrace = Buffer.create 256 in
     let source = Buffer.create 1024 in
     let ir = Buffer.create 1024 in
@@ -239,6 +284,13 @@ let of_string (s : string) : (t, string) result =
                | Error e -> fail "bad runtime line: %s" e
              end
              | None ->
+             match strip "serve: " with
+             | Some v -> begin
+               match serve_of_string v with
+               | Ok s -> serve := Some s
+               | Error e -> fail "bad serve line: %s" e
+             end
+             | None ->
              match strip "| " with
              | Some v ->
                Buffer.add_string backtrace v;
@@ -262,6 +314,7 @@ let of_string (s : string) : (t, string) result =
           ; options = !options
           ; faults = !faults
           ; runtime = !runtime
+          ; serve = !serve
           ; source = Buffer.contents source
           ; ir_before =
               (* drop the final '\n' the line-splitting round trip adds *)

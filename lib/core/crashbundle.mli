@@ -22,6 +22,15 @@ type runtime_cfg =
   ; rtimeout_ms : int option
   }
 
+(** Serving-side job context recorded since format v3: wall-clock of the
+    failing attempt, retries already burned and the admission-queue
+    depth at failure (plain ints: Core does not depend on Serve). *)
+type serve_cfg =
+  { sduration_ms : int (** wall-clock of the failing attempt *)
+  ; sretries : int (** retries already performed when it failed *)
+  ; squeue_depth : int (** admission-queue depth at failure *)
+  }
+
 type t =
   { version : int (** bundle format version this file was parsed from *)
   ; stage : string
@@ -34,12 +43,15 @@ type t =
   ; faults : Fault.plan
   ; runtime : runtime_cfg option
     (** [None] in v1 bundles and pure pass-pipeline failures *)
+  ; serve : serve_cfg option
+    (** [None] in v1/v2 bundles and one-shot (non-daemon) failures *)
   ; source : string (** original CUDA translation unit *)
   ; ir_before : string (** pre-stage IR dump *)
   }
 
-(** The format version {!to_string}/{!write} emit (2).  {!of_string}
-    also accepts v1 bundles, which simply lack the [runtime] line. *)
+(** The format version {!to_string}/{!write} emit (3).  {!of_string}
+    also accepts v2 bundles (no [serve] line) and v1 bundles (no
+    [runtime] line either). *)
 val current_version : int
 
 val to_string : t -> string
@@ -57,3 +69,5 @@ val options_to_string : Cpuify.options -> string
 val options_of_string : string -> (Cpuify.options, string) result
 val runtime_to_string : runtime_cfg -> string
 val runtime_of_string : string -> (runtime_cfg, string) result
+val serve_to_string : serve_cfg -> string
+val serve_of_string : string -> (serve_cfg, string) result

@@ -143,6 +143,7 @@ let run_pipeline ?(options = Cpuify.default_options) ?(faults = [])
         ; options
         ; faults
         ; runtime
+        ; serve = None
         ; source
         ; ir_before = Printer.op_to_string snap
         }

@@ -46,6 +46,7 @@ let bundle_of_finding ?(options = Core.Cpuify.default_options) ~timeout_ms
         ; rseed = Some f.fseed
         ; rtimeout_ms = Some timeout_ms
         }
+  ; serve = None
   ; source = f.freduced
   ; ir_before = Oracle.ir_before ~options f.freduced f.ffailure.f_stage
   }

@@ -91,6 +91,33 @@ let release_pool (t : t) : unit =
   Array.iter Domain.join t.domains;
   t.domains <- [||]
 
+(* Fault-wall teardown.  [release_pool] joins every worker, which is
+   correct for a healthy pool but blocks forever if a worker is wedged
+   mid-job (a hung launch whose watchdog never fired, or a rank parked
+   on a barrier whose poison broadcast it missed).  [shutdown] instead
+   signals stop, joins only the workers that are demonstrably between
+   jobs, and abandons the rest: an OCaml domain cannot be killed, so a
+   wedged worker is leaked (it exits on its own if the job ever
+   returns) and the count of leaked domains is reported so callers can
+   surface it.  The racy [has_job && not done_] read is conservative —
+   a worker finishing right after the check is leaked-but-exiting, not
+   blocked. *)
+let shutdown (t : t) : int =
+  let leaked = ref 0 in
+  Array.iteri
+    (fun i w ->
+      Mutex.lock w.m;
+      w.stop <- true;
+      Condition.broadcast w.cv;
+      let busy = w.has_job && not w.done_ in
+      Mutex.unlock w.m;
+      if busy then incr leaked
+      else if i < Array.length t.domains then
+        try Domain.join t.domains.(i) with _ -> ())
+    t.workers;
+  t.domains <- [||];
+  !leaked
+
 let cached_pool : t option ref = ref None
 
 let shutdown_cached () =
@@ -98,7 +125,23 @@ let shutdown_cached () =
   | None -> ()
   | Some p ->
     cached_pool := None;
-    release_pool p
+    ignore (shutdown p)
+
+(* Tear down the cached pool (tolerating wedged workers) and build a
+   fresh one of the given size: the job fault wall calls this after any
+   launch failure that may have left the team poisoned or a rank
+   parked, so the next job starts from known-good domains. *)
+let rebuild ~(domains : int) : t * int =
+  let leaked =
+    match !cached_pool with
+    | None -> 0
+    | Some p ->
+      cached_pool := None;
+      shutdown p
+  in
+  let p = create ~cached:true domains in
+  cached_pool := Some p;
+  (p, leaked)
 
 let get ~domains ~reuse : t =
   if reuse then begin

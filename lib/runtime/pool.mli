@@ -39,5 +39,20 @@ val run : t -> (int -> unit) -> unit
     a no-op on the cached pool (use {!shutdown_cached}). *)
 val release : t -> unit
 
-(** Stop and join the process-wide cached pool, if any. *)
+(** Fault-wall teardown: signal every worker to stop, join the ones
+    that are between jobs and abandon any that are wedged mid-job (an
+    OCaml domain cannot be killed; a leaked worker exits on its own if
+    its job ever returns).  Returns the number of leaked domains.
+    Unlike {!release} this never blocks on a poisoned/hung team, so it
+    is safe to call from a supervisor after a failed launch. *)
+val shutdown : t -> int
+
+(** Stop the process-wide cached pool, if any, via {!shutdown}. *)
 val shutdown_cached : unit -> unit
+
+(** [rebuild ~domains] tears down the cached pool with {!shutdown} and
+    creates a fresh cached pool of [domains] threads, returning it plus
+    the number of worker domains the teardown had to leak.  The job
+    fault wall calls this after any launch failure so the next job runs
+    on known-good domains. *)
+val rebuild : domains:int -> t * int

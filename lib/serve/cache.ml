@@ -1,0 +1,177 @@
+(* Content-addressed artifact cache for the compile service.
+
+   Two tables: [arts] stores artifact payloads keyed by the MD5 digest
+   of their own bytes (content addressing), and [index] maps a job key —
+   the digest of source + flags — to the artifact digest holding that
+   job's result.  A lookup re-hashes the payload and compares it to the
+   digest it is stored under, so a corrupted artifact (bit rot, or the
+   serve:corrupt fault injected by tests) can never be served: the
+   entry is dropped, the corruption is counted, and the job re-executes
+   as a cache miss.  This is the property the fault matrix leans on —
+   one poisoned job must not corrupt what other jobs read.
+
+   The index (and artifacts) can be flushed to a single text file on
+   graceful drain and loaded back at startup; the on-disk format reuses
+   the digest check, so a truncated or hand-edited file loads the
+   entries that still verify and silently drops the rest. *)
+
+type stats =
+  { entries : int
+  ; hits : int
+  ; misses : int
+  ; corrupt_dropped : int (* artifacts that failed their digest check *)
+  }
+
+type t =
+  { arts : (string, string) Hashtbl.t (* artifact digest -> payload *)
+  ; index : (string, string) Hashtbl.t (* job key -> artifact digest *)
+  ; mutable hits : int
+  ; mutable misses : int
+  ; mutable corrupt_dropped : int
+  ; m : Mutex.t (* the daemon reads from several domains *)
+  }
+
+let create () : t =
+  { arts = Hashtbl.create 64
+  ; index = Hashtbl.create 64
+  ; hits = 0
+  ; misses = 0
+  ; corrupt_dropped = 0
+  ; m = Mutex.create ()
+  }
+
+let digest (s : string) : string = Digest.to_hex (Digest.string s)
+
+(* The job key: source and flags hashed together.  Two jobs with the
+   same key are the same computation, so they may share an artifact. *)
+let key ~(source : string) ~(flags : string) : string =
+  digest (Printf.sprintf "%d:%s|%s" (String.length source) source flags)
+
+let locked (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find (t : t) (k : string) : string option =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.index k with
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+      | Some d -> begin
+        match Hashtbl.find_opt t.arts d with
+        | None ->
+          (* index points at a missing artifact: treat as corruption *)
+          Hashtbl.remove t.index k;
+          t.corrupt_dropped <- t.corrupt_dropped + 1;
+          t.misses <- t.misses + 1;
+          None
+        | Some payload ->
+          if digest payload = d then begin
+            t.hits <- t.hits + 1;
+            Some payload
+          end
+          else begin
+            (* content no longer matches its address: drop, never serve *)
+            Hashtbl.remove t.arts d;
+            Hashtbl.remove t.index k;
+            t.corrupt_dropped <- t.corrupt_dropped + 1;
+            t.misses <- t.misses + 1;
+            None
+          end
+      end)
+
+let store (t : t) (k : string) (payload : string) : unit =
+  locked t (fun () ->
+      let d = digest payload in
+      Hashtbl.replace t.arts d payload;
+      Hashtbl.replace t.index k d)
+
+(* Test hook for the serve:corrupt fault matrix: flip one byte of the
+   artifact a key points at, in place, WITHOUT updating its address.
+   Returns false when the key has no artifact. *)
+let corrupt (t : t) (k : string) : bool =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.index k with
+      | None -> false
+      | Some d -> begin
+        match Hashtbl.find_opt t.arts d with
+        | None -> false
+        | Some payload when payload = "" -> false
+        | Some payload ->
+          let b = Bytes.of_string payload in
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+          Hashtbl.replace t.arts d (Bytes.to_string b);
+          true
+      end)
+
+let stats (t : t) : stats =
+  locked t (fun () ->
+      { entries = Hashtbl.length t.index
+      ; hits = t.hits
+      ; misses = t.misses
+      ; corrupt_dropped = t.corrupt_dropped
+      })
+
+(* --- persistence --- *)
+
+let index_file (dir : string) : string = Filename.concat dir "cache-index.v1"
+let index_magic = "polygeist-serve cache index v1"
+
+let rec mkdir_p (dir : string) : unit =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* One entry per line: job key, artifact digest, escaped payload.  The
+   digest is re-checked at load, so damage to the file degrades to a
+   smaller cache, never to wrong results. *)
+let flush (t : t) ~(dir : string) : (string, string) result =
+  try
+    mkdir_p dir;
+    let path = index_file dir in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b (index_magic ^ "\n");
+    locked t (fun () ->
+        Hashtbl.iter
+          (fun k d ->
+            match Hashtbl.find_opt t.arts d with
+            | None -> ()
+            | Some payload ->
+              Buffer.add_string b
+                (Printf.sprintf "%s %s %s\n" k d (String.escaped payload)))
+          t.index);
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents b));
+    Ok path
+  with Sys_error e -> Error (Printf.sprintf "cannot flush cache index: %s" e)
+
+let load (t : t) ~(dir : string) : int =
+  match In_channel.with_open_text (index_file dir) In_channel.input_all with
+  | exception Sys_error _ -> 0
+  | text -> begin
+    match String.split_on_char '\n' text with
+    | m :: lines when m = index_magic ->
+      let loaded = ref 0 in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          (* key and digest are hex (no spaces); the escaped payload is
+             everything after them and may itself contain spaces *)
+          | k :: d :: (_ :: _ as rest) -> begin
+            let escaped = String.concat " " rest in
+            match Scanf.unescaped escaped with
+            | exception (Scanf.Scan_failure _ | Failure _) -> ()
+            | payload ->
+              if digest payload = d then begin
+                locked t (fun () ->
+                    Hashtbl.replace t.arts d payload;
+                    Hashtbl.replace t.index k d);
+                incr loaded
+              end
+          end
+          | _ -> ())
+        lines;
+      !loaded
+    | _ -> 0
+  end

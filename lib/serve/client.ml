@@ -1,0 +1,48 @@
+(* One-shot client for the compile daemon: connect, send one request,
+   read one response.  Used by `polygeist_cpu client` and by the smoke
+   test's cross-process leg. *)
+
+let request ~(socket : string) (req : Proto.request) :
+  (Proto.response, string) result =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("socket: " ^ Unix.error_message e)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket
+               (Unix.error_message e))
+        | () -> begin
+          match Proto.send fd (Proto.request_to_string req) with
+          | exception _ -> Error "connection closed while sending"
+          | () -> begin
+            match Proto.recv fd with
+            | Error e -> Error e
+            | Ok payload -> Proto.response_of_string payload
+          end
+        end)
+
+(* Poll until the daemon accepts connections (it may still be binding
+   the socket when we first try).  Returns false on timeout. *)
+let wait_ready ~(socket : string) ~(timeout_ms : int) : bool =
+  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+  let rec poll () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let ok =
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if ok then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      poll ()
+    end
+  in
+  poll ()

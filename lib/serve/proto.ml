@@ -1,0 +1,274 @@
+(* Wire format of the compile service.
+
+   One message per frame; a frame is an ASCII decimal byte count, a
+   newline, and exactly that many payload bytes.  The payload is a line
+   oriented key=value record where every value is OCaml-escaped
+   ([String.escaped]), so sources and logs with newlines survive the
+   round trip.  The format is deliberately dumb: it is diffable in a
+   crash report, trivially versioned (the first line names the message
+   kind), and every parser failure is a structured [Error] — a malformed
+   frame must never take the daemon down.
+
+   The same [outcome] serialization doubles as the cache's artifact
+   payload: the content-addressed store hashes exactly these bytes, so
+   "cache hit is bit-identical to the cold result" is checkable by
+   digest. *)
+
+(* A compile(/run) job, mirroring the one-shot CLI surface. *)
+type job =
+  { source : string (* CUDA translation unit *)
+  ; entry : string option (* -run entry point; None = compile only *)
+  ; sizes : int list (* --size arguments *)
+  ; mode : string (* "inner-serial" | "inner-parallel" | "no-opt" *)
+  ; exec : string (* "interp" | "parallel" *)
+  ; domains : int
+  ; schedule : string (* "static" | "dynamic" | "guided" *)
+  ; faults : string (* Fault.plan syntax; "" = none *)
+  }
+
+let default_job =
+  { source = ""
+  ; entry = None
+  ; sizes = []
+  ; mode = "inner-serial"
+  ; exec = "parallel"
+  ; domains = 4
+  ; schedule = "static"
+  ; faults = ""
+  }
+
+(* The part of [job] that, together with the source, determines the
+   result — the cache key material. *)
+let job_flags (j : job) : string =
+  Printf.sprintf "entry=%s;sizes=%s;mode=%s;exec=%s;domains=%d;schedule=%s;faults=%s"
+    (match j.entry with None -> "-" | Some e -> e)
+    (String.concat "," (List.map string_of_int j.sizes))
+    j.mode j.exec j.domains j.schedule j.faults
+
+type request =
+  | Submit of job
+  | Shutdown (* graceful drain: finish queued jobs, flush the cache, exit *)
+
+type outcome =
+  { exit_code : int (* the one-shot CLI's exit code for this job *)
+  ; checksum : string (* "%.9g" output checksum, or "-" when nothing ran *)
+  ; cached : bool (* served from the artifact cache *)
+  ; retries : int (* retries the fault wall performed *)
+  ; breaker : bool (* served via a tripped circuit breaker (conservative) *)
+  ; log : string (* the job's human-readable output *)
+  }
+
+type response =
+  | Done of outcome
+  | Overloaded of
+      { depth : int (* admission-queue depth at rejection *)
+      ; cap : int
+      }
+  | Rejected of string (* malformed request, or the daemon is draining *)
+
+(* --- key=value record (de)serialization --- *)
+
+let kv (b : Buffer.t) (k : string) (v : string) : unit =
+  Buffer.add_string b k;
+  Buffer.add_char b '=';
+  Buffer.add_string b (String.escaped v);
+  Buffer.add_char b '\n'
+
+let fields_of_string (s : string) : (string * string) list =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+      if line = "" then None
+      else
+        match String.index_opt line '=' with
+        | None -> None
+        | Some i ->
+          let k = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          let v = try Scanf.unescaped v with Scanf.Scan_failure _ | Failure _ -> v in
+          Some (k, v))
+
+let field fields k = List.assoc_opt k fields
+let field_int fields k ~default =
+  match field fields k with
+  | Some v -> Option.value ~default (int_of_string_opt v)
+  | None -> default
+
+(* --- job --- *)
+
+let job_to_string (j : job) : string =
+  let b = Buffer.create 256 in
+  kv b "entry" (match j.entry with None -> "-" | Some e -> e);
+  kv b "sizes" (String.concat "," (List.map string_of_int j.sizes));
+  kv b "mode" j.mode;
+  kv b "exec" j.exec;
+  kv b "domains" (string_of_int j.domains);
+  kv b "schedule" j.schedule;
+  kv b "faults" j.faults;
+  kv b "source" j.source;
+  Buffer.contents b
+
+let job_of_fields (fields : (string * string) list) : (job, string) result =
+  match field fields "source" with
+  | None -> Error "job has no source field"
+  | Some source ->
+    let entry =
+      match field fields "entry" with
+      | None | Some "-" | Some "" -> None
+      | Some e -> Some e
+    in
+    let sizes =
+      match field fields "sizes" with
+      | None | Some "" -> []
+      | Some s ->
+        String.split_on_char ',' s |> List.filter_map int_of_string_opt
+    in
+    Ok
+      { source
+      ; entry
+      ; sizes
+      ; mode = Option.value ~default:default_job.mode (field fields "mode")
+      ; exec = Option.value ~default:default_job.exec (field fields "exec")
+      ; domains = field_int fields "domains" ~default:default_job.domains
+      ; schedule =
+          Option.value ~default:default_job.schedule (field fields "schedule")
+      ; faults = Option.value ~default:"" (field fields "faults")
+      }
+
+(* --- request --- *)
+
+let request_to_string (r : request) : string =
+  match r with
+  | Shutdown -> "polygeist-serve/1 shutdown\n"
+  | Submit j -> "polygeist-serve/1 submit\n" ^ job_to_string j
+
+let request_of_string (s : string) : (request, string) result =
+  match String.index_opt s '\n' with
+  | None -> Error "empty request"
+  | Some i -> begin
+    let head = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match head with
+    | "polygeist-serve/1 shutdown" -> Ok Shutdown
+    | "polygeist-serve/1 submit" ->
+      Result.map (fun j -> Submit j) (job_of_fields (fields_of_string rest))
+    | _ -> Error (Printf.sprintf "unknown request kind %S" head)
+  end
+
+(* --- outcome (also the cache artifact payload) --- *)
+
+let outcome_to_string (o : outcome) : string =
+  let b = Buffer.create 256 in
+  kv b "exit" (string_of_int o.exit_code);
+  kv b "checksum" o.checksum;
+  kv b "cached" (string_of_bool o.cached);
+  kv b "retries" (string_of_int o.retries);
+  kv b "breaker" (string_of_bool o.breaker);
+  kv b "log" o.log;
+  Buffer.contents b
+
+let outcome_of_string (s : string) : (outcome, string) result =
+  let fields = fields_of_string s in
+  match field fields "exit" with
+  | None -> Error "outcome has no exit field"
+  | Some _ ->
+    Ok
+      { exit_code = field_int fields "exit" ~default:2
+      ; checksum = Option.value ~default:"-" (field fields "checksum")
+      ; cached = field fields "cached" = Some "true"
+      ; retries = field_int fields "retries" ~default:0
+      ; breaker = field fields "breaker" = Some "true"
+      ; log = Option.value ~default:"" (field fields "log")
+      }
+
+(* --- response --- *)
+
+let response_to_string (r : response) : string =
+  match r with
+  | Done o -> "polygeist-serve/1 done\n" ^ outcome_to_string o
+  | Overloaded { depth; cap } ->
+    Printf.sprintf "polygeist-serve/1 overloaded\ndepth=%d\ncap=%d\n" depth cap
+  | Rejected why ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b "polygeist-serve/1 rejected\n";
+    kv b "why" why;
+    Buffer.contents b
+
+let response_of_string (s : string) : (response, string) result =
+  match String.index_opt s '\n' with
+  | None -> Error "empty response"
+  | Some i -> begin
+    let head = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let fields () = fields_of_string rest in
+    match head with
+    | "polygeist-serve/1 done" ->
+      Result.map (fun o -> Done o) (outcome_of_string rest)
+    | "polygeist-serve/1 overloaded" ->
+      let f = fields () in
+      Ok
+        (Overloaded
+           { depth = field_int f "depth" ~default:0
+           ; cap = field_int f "cap" ~default:0
+           })
+    | "polygeist-serve/1 rejected" ->
+      Ok (Rejected (Option.value ~default:"" (field (fields ()) "why")))
+    | _ -> Error (Printf.sprintf "unknown response kind %S" head)
+  end
+
+(* --- framing over a file descriptor --- *)
+
+(* Upper bound on a frame: a malicious or corrupt length header must
+   not make the daemon allocate unboundedly. *)
+let max_frame = 16 * 1024 * 1024
+
+exception Closed
+
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write_substring fd s !off (n - !off) in
+    if w = 0 then raise Closed;
+    off := !off + w
+  done
+
+let read_exact (fd : Unix.file_descr) (n : int) : string =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let r = Unix.read fd buf !off (n - !off) in
+    if r = 0 then raise Closed;
+    off := !off + r
+  done;
+  Bytes.to_string buf
+
+let send (fd : Unix.file_descr) (payload : string) : unit =
+  write_all fd (Printf.sprintf "%d\n%s" (String.length payload) payload)
+
+let recv (fd : Unix.file_descr) : (string, string) result =
+  (* read the length header byte by byte (it is < 10 bytes; saving
+     syscalls here does not matter next to a compile job) *)
+  let header = Buffer.create 12 in
+  let rec header_loop () =
+    let c = read_exact fd 1 in
+    if c = "\n" then Buffer.contents header
+    else begin
+      if Buffer.length header > 10 then failwith "oversized frame header";
+      Buffer.add_string header c;
+      header_loop ()
+    end
+  in
+  match header_loop () with
+  | exception Closed -> Error "connection closed"
+  | exception Failure e -> Error e
+  | h -> begin
+    match int_of_string_opt h with
+    | None -> Error (Printf.sprintf "bad frame header %S" h)
+    | Some n when n < 0 || n > max_frame ->
+      Error (Printf.sprintf "frame length %d out of bounds" n)
+    | Some n -> begin
+      match read_exact fd n with
+      | s -> Ok s
+      | exception Closed -> Error "connection closed mid-frame"
+    end
+  end

@@ -1,0 +1,306 @@
+(* The compile daemon: bounded-queue admission control in front of the
+   {!Supervisor} fault wall.
+
+   Structure: the in-process core ([create] / [submit] / [await] /
+   [drain]) is what the bench harness and the smoke test drive
+   directly; [serve_unix] wraps it in a Unix-domain-socket front end
+   for `polygeist_cpu serve`.
+
+   Three threads of control:
+     - the caller (or the socket accept loop) submits jobs; admission
+       is a bounded FIFO — a full queue is an immediate, explicit
+       [`Overloaded] rejection, never unbounded latency;
+     - ONE executor domain pops jobs and runs them through
+       {!Supervisor.run_job}.  A single executor is a deliberate
+       choice: compile jobs are CPU-bound and themselves fan out over
+       the domain pool, so serving them one at a time keeps the
+       parallel runtime's team stable and makes job results
+       deterministic (which the cache's bit-identity check relies on);
+     - a responder domain (socket mode only) writes each job's
+       response back and closes the connection, so a slow client never
+       stalls the executor.
+
+   The executor is fault-walled twice: [Supervisor.run_job] never
+   raises by contract, and the loop around it catches anyway — a bug
+   in the supervisor must degrade to a failed job, not a dead daemon. *)
+
+type config =
+  { queue_cap : int (* admission bound; jobs beyond it are rejected *)
+  ; sup : Supervisor.config
+  ; cache_dir : string option (* persist the artifact cache here *)
+  }
+
+let default_config =
+  { queue_cap = 32; sup = Supervisor.default_config; cache_dir = None }
+
+(* A submitted job's future result. *)
+type ticket =
+  { tm : Mutex.t
+  ; tcv : Condition.t
+  ; mutable result : Proto.outcome option
+  }
+
+type t =
+  { cfg : config
+  ; sup : Supervisor.t
+  ; cache : Cache.t
+  ; q : (int * Proto.job * ticket) Queue.t
+  ; qm : Mutex.t
+  ; qcv : Condition.t
+  ; mutable draining : bool
+  ; mutable next_id : int
+  ; mutable overloaded : int (* submissions rejected by admission control *)
+  ; mutable executor : unit Domain.t option
+  }
+
+let fulfill (tk : ticket) (o : Proto.outcome) : unit =
+  Mutex.lock tk.tm;
+  tk.result <- Some o;
+  Condition.broadcast tk.tcv;
+  Mutex.unlock tk.tm
+
+let await (tk : ticket) : Proto.outcome =
+  Mutex.lock tk.tm;
+  while tk.result = None do
+    Condition.wait tk.tcv tk.tm
+  done;
+  let o = Option.get tk.result in
+  Mutex.unlock tk.tm;
+  o
+
+let executor_loop (t : t) : unit =
+  let rec loop () =
+    Mutex.lock t.qm;
+    while Queue.is_empty t.q && not t.draining do
+      Condition.wait t.qcv t.qm
+    done;
+    if Queue.is_empty t.q then begin
+      (* draining and nothing left: done *)
+      Mutex.unlock t.qm
+    end
+    else begin
+      let id, job, tk = Queue.pop t.q in
+      let depth = Queue.length t.q in
+      Mutex.unlock t.qm;
+      let outcome =
+        (* second wall: run_job never raises by contract, but a dead
+           executor would wedge every future ticket, so catch anyway *)
+        try Supervisor.run_job t.sup ~cache:t.cache ~queue_depth:depth ~job_id:id job
+        with e ->
+          { Proto.exit_code = 2
+          ; checksum = "-"
+          ; cached = false
+          ; retries = 0
+          ; breaker = false
+          ; log = "internal error: supervisor raised " ^ Printexc.to_string e
+          }
+      in
+      fulfill tk outcome;
+      loop ()
+    end
+  in
+  loop ()
+
+let create (cfg : config) : t =
+  let t =
+    { cfg
+    ; sup = Supervisor.create cfg.sup
+    ; cache = Cache.create ()
+    ; q = Queue.create ()
+    ; qm = Mutex.create ()
+    ; qcv = Condition.create ()
+    ; draining = false
+    ; next_id = 0
+    ; overloaded = 0
+    ; executor = None
+    }
+  in
+  (match cfg.cache_dir with
+   | Some dir -> ignore (Cache.load t.cache ~dir)
+   | None -> ());
+  t.executor <- Some (Domain.spawn (fun () -> executor_loop t));
+  t
+
+(* Admission control: accept into the bounded queue or reject NOW. *)
+let submit (t : t) (job : Proto.job) :
+  [ `Ticket of ticket | `Overloaded of int * int | `Draining ] =
+  Mutex.lock t.qm;
+  if t.draining then begin
+    Mutex.unlock t.qm;
+    `Draining
+  end
+  else begin
+    let depth = Queue.length t.q in
+    if depth >= t.cfg.queue_cap then begin
+      t.overloaded <- t.overloaded + 1;
+      Mutex.unlock t.qm;
+      `Overloaded (depth, t.cfg.queue_cap)
+    end
+    else begin
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let tk = { tm = Mutex.create (); tcv = Condition.create (); result = None } in
+      Queue.push (id, job, tk) t.q;
+      Condition.signal t.qcv;
+      Mutex.unlock t.qm;
+      `Ticket tk
+    end
+  end
+
+(* Synchronous submit for in-process callers (bench, tests). *)
+let run (t : t) (job : Proto.job) : Proto.response =
+  match submit t job with
+  | `Ticket tk -> Proto.Done (await tk)
+  | `Overloaded (depth, cap) -> Proto.Overloaded { depth; cap }
+  | `Draining -> Proto.Rejected "draining"
+
+(* Graceful drain: stop admitting, finish every queued job, stop the
+   executor, flush the cache index. *)
+let drain (t : t) : unit =
+  Mutex.lock t.qm;
+  t.draining <- true;
+  Condition.broadcast t.qcv;
+  Mutex.unlock t.qm;
+  (match t.executor with
+   | Some d ->
+     Domain.join d;
+     t.executor <- None
+   | None -> ());
+  (match t.cfg.cache_dir with
+   | Some dir -> ignore (Cache.flush t.cache ~dir)
+   | None -> ());
+  Runtime.Pool.shutdown_cached ()
+
+let queue_depth (t : t) : int =
+  Mutex.lock t.qm;
+  let d = Queue.length t.q in
+  Mutex.unlock t.qm;
+  d
+
+let overloaded_count (t : t) : int = t.overloaded
+let supervisor (t : t) : Supervisor.t = t.sup
+let cache (t : t) : Cache.t = t.cache
+
+(* --- Unix-domain-socket front end --- *)
+
+(* The responder: a FIFO of (connection, ticket) pairs.  Tickets are
+   enqueued in submission order and the single executor fulfills them
+   in submission order, so the responder's head ticket is always the
+   next one to complete — it never waits on the wrong job. *)
+type responder_q =
+  { rq : (Unix.file_descr * ticket) option Queue.t
+  ; rm : Mutex.t
+  ; rcv : Condition.t
+  }
+
+let responder_push (r : responder_q) (item : (Unix.file_descr * ticket) option)
+    : unit =
+  Mutex.lock r.rm;
+  Queue.push item r.rq;
+  Condition.signal r.rcv;
+  Mutex.unlock r.rm
+
+let responder_loop (r : responder_q) : unit =
+  let rec loop () =
+    Mutex.lock r.rm;
+    while Queue.is_empty r.rq do
+      Condition.wait r.rcv r.rm
+    done;
+    let item = Queue.pop r.rq in
+    Mutex.unlock r.rm;
+    match item with
+    | None -> () (* sentinel: drain complete *)
+    | Some (fd, tk) ->
+      let o = await tk in
+      (try Proto.send fd (Proto.response_to_string (Proto.Done o))
+       with _ -> () (* client went away; its job still ran and cached *));
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      loop ()
+  in
+  loop ()
+
+let reply_and_close (fd : Unix.file_descr) (resp : Proto.response) : unit =
+  (try Proto.send fd (Proto.response_to_string resp) with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Run the daemon on [socket] until a shutdown request or SIGTERM /
+   SIGINT, then drain.  Returns the number of jobs admitted.  [ready]
+   (if given) is called once the socket is listening — the smoke test
+   uses it; external clients use {!Client.wait_ready}. *)
+let serve_unix ?(ready : (unit -> unit) option) ~(socket : string)
+    (t : t) : int =
+  let stop = Atomic.make false in
+  (* a client that disconnects before its response is written must
+     surface as EPIPE (caught around every send), not as a fatal
+     SIGPIPE — readiness probes do exactly this *)
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let old_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX socket);
+  Unix.listen sock 16;
+  (match ready with Some f -> f () | None -> ());
+  let responder = { rq = Queue.create (); rm = Mutex.create (); rcv = Condition.create () } in
+  let responder_d = Domain.spawn (fun () -> responder_loop responder) in
+  let admitted = ref 0 in
+  let rec accept_loop () =
+    if Atomic.get stop then ()
+    else begin
+      match Unix.select [ sock ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | [], _, _ -> accept_loop ()
+      | _ -> begin
+        match Unix.accept sock with
+        | exception Unix.Unix_error _ -> accept_loop ()
+        | conn, _ ->
+          (* a silent client must not wedge the accept loop *)
+          (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 10.0
+           with Unix.Unix_error _ -> ());
+          (match Proto.recv conn with
+           | Error e -> reply_and_close conn (Proto.Rejected e)
+           | Ok payload -> begin
+             match Proto.request_of_string payload with
+             | Error e -> reply_and_close conn (Proto.Rejected e)
+             | Ok Proto.Shutdown ->
+               reply_and_close conn
+                 (Proto.Done
+                    { Proto.exit_code = 0
+                    ; checksum = "-"
+                    ; cached = false
+                    ; retries = 0
+                    ; breaker = false
+                    ; log = "draining: shutdown accepted"
+                    });
+               Atomic.set stop true
+             | Ok (Proto.Submit job) -> begin
+               match submit t job with
+               | `Ticket tk ->
+                 incr admitted;
+                 (* response is sent by the responder once the job runs *)
+                 responder_push responder (Some (conn, tk))
+               | `Overloaded (depth, cap) ->
+                 reply_and_close conn (Proto.Overloaded { depth; cap })
+               | `Draining -> reply_and_close conn (Proto.Rejected "draining")
+             end
+           end);
+          if not (Atomic.get stop) then accept_loop ()
+      end
+    end
+  in
+  accept_loop ();
+  (* drain: queued jobs finish and their responses go out, then the
+     responder sees the sentinel *)
+  drain t;
+  responder_push responder None;
+  Domain.join responder_d;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigterm old_term;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigpipe old_pipe;
+  !admitted

@@ -54,6 +54,7 @@ let () =
           ; rseed = Some seed
           ; rtimeout_ms = Some 5000
           }
+    ; serve = None
     ; source = Fuzz.Gen.source ~seed
     ; ir_before = ""
     }

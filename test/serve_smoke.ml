@@ -1,0 +1,303 @@
+(* The serve fault matrix and smoke test (wired into `dune runtest` via
+   the @serve-smoke alias).  The CLI driver's path arrives as argv(1).
+
+   1. In-process fault matrix: drive the daemon core through 100
+      poisoned jobs (cycling serve:raise / serve:corrupt /
+      serve:exhaust / serve:hang) interleaved with 100 clean jobs.
+      The daemon must survive all of them, every clean job must
+      produce the same checksum, every poisoned job must recover on
+      retry to that same checksum, and each poisoned job must leave
+      exactly one replayable rung="serve" crash bundle.
+
+   2. Cross-process smoke: spawn `polygeist-cpu serve` on a Unix
+      socket, replay a mixed hot/cold job list with two injected
+      serve:* faults through `polygeist-cpu client`, and check that
+      cache hits are bit-identical to the cold results and that exit
+      codes and checksums match the equivalent one-shot CLI runs.
+      Finally drain the daemon with --shutdown and --replay one of the
+      serve bundles it wrote. *)
+
+let failures = ref 0
+
+let fail fmt =
+  incr failures;
+  Printf.printf fmt
+
+let sh cmd = Sys.command cmd
+
+let reduce_src =
+  {|__global__ void reduce(float* in, float* out, int n) {
+  __shared__ float buf[64];
+  int t = threadIdx.x;
+  int i = blockIdx.x * 64 + t;
+  if (i < n) buf[t] = in[i];
+  else buf[t] = 0.0f;
+  __syncthreads();
+  for (int s = 32; s > 0; s = s / 2) {
+    if (t < s) buf[t] = buf[t] + buf[t + s];
+    __syncthreads();
+  }
+  if (t == 0) out[blockIdx.x] = buf[0];
+}
+void run(float* in, float* out, int n) {
+  reduce<<<(n + 63) / 64, 64>>>(in, out, n);
+}
+|}
+
+(* a second source so the cold/hot replay has more than one cache key *)
+let saxpy_src =
+  {|__global__ void saxpy(float* x, float* y, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) y[i] = 2.0f * x[i] + y[i];
+}
+void run(float* x, float* y, int n) {
+  saxpy<<<(n + 63) / 64, 64>>>(x, y, n);
+}
+|}
+
+let fresh_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+let mk_job ?(faults = "") ?(exec = "interp") source =
+  { Serve.Proto.source
+  ; entry = Some "run"
+  ; sizes = [ 128 ]
+  ; mode = "inner-serial"
+  ; exec
+  ; domains = 2
+  ; schedule = "static"
+  ; faults
+  }
+
+(* --- part 1: the in-process fault matrix --- *)
+
+let matrix () =
+  let crash_dir = fresh_dir "serve_smoke_crash" in
+  let t =
+    Serve.Server.create
+      { Serve.Server.queue_cap = 8
+      ; cache_dir = None
+      ; sup =
+          { Serve.Supervisor.default_config with
+            deadline_ms = 250 (* short: serve:hang burns one deadline *)
+          ; crash_dir = Some crash_dir
+          ; backoff =
+              { Serve.Backoff.default with base_ms = 1; cap_ms = 5 }
+          }
+      }
+  in
+  let run job =
+    match Serve.Server.run t job with
+    | Serve.Proto.Done o -> o
+    | Serve.Proto.Overloaded _ | Serve.Proto.Rejected _ ->
+      fail "matrix: synchronous submit rejected\n";
+      { Serve.Proto.exit_code = 2; checksum = "-"; cached = false
+      ; retries = 0; breaker = false; log = "" }
+  in
+  let reference = run (mk_job reduce_src) in
+  if reference.Serve.Proto.exit_code <> 0 then
+    fail "matrix: reference job exited %d, want 0\n"
+      reference.Serve.Proto.exit_code;
+  let ck = reference.Serve.Proto.checksum in
+  let kinds = [| "raise"; "corrupt"; "exhaust"; "hang" |] in
+  let poisoned = 100 in
+  for i = 0 to poisoned - 1 do
+    (* poisoned job: must recover on retry to the clean checksum *)
+    let kind = kinds.(i mod 4) in
+    (* alternate executors so the matrix covers the pool fault wall *)
+    let exec = if i mod 2 = 0 then "interp" else "parallel" in
+    let o = run (mk_job ~faults:("serve:" ^ kind) ~exec reduce_src) in
+    if o.Serve.Proto.exit_code <> 0 then
+      fail "matrix: poisoned job %d (serve:%s, %s) exited %d, want 0\n" i kind
+        exec o.Serve.Proto.exit_code;
+    if o.Serve.Proto.retries <> 1 then
+      fail "matrix: poisoned job %d (serve:%s) took %d retries, want 1\n" i
+        kind o.Serve.Proto.retries;
+    if o.Serve.Proto.checksum <> ck then
+      fail "matrix: poisoned job %d (serve:%s) checksum %s, want %s\n" i kind
+        o.Serve.Proto.checksum ck;
+    if o.Serve.Proto.cached then
+      fail "matrix: poisoned job %d served from cache\n" i;
+    (* interleaved clean job: bit-identical, and a cache hit after the
+       first of each executor flavor *)
+    let c = run (mk_job ~exec reduce_src) in
+    if c.Serve.Proto.exit_code <> 0 then
+      fail "matrix: clean job %d exited %d, want 0\n" i
+        c.Serve.Proto.exit_code;
+    if c.Serve.Proto.checksum <> ck then
+      fail "matrix: clean job %d checksum %s, want %s\n" i
+        c.Serve.Proto.checksum ck;
+    if i > 1 && not c.Serve.Proto.cached then
+      fail "matrix: clean job %d missed the cache\n" i
+  done;
+  let s = (Serve.Server.supervisor t).Serve.Supervisor.stats in
+  let bundles = Array.length (Sys.readdir crash_dir) in
+  if bundles <> poisoned then
+    fail "matrix: %d poisoned jobs left %d crash bundles, want exactly one \
+          each\n"
+      poisoned bundles;
+  if s.Serve.Supervisor.failed <> 0 then
+    fail "matrix: %d jobs failed outright, want 0\n" s.Serve.Supervisor.failed;
+  Serve.Server.drain t;
+  Printf.printf
+    "serve matrix: %d poisoned + %d clean jobs, %d retries, %d bundles, %d \
+     pool rebuilds, daemon alive throughout\n"
+    poisoned (poisoned + 1) s.Serve.Supervisor.retries bundles
+    s.Serve.Supervisor.pool_rebuilds;
+  crash_dir
+
+(* --- part 2: the cross-process smoke --- *)
+
+let slurp path = In_channel.with_open_text path In_channel.input_all
+
+let checksum_line out =
+  String.split_on_char '\n' out
+  |> List.find_opt (fun l ->
+      String.length l >= 15 && String.sub l 0 15 = "output checksum")
+
+let smoke (driver : string) =
+  let socket = Filename.temp_file "serve_smoke" ".sock" in
+  Sys.remove socket;
+  let crash_dir = fresh_dir "serve_smoke_crash2" in
+  let cu = Filename.temp_file "serve_smoke" ".cu" in
+  Out_channel.with_open_text cu (fun oc ->
+      Out_channel.output_string oc reduce_src);
+  let cu2 = Filename.temp_file "serve_smoke2" ".cu" in
+  Out_channel.with_open_text cu2 (fun oc ->
+      Out_channel.output_string oc saxpy_src);
+  let daemon_out = Filename.temp_file "serve_smoke" ".log" in
+  let out_fd =
+    Unix.openfile daemon_out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let pid =
+    Unix.create_process driver
+      [| driver
+       ; "serve"
+       ; "--socket"
+       ; socket
+       ; "--crash-dir"
+       ; crash_dir
+       ; "--deadline-ms"
+       ; "2000"
+      |]
+      Unix.stdin out_fd out_fd
+  in
+  Unix.close out_fd;
+  if not (Serve.Client.wait_ready ~socket ~timeout_ms:10_000) then begin
+    fail "smoke: daemon never became ready\n";
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+  end
+  else begin
+    let tmp = Filename.temp_file "serve_smoke" ".out" in
+    let client args =
+      let code =
+        sh
+          (Printf.sprintf "%s client --socket %s %s > %s 2>/dev/null"
+             (Filename.quote driver) (Filename.quote socket) args
+             (Filename.quote tmp))
+      in
+      (code, slurp tmp)
+    in
+    let oneshot args file =
+      let code =
+        sh
+          (Printf.sprintf "%s %s %s > %s 2>/dev/null" (Filename.quote driver)
+             args (Filename.quote file) (Filename.quote tmp))
+      in
+      (code, slurp tmp)
+    in
+    (* the one-shot CLI is the reference for exit code and checksum *)
+    let ref_code, ref_out =
+      oneshot "--cuda-lower --run run --size 128 --exec parallel --domains 2"
+        cu
+    in
+    let ref_ck = checksum_line ref_out in
+    if ref_code <> 0 then fail "smoke: one-shot reference exited %d\n" ref_code;
+    if ref_ck = None then fail "smoke: one-shot reference printed no checksum\n";
+    let job_args file =
+      Printf.sprintf "%s --run run --size 128 --exec parallel --domains 2"
+        (Filename.quote file)
+    in
+    (* cold *)
+    let cold_code, cold_out = client (job_args cu) in
+    if cold_code <> ref_code then
+      fail "smoke: served job exited %d, one-shot CLI %d\n" cold_code ref_code;
+    if checksum_line cold_out <> ref_ck then
+      fail "smoke: served checksum differs from the one-shot CLI\n";
+    (* hot: bit-identical to the cold result *)
+    let hot_code, hot_out = client (job_args cu) in
+    if hot_code <> cold_code then
+      fail "smoke: cache hit exited %d, cold run %d\n" hot_code cold_code;
+    if checksum_line hot_out <> checksum_line cold_out then
+      fail "smoke: cache hit checksum differs from the cold result\n";
+    (* a second source, cold then hot *)
+    let b_cold, b_out = client (job_args cu2) in
+    let b_hot, b_hot_out = client (job_args cu2) in
+    if b_cold <> 0 || b_hot <> 0 then
+      fail "smoke: second source exited %d/%d, want 0/0\n" b_cold b_hot;
+    if checksum_line b_hot_out <> checksum_line b_out then
+      fail "smoke: second source cache hit differs from its cold result\n";
+    if checksum_line b_out = ref_ck then
+      fail "smoke: distinct sources produced the same checksum line\n";
+    (* two injected serve faults: contained, retried, same answer *)
+    List.iter
+      (fun kind ->
+        let code, out =
+          client (job_args cu ^ " --inject-fault serve:" ^ kind)
+        in
+        if code <> ref_code then
+          fail "smoke: serve:%s job exited %d, want %d\n" kind code ref_code;
+        if checksum_line out <> ref_ck then
+          fail "smoke: serve:%s checksum differs after recovery\n" kind)
+      [ "raise"; "exhaust" ];
+    (* the daemon survived everything above *)
+    let alive_code, _ = client (job_args cu) in
+    if alive_code <> 0 then
+      fail "smoke: daemon not serving after the fault jobs (exit %d)\n"
+        alive_code;
+    (* graceful drain *)
+    let sd_code, _ = client "--shutdown" in
+    if sd_code <> 0 then fail "smoke: --shutdown exited %d\n" sd_code;
+    let _, status = Unix.waitpid [] pid in
+    (match status with
+     | Unix.WEXITED 0 -> ()
+     | Unix.WEXITED n -> fail "smoke: daemon exited %d after drain\n" n
+     | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+       fail "smoke: daemon killed/stopped by signal %d\n" n);
+    (* the injected faults left replayable bundles *)
+    (match Sys.readdir crash_dir with
+     | [||] -> fail "smoke: injected faults left no crash bundles\n"
+     | entries ->
+       if Array.length entries <> 2 then
+         fail "smoke: %d bundles for 2 injected faults\n"
+           (Array.length entries);
+       let bundle = Filename.concat crash_dir entries.(0) in
+       let code =
+         sh
+           (Printf.sprintf "%s --replay %s > %s 2>/dev/null"
+              (Filename.quote driver) (Filename.quote bundle)
+              (Filename.quote tmp))
+       in
+       if code <> 0 then
+         fail "smoke: --replay %s exited %d, want 0 (reproduced)\n" bundle
+           code);
+    Printf.printf "serve smoke: daemon served hot/cold replay with injected \
+                   faults and drained cleanly\n"
+  end
+
+let () =
+  let driver =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "../bin/polygeist_cpu.exe"
+  in
+  let crash_dir = matrix () in
+  ignore crash_dir;
+  smoke driver;
+  if !failures > 0 then begin
+    Printf.printf "serve smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "serve smoke: all checks passed"

@@ -12,4 +12,5 @@ let () =
     ; ("check", Test_check.tests)
     ; ("mhp", Test_mhp.tests)
     ; ("passmgr", Test_passmgr.tests)
+    ; ("serve", Test_serve.tests)
     ]

@@ -190,6 +190,12 @@ let test_bundle_roundtrip () =
           ; rseed = None
           ; rtimeout_ms = Some 500
           }
+    ; serve =
+        Some
+          { Core.Crashbundle.sduration_ms = 1234
+          ; sretries = 2
+          ; squeue_depth = 5
+          }
     ; source = "__global__ void k() {}\n"
     ; ir_before = "module {\n}\n"
     }
@@ -217,6 +223,12 @@ let test_bundle_roundtrip () =
          (Core.Crashbundle.runtime_to_string r)
          (Core.Crashbundle.runtime_to_string r')
      | _ -> Alcotest.fail "runtime config lost in round trip");
+    (match b.serve, b'.serve with
+     | Some s, Some s' ->
+       Alcotest.(check string) "serve"
+         (Core.Crashbundle.serve_to_string s)
+         (Core.Crashbundle.serve_to_string s')
+     | _ -> Alcotest.fail "serve config lost in round trip");
     Alcotest.(check int) "version" Core.Crashbundle.current_version b'.version;
     Alcotest.(check string) "source" b.source b'.source;
     Alcotest.(check string) "ir_before" b.ir_before b'.ir_before
@@ -250,6 +262,35 @@ let test_bundle_v1_accepted () =
       (b.Core.Crashbundle.runtime = None);
     Alcotest.(check string) "faults" "cpuify:raise"
       (Core.Fault.plan_to_string b.Core.Crashbundle.faults)
+
+(* Bundles written before the format grew the serve line (v2) must still
+   parse: version 2, runtime configuration kept, no serve context. *)
+let test_bundle_v2_accepted () =
+  let v2_text =
+    String.concat "\n"
+      [ "polygeist-cpu crash bundle v2"
+      ; "stage: runtime"
+      ; "stage-index: 0"
+      ; "rung: runtime"
+      ; "exception: injected fault"
+      ; "repro: polygeist-cpu old.cu -cuda-lower -run main --exec parallel"
+      ; "options: mincut=true,barrier-elim=true,mem2reg=true,licm=true,budget=7"
+      ; "faults: runtime:raise"
+      ; "runtime: exec=parallel,domains=4,schedule=static,chunk=-,seed=-,timeout-ms=500"
+      ; "=== source ==="
+      ; "__global__ void k() {}"
+      ; "=== pre-stage ir ==="
+      ; "module {"
+      ; "}"
+      ]
+  in
+  match Core.Crashbundle.of_string v2_text with
+  | Error e -> Alcotest.failf "v2 bundle rejected: %s" e
+  | Ok b ->
+    Alcotest.(check int) "version" 2 b.Core.Crashbundle.version;
+    Alcotest.(check bool) "runtime cfg kept" true
+      (b.Core.Crashbundle.runtime <> None);
+    Alcotest.(check bool) "no serve cfg" true (b.Core.Crashbundle.serve = None)
 
 (* A bundle written by the pass manager replays deterministically:
    recompiling the embedded source under the recorded options and fault
@@ -331,6 +372,8 @@ let tests =
   ; Alcotest.test_case "snapshot / restore / structural_equal" `Quick
       test_snapshot_restore
   ; Alcotest.test_case "crash bundle round-trip" `Quick test_bundle_roundtrip
+  ; Alcotest.test_case "v2 crash bundle still accepted" `Quick
+      test_bundle_v2_accepted
   ; Alcotest.test_case "v1 crash bundle still accepted" `Quick
       test_bundle_v1_accepted
   ; Alcotest.test_case "crash bundle replays deterministically" `Quick

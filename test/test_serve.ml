@@ -1,0 +1,360 @@
+(* Unit and property tests for the compile service's pure pieces:
+   the retry/backoff policy (QCheck properties over policies and
+   seeds), the wire protocol round trip, the content-addressed cache's
+   never-serve-corruption guarantee, the circuit breaker's trip /
+   half-open state machine, and the supervisor's fault wall driven
+   in-process (no socket). *)
+
+let reduce_src =
+  {|__global__ void reduce(float* in, float* out, int n) {
+  __shared__ float buf[64];
+  int t = threadIdx.x;
+  int i = blockIdx.x * 64 + t;
+  if (i < n) buf[t] = in[i];
+  else buf[t] = 0.0f;
+  __syncthreads();
+  for (int s = 32; s > 0; s = s / 2) {
+    if (t < s) buf[t] = buf[t] + buf[t + s];
+    __syncthreads();
+  }
+  if (t == 0) out[blockIdx.x] = buf[0];
+}
+void run(float* in, float* out, int n) {
+  reduce<<<(n + 63) / 64, 64>>>(in, out, n);
+}
+|}
+
+(* --- backoff: QCheck properties --- *)
+
+let policy_gen =
+  QCheck.Gen.(
+    let* base_ms = int_range 0 200 in
+    let* extra = int_range 0 2000 in
+    let* max_retries = int_range 0 5 in
+    return { Serve.Backoff.base_ms; cap_ms = base_ms + extra; max_retries })
+
+let policy_arb =
+  QCheck.make policy_gen ~print:(fun (p : Serve.Backoff.policy) ->
+      Printf.sprintf "{base=%d; cap=%d; retries=%d}" p.base_ms p.cap_ms
+        p.max_retries)
+
+let seed_attempt_prev =
+  QCheck.(
+    triple (int_bound 1_000_000) (int_range 1 10) (int_bound 5000))
+
+let test_delay_in_bounds =
+  QCheck.Test.make ~name:"backoff: delay always within [base, cap]" ~count:500
+    (QCheck.pair policy_arb seed_attempt_prev)
+    (fun (p, (seed, attempt, prev_ms)) ->
+      let d = Serve.Backoff.delay_ms p ~seed ~attempt ~prev_ms in
+      d >= p.Serve.Backoff.base_ms && d <= p.Serve.Backoff.cap_ms)
+
+let test_delay_deterministic =
+  QCheck.Test.make ~name:"backoff: same inputs, same delay" ~count:500
+    (QCheck.pair policy_arb seed_attempt_prev)
+    (fun (p, (seed, attempt, prev_ms)) ->
+      Serve.Backoff.delay_ms p ~seed ~attempt ~prev_ms
+      = Serve.Backoff.delay_ms p ~seed ~attempt ~prev_ms)
+
+(* A run of consecutive delays stays capped even when the previous
+   delay feeds back in — the decorrelated-jitter recurrence must not
+   escape the window. *)
+let test_delay_sequence_capped =
+  QCheck.Test.make ~name:"backoff: delay sequence respects the cap" ~count:200
+    (QCheck.pair policy_arb (QCheck.int_bound 1_000_000))
+    (fun (p, seed) ->
+      let prev = ref p.Serve.Backoff.base_ms in
+      let ok = ref true in
+      for attempt = 1 to 8 do
+        let d = Serve.Backoff.delay_ms p ~seed ~attempt ~prev_ms:!prev in
+        if d < p.Serve.Backoff.base_ms || d > p.Serve.Backoff.cap_ms then
+          ok := false;
+        prev := d
+      done;
+      !ok)
+
+let test_deterministic_never_retried =
+  QCheck.Test.make ~name:"backoff: deterministic failures never retried"
+    ~count:200
+    (QCheck.pair policy_arb (QCheck.int_range 1 10))
+    (fun (p, attempt) ->
+      not (Serve.Backoff.retryable p Serve.Backoff.Deterministic ~attempt))
+
+let test_transient_bounded =
+  QCheck.Test.make ~name:"backoff: transient retries stop at max_retries"
+    ~count:200
+    (QCheck.pair policy_arb (QCheck.int_range 1 10))
+    (fun (p, attempt) ->
+      Serve.Backoff.retryable p Serve.Backoff.Transient ~attempt
+      = (attempt <= p.Serve.Backoff.max_retries))
+
+(* --- protocol round trips --- *)
+
+let test_proto_roundtrip () =
+  let job =
+    { Serve.Proto.source = "line one\nline \"two\"\n\ttab"
+    ; entry = Some "run"
+    ; sizes = [ 128; 7 ]
+    ; mode = "inner-parallel"
+    ; exec = "parallel"
+    ; domains = 3
+    ; schedule = "dynamic"
+    ; faults = "serve:raise,cpuify:corrupt"
+    }
+  in
+  (match Serve.Proto.request_of_string
+           (Serve.Proto.request_to_string (Serve.Proto.Submit job))
+   with
+   | Ok (Serve.Proto.Submit j) ->
+     Alcotest.(check bool) "job round-trips" true (j = job)
+   | _ -> Alcotest.fail "submit did not round-trip");
+  (match Serve.Proto.request_of_string
+           (Serve.Proto.request_to_string Serve.Proto.Shutdown)
+   with
+   | Ok Serve.Proto.Shutdown -> ()
+   | _ -> Alcotest.fail "shutdown did not round-trip");
+  let outcome =
+    { Serve.Proto.exit_code = 1
+    ; checksum = "4.28806987e+14"
+    ; cached = true
+    ; retries = 2
+    ; breaker = false
+    ; log = "several\nlines\n"
+    }
+  in
+  List.iter
+    (fun resp ->
+      match Serve.Proto.response_of_string (Serve.Proto.response_to_string resp)
+      with
+      | Ok r -> Alcotest.(check bool) "response round-trips" true (r = resp)
+      | Error e -> Alcotest.fail ("response parse failed: " ^ e))
+    [ Serve.Proto.Done outcome
+    ; Serve.Proto.Overloaded { depth = 32; cap = 32 }
+    ; Serve.Proto.Rejected "draining"
+    ];
+  (match Serve.Proto.request_of_string "polygeist-serve/9 nonsense\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown request kind must be rejected")
+
+(* --- cache: content addressing and corruption eviction --- *)
+
+let test_cache_corruption () =
+  let c = Serve.Cache.create () in
+  let k = Serve.Cache.key ~source:"src" ~flags:"flags" in
+  Alcotest.(check (option string)) "empty cache misses" None (Serve.Cache.find c k);
+  Serve.Cache.store c k "payload-bytes";
+  Alcotest.(check (option string)) "stored artifact found"
+    (Some "payload-bytes") (Serve.Cache.find c k);
+  Alcotest.(check bool) "corrupt hook flips the artifact" true
+    (Serve.Cache.corrupt c k);
+  Alcotest.(check (option string)) "corrupt artifact is NEVER served" None
+    (Serve.Cache.find c k);
+  let s = Serve.Cache.stats c in
+  Alcotest.(check int) "corruption counted" 1 s.Serve.Cache.corrupt_dropped;
+  Alcotest.(check int) "entry dropped" 0 s.Serve.Cache.entries;
+  (* distinct flags must give distinct keys *)
+  Alcotest.(check bool) "flags are part of the key" true
+    (Serve.Cache.key ~source:"s" ~flags:"a"
+     <> Serve.Cache.key ~source:"s" ~flags:"b")
+
+let test_cache_persistence () =
+  let dir = Filename.temp_file "serve" ".cache" in
+  Sys.remove dir;
+  let c = Serve.Cache.create () in
+  Serve.Cache.store c "k1" "payload one";
+  Serve.Cache.store c "k2" "payload\ntwo";
+  (match Serve.Cache.flush c ~dir with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail ("flush failed: " ^ e));
+  let c2 = Serve.Cache.create () in
+  Alcotest.(check int) "both entries load" 2 (Serve.Cache.load c2 ~dir);
+  Alcotest.(check (option string)) "loaded payload verifies"
+    (Some "payload\ntwo") (Serve.Cache.find c2 "k2");
+  (* damage the file: the bad line is dropped, the rest load *)
+  let path = Filename.concat dir "cache-index.v1" in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let damaged =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           if String.length line > 3 && String.sub line 0 2 = "k1" then
+             line ^ "damage"
+           else line)
+         (String.split_on_char '\n' text))
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc damaged);
+  let c3 = Serve.Cache.create () in
+  Alcotest.(check int) "damaged entry dropped at load" 1
+    (Serve.Cache.load c3 ~dir);
+  Alcotest.(check (option string)) "damaged entry gone" None
+    (Serve.Cache.find c3 "k1");
+  Alcotest.(check (option string)) "survivor still verifies"
+    (Some "payload\ntwo") (Serve.Cache.find c3 "k2")
+
+(* --- circuit breaker state machine --- *)
+
+let test_breaker () =
+  let b = Serve.Supervisor.Breaker.create ~threshold:3 ~recovery:2 in
+  let h = "deadbeef" in
+  Alcotest.(check bool) "fresh source not tripped" false
+    (Serve.Supervisor.Breaker.tripped b h);
+  Serve.Supervisor.Breaker.record_failure b h;
+  Serve.Supervisor.Breaker.record_failure b h;
+  (* a success between failures resets the streak *)
+  Serve.Supervisor.Breaker.record_success b h ~conservative:false;
+  Serve.Supervisor.Breaker.record_failure b h;
+  Serve.Supervisor.Breaker.record_failure b h;
+  Alcotest.(check bool) "streak below threshold" false
+    (Serve.Supervisor.Breaker.tripped b h);
+  Serve.Supervisor.Breaker.record_failure b h;
+  Alcotest.(check bool) "third consecutive failure trips" true
+    (Serve.Supervisor.Breaker.tripped b h);
+  (* half-open: conservative successes untrip after [recovery] in a row *)
+  Serve.Supervisor.Breaker.record_success b h ~conservative:true;
+  Alcotest.(check bool) "one conservative success is not enough" true
+    (Serve.Supervisor.Breaker.tripped b h);
+  Serve.Supervisor.Breaker.record_success b h ~conservative:true;
+  Alcotest.(check bool) "recovery streak untrips" false
+    (Serve.Supervisor.Breaker.tripped b h);
+  Alcotest.(check bool) "other sources unaffected" false
+    (Serve.Supervisor.Breaker.tripped b "other")
+
+(* --- the supervisor fault wall, driven in-process --- *)
+
+let sup_config ~crash_dir =
+  { Serve.Supervisor.default_config with
+    deadline_ms = 2000
+  ; crash_dir
+  ; backoff = { Serve.Backoff.default with base_ms = 1; cap_ms = 5 }
+  }
+
+let mk_job ?(faults = "") ?(exec = "interp") () =
+  { Serve.Proto.source = reduce_src
+  ; entry = Some "run"
+  ; sizes = [ 128 ]
+  ; mode = "inner-serial"
+  ; exec
+  ; domains = 2
+  ; schedule = "static"
+  ; faults
+  }
+
+let test_supervisor_clean_and_cached () =
+  let t = Serve.Supervisor.create (sup_config ~crash_dir:None) in
+  let cache = Serve.Cache.create () in
+  let o1 =
+    Serve.Supervisor.run_job t ~cache ~queue_depth:0 ~job_id:0 (mk_job ())
+  in
+  Alcotest.(check int) "clean job exits 0" 0 o1.Serve.Proto.exit_code;
+  Alcotest.(check bool) "cold run not cached" false o1.Serve.Proto.cached;
+  Alcotest.(check bool) "a checksum was computed" true
+    (o1.Serve.Proto.checksum <> "-");
+  let o2 =
+    Serve.Supervisor.run_job t ~cache ~queue_depth:0 ~job_id:1 (mk_job ())
+  in
+  Alcotest.(check bool) "second run served from cache" true
+    o2.Serve.Proto.cached;
+  Alcotest.(check string) "cached checksum is bit-identical"
+    o1.Serve.Proto.checksum o2.Serve.Proto.checksum
+
+let test_supervisor_serve_faults () =
+  let dir = Filename.temp_file "serve" ".crash" in
+  Sys.remove dir;
+  let t = Serve.Supervisor.create (sup_config ~crash_dir:(Some dir)) in
+  let cache = Serve.Cache.create () in
+  let clean =
+    Serve.Supervisor.run_job t ~cache ~queue_depth:0 ~job_id:0 (mk_job ())
+  in
+  List.iteri
+    (fun i kind ->
+      let o =
+        Serve.Supervisor.run_job t ~cache ~queue_depth:1 ~job_id:(i + 1)
+          (mk_job ~faults:("serve:" ^ kind) ())
+      in
+      (* the injection is one-shot: the first attempt dies (and writes
+         a bundle), the retry succeeds with the clean checksum *)
+      Alcotest.(check int) (kind ^ ": retried once") 1 o.Serve.Proto.retries;
+      Alcotest.(check int) (kind ^ ": job recovers") 0 o.Serve.Proto.exit_code;
+      Alcotest.(check string) (kind ^ ": checksum matches clean run")
+        clean.Serve.Proto.checksum o.Serve.Proto.checksum;
+      Alcotest.(check bool) (kind ^ ": poisoned job never cached") false
+        o.Serve.Proto.cached)
+    [ "raise"; "corrupt"; "exhaust"; "hang" ];
+  let bundles = Array.to_list (Sys.readdir dir) in
+  Alcotest.(check int) "exactly one bundle per poisoned job" 4
+    (List.length bundles);
+  List.iter
+    (fun f ->
+      match Core.Crashbundle.read (Filename.concat dir f) with
+      | Error e -> Alcotest.fail ("unreadable bundle " ^ f ^ ": " ^ e)
+      | Ok b ->
+        Alcotest.(check string) "bundle rung" "serve" b.Core.Crashbundle.rung;
+        (match b.Core.Crashbundle.serve with
+         | None -> Alcotest.fail "serve bundle missing v3 serve header"
+         | Some s ->
+           Alcotest.(check int) "queue depth recorded" 1
+             s.Core.Crashbundle.squeue_depth))
+    bundles
+
+let test_supervisor_deterministic_failure () =
+  let t = Serve.Supervisor.create (sup_config ~crash_dir:None) in
+  let cache = Serve.Cache.create () in
+  let o =
+    Serve.Supervisor.run_job t ~cache ~queue_depth:0 ~job_id:0
+      { (mk_job ()) with Serve.Proto.source = "this is not CUDA" }
+  in
+  Alcotest.(check int) "parse error fails the job" 2 o.Serve.Proto.exit_code;
+  Alcotest.(check int) "deterministic failure is NOT retried" 0
+    o.Serve.Proto.retries
+
+let test_supervisor_breaker_trip () =
+  let t =
+    Serve.Supervisor.create
+      { (sup_config ~crash_dir:None) with
+        backoff = { Serve.Backoff.base_ms = 1; cap_ms = 2; max_retries = 0 }
+      ; breaker_threshold = 2
+      }
+  in
+  let cache = Serve.Cache.create () in
+  (* a source that keeps dying in the serving layer: no retries, so
+     each submission is one failed attempt *)
+  for i = 0 to 1 do
+    let o =
+      Serve.Supervisor.run_job t ~cache ~queue_depth:0 ~job_id:i
+        (mk_job ~faults:"serve:raise" ())
+    in
+    Alcotest.(check int) "poisoned job fails" 2 o.Serve.Proto.exit_code
+  done;
+  Alcotest.(check int) "breaker tripped after the threshold" 1
+    (Serve.Supervisor.breaker_trips t);
+  (* the same source, now clean: served conservatively via the breaker *)
+  let o =
+    Serve.Supervisor.run_job t ~cache ~queue_depth:0 ~job_id:2 (mk_job ())
+  in
+  Alcotest.(check bool) "served via the breaker" true o.Serve.Proto.breaker;
+  Alcotest.(check int) "conservative service is degraded" 1
+    o.Serve.Proto.exit_code
+
+let tests =
+  [ QCheck_alcotest.to_alcotest test_delay_in_bounds
+  ; QCheck_alcotest.to_alcotest test_delay_deterministic
+  ; QCheck_alcotest.to_alcotest test_delay_sequence_capped
+  ; QCheck_alcotest.to_alcotest test_deterministic_never_retried
+  ; QCheck_alcotest.to_alcotest test_transient_bounded
+  ; Alcotest.test_case "protocol round trips" `Quick test_proto_roundtrip
+  ; Alcotest.test_case "cache never serves corruption" `Quick
+      test_cache_corruption
+  ; Alcotest.test_case "cache index flush/load re-verifies" `Quick
+      test_cache_persistence
+  ; Alcotest.test_case "circuit breaker trip and half-open recovery" `Quick
+      test_breaker
+  ; Alcotest.test_case "supervisor: clean job, then bit-identical cache hit"
+      `Quick test_supervisor_clean_and_cached
+  ; Alcotest.test_case "supervisor: every serve:* fault contained + bundled"
+      `Quick test_supervisor_serve_faults
+  ; Alcotest.test_case "supervisor: deterministic failures not retried"
+      `Quick test_supervisor_deterministic_failure
+  ; Alcotest.test_case "supervisor: circuit breaker degrades hot failures"
+      `Quick test_supervisor_breaker_trip
+  ]
