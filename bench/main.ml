@@ -17,6 +17,13 @@
      dune exec bench/main.exe perf-smoke -- tiny CI tripwire (exit 1 on
                                             checksum mismatch, warm frame
                                             allocation, or 4d > 2x 1d)
+     dune exec bench/main.exe moccuda    -- kernel-tier forward pass: per-op
+                                            and whole-network wall-clock at
+                                            1/2/4 domains, cold vs warm
+                                            cache, loss bitwise vs the
+                                            Tensorlib reference (writes
+                                            BENCH_6.json; flags: --reps
+                                            --out)
      dune exec bench/main.exe fuzz       -- differential-fuzzer throughput:
                                             cases/min through the full
                                             oracle, divergences found
@@ -1194,6 +1201,206 @@ let serve_bench ?(jobs = 300) ?(fault_pct = 1) ?(queue_cap = 16)
          Out_channel.output_string oc (Buffer.contents buf));
      Printf.printf "  wrote %s\n" path)
 
+(* --- moccuda: the kernel tier end to end (BENCH_6.json) --- *)
+
+(* Real wall-clock of the compiled-kernel network: the miniature ResNet
+   forward pass where every tensor op is a transpiled mini-CUDA kernel
+   (frontend -> barrier lowering -> OpenMP -> the multicore engine),
+   at 1/2/4 domains, cold (first pass compiles every kernel) vs warm
+   (every launch a cache hit).  Functional ground truth is the
+   Tensorlib reference forward pass: the loss must match BIT FOR BIT
+   at every domain count.  A capped slice of the real ResNet-50 layer
+   table then runs through the same tier with per-layer checksum
+   parity.  The analytic Opcost prediction (A64FX model) is printed
+   next to each measured time — the cost model and the measurement
+   come from the same graph. *)
+let moccuda_bench ?(reps = 3) ?(out = Some "BENCH_6.json") () =
+  let open Tensorlib in
+  header
+    "MocCUDA kernel tier — compiled forward pass, real wall-clock\n\
+     (every op a transpiled kernel; loss checked bitwise against the\n\
+     Tensorlib reference at each domain count)";
+  let batch = 2 and hw = 8 and channels = 8 in
+  let m = Moccuda.Resnet.mini_model ~channels in
+  let images = Tensor.rand 42 [| batch; 3; hw; hw |] in
+  let targets = [| 3; 7 |] in
+  let reference =
+    Moccuda.Resnet.mini_forward Moccuda.Backends.Moccuda_expert m ~images
+      ~targets
+  in
+  let images_b = Moccuda.Graph.buffer_of_tensor images in
+  let targets_b = Moccuda.Graph.buffer_of_ints targets in
+  let cm = Moccuda.Resnet.mini_compiled m ~batch ~hw in
+  let bits = Int64.bits_of_float in
+  pr "\nforward pass: batch %d, %dx%d images, %d channels\n" batch hw hw
+    channels;
+  pr "%8s %12s %12s %14s %10s %6s\n" "domains" "cold (s)" "warm (s)"
+    "a64fx pred (s)" "recompile" "loss=";
+  let rows =
+    List.map
+      (fun domains ->
+        let km = Moccuda.Kmgr.create ~domains () in
+        let ar = Moccuda.Arena.create () in
+        let run () =
+          Moccuda.Resnet.run_mini_compiled cm km ar ~images:images_b
+            ~targets:targets_b
+        in
+        let t0 = Unix.gettimeofday () in
+        let cold_loss = run () in
+        let cold_s = Unix.gettimeofday () -. t0 in
+        let compiles_after_cold = (Moccuda.Kmgr.stats km).Moccuda.Kmgr.compiles in
+        let warm_s = ref infinity in
+        let warm_loss = ref cold_loss in
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          warm_loss := run ();
+          let t = Unix.gettimeofday () -. t0 in
+          if t < !warm_s then warm_s := t
+        done;
+        let s = Moccuda.Kmgr.stats km in
+        let recompiles = s.Moccuda.Kmgr.compiles - compiles_after_cold in
+        let loss_ok =
+          Int64.equal (bits cold_loss) (bits reference)
+          && Int64.equal (bits !warm_loss) (bits reference)
+        in
+        let predicted =
+          Opcost.seconds a64fx ~threads:domains
+            (Moccuda.Resnet.mini_cost cm)
+        in
+        pr "%8d %12.4f %12.4f %14.2e %10d %6s\n" domains cold_s !warm_s
+          predicted recompiles
+          (if loss_ok then "bit" else "DIFF");
+        (domains, cold_s, !warm_s, predicted, recompiles, loss_ok,
+         Moccuda.Kmgr.kernels km, s))
+      [ 1; 2; 4 ]
+  in
+  let _, _, _, _, _, _, kernels4, _ = List.nth rows (List.length rows - 1) in
+  pr "\nper-kernel totals at 4 domains (rung, launches, time):\n";
+  List.iter
+    (fun (k : Moccuda.Kmgr.kernel_info) ->
+      pr "  %-10s %-14s %-8s %4d launches %9.4f s\n" k.Moccuda.Kmgr.kname
+        (String.concat "x" (List.map string_of_int k.Moccuda.Kmgr.kshape))
+        k.Moccuda.Kmgr.krung k.Moccuda.Kmgr.klaunches k.Moccuda.Kmgr.ksecs)
+    kernels4;
+  (* the real ResNet-50 table, capped so the engine finishes in bench
+     time: geometry (kernel size, stride, channel ratios) is the
+     layer's own *)
+  let sweep_km = Moccuda.Kmgr.create ~domains:4 () in
+  let sweep_ar = Moccuda.Arena.create () in
+  let sweep_layers = List.filteri (fun i _ -> i < 6) Moccuda.Resnet.conv_layers in
+  pr "\nResNet-50 layer sweep (first %d layers, hw<=8, channels<=16, 4 domains):\n"
+    (List.length sweep_layers);
+  let sweep =
+    List.mapi
+      (fun i l ->
+        let r =
+          Moccuda.Resnet.run_conv_layer ~hw_cap:8 ~channel_cap:16 sweep_km
+            sweep_ar ~batch:1 l
+        in
+        let ok =
+          Int64.equal
+            (bits r.Moccuda.Resnet.lr_checksum)
+            (bits r.Moccuda.Resnet.lr_ref_checksum)
+        in
+        let sh = r.Moccuda.Resnet.lr_shape in
+        pr "  layer %2d: %3dc -> %3dk  %dx%d s%d  %8.4f s  checksum %s\n" i
+          sh.Conv.c sh.Conv.k sh.Conv.r sh.Conv.s sh.Conv.p.Conv.stride
+          r.Moccuda.Resnet.lr_secs
+          (if ok then "bit-identical" else "MISMATCH");
+        (i, r, ok))
+      sweep_layers
+  in
+  let all_loss_ok = List.for_all (fun (_, _, _, _, _, ok, _, _) -> ok) rows in
+  let no_recompiles =
+    List.for_all (fun (_, _, _, _, rc, _, _, _) -> rc = 0) rows
+  in
+  let sweep_ok = List.for_all (fun (_, _, ok) -> ok) sweep in
+  pr "\nloss bitwise at every domain count: %b\n" all_loss_ok;
+  pr "warm recompiles: %s\n" (if no_recompiles then "0" else "NONZERO");
+  pr "layer-sweep checksum parity: %b\n" sweep_ok;
+  (match out with
+   | None -> ()
+   | Some path ->
+     let buf = Buffer.create 4096 in
+     let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+     bpr "{\n  \"bench\": \"moccuda\",\n";
+     bpr "  \"batch\": %d, \"hw\": %d, \"channels\": %d,\n" batch hw channels;
+     bpr "  \"reference_loss\": %.17g,\n" reference;
+     bpr "  \"forward\": [\n";
+     List.iteri
+       (fun i (d, cold_s, warm_s, predicted, rc, ok, kernels, stats) ->
+         bpr
+           "    {\"domains\": %d, \"cold_s\": %.6e, \"warm_s\": %.6e, \
+            \"predicted_a64fx_s\": %.6e, \"warm_recompiles\": %d, \
+            \"loss_bitwise\": %b,\n"
+           d cold_s warm_s predicted rc ok;
+         bpr
+           "     \"cache\": {\"compiles\": %d, \"hits\": %d, \"misses\": \
+            %d, \"degraded\": %d, \"interp_fallbacks\": %d, \"launches\": \
+            %d},\n"
+           stats.Moccuda.Kmgr.compiles stats.Moccuda.Kmgr.hits
+           stats.Moccuda.Kmgr.misses stats.Moccuda.Kmgr.degraded
+           stats.Moccuda.Kmgr.interp_fallbacks stats.Moccuda.Kmgr.launches;
+         bpr "     \"ops\": [";
+         List.iteri
+           (fun j (k : Moccuda.Kmgr.kernel_info) ->
+             bpr "%s{\"name\": \"%s\", \"shape\": \"%s\", \"rung\": \
+                  \"%s\", \"launches\": %d, \"secs\": %.6e}"
+               (if j > 0 then ", " else "")
+               k.Moccuda.Kmgr.kname
+               (String.concat "x"
+                  (List.map string_of_int k.Moccuda.Kmgr.kshape))
+               k.Moccuda.Kmgr.krung k.Moccuda.Kmgr.klaunches
+               k.Moccuda.Kmgr.ksecs)
+           kernels;
+         bpr "]}%s\n" (if i < List.length rows - 1 then "," else ""))
+       rows;
+     bpr "  ],\n  \"layer_sweep\": [\n";
+     List.iteri
+       (fun i (idx, (r : Moccuda.Resnet.layer_run), ok) ->
+         let sh = r.Moccuda.Resnet.lr_shape in
+         bpr
+           "    {\"layer\": %d, \"c\": %d, \"k\": %d, \"ksize\": %d, \
+            \"stride\": %d, \"secs\": %.6e, \"checksum_match\": %b}%s\n"
+           idx sh.Conv.c sh.Conv.k sh.Conv.r sh.Conv.p.Conv.stride
+           r.Moccuda.Resnet.lr_secs ok
+           (if i < List.length sweep - 1 then "," else ""))
+       sweep;
+     bpr "  ],\n";
+     bpr
+       "  \"summary\": {\"loss_bitwise_all_domains\": %b, \
+        \"warm_recompiles_zero\": %b, \"layer_sweep_parity\": %b}\n"
+       all_loss_ok no_recompiles sweep_ok;
+     bpr "}\n";
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc (Buffer.contents buf));
+     pr "Wrote %s\n" path);
+  if not (all_loss_ok && no_recompiles && sweep_ok) then exit 1
+
+(* Flags after "moccuda": --reps N (default 3), --out FILE *)
+let moccuda_with_flags () =
+  let reps = ref 3 in
+  let out = ref (Some "BENCH_6.json") in
+  let i = ref 2 in
+  let next name =
+    incr i;
+    if !i >= Array.length Sys.argv then begin
+      prerr_endline ("missing value for " ^ name);
+      exit 1
+    end;
+    Sys.argv.(!i)
+  in
+  while !i < Array.length Sys.argv do
+    (match Sys.argv.(!i) with
+     | "--reps" -> reps := int_of_string (next "--reps")
+     | "--out" -> out := Some (next "--out")
+     | other ->
+       prerr_endline ("unknown moccuda flag: " ^ other);
+       exit 1);
+    incr i
+  done;
+  moccuda_bench ~reps:!reps ~out:!out ()
+
 (* Flags of the serve bench (everything after "serve"):
    --jobs N        replayed job count (default 300)
    --fault-pct N   percentage of jobs with an injected serve:raise
@@ -1239,6 +1446,7 @@ let () =
    | "speedup" -> speedup_with_flags ()
    | "serve" -> serve_with_flags ()
    | "perf-smoke" -> perf_smoke ()
+   | "moccuda" -> moccuda_with_flags ()
    | "fuzz" -> fuzz_with_flags ()
    | "repair" -> repair_with_flags ()
    | "micro" -> micro ()

@@ -988,10 +988,19 @@ let fuzz_cmd =
                    every repair against the differential oracle.  Exit 1 \
                    if any racy mutant cannot be repaired")
     in
-    let fuzz_main seed cases crash_dir timeout_ms no_reduce gen_racy :
-      (int, [ `Msg of string ]) result =
+    let gen_tensor =
+      Arg.(value & flag & info [ "gen-tensor" ]
+             ~doc:"draw tensor-shaped kernels (cooperative-load shared \
+                   GEMMs, ring stencils, tree reductions — the MocCUDA \
+                   kernel tier's dataflow shapes) instead of the default \
+                   phase mix")
+    in
+    let fuzz_main seed cases crash_dir timeout_ms no_reduce gen_racy
+        gen_tensor : (int, [ `Msg of string ]) result =
       guard "fuzz" (fun () ->
-          if gen_racy then begin
+          if gen_racy && gen_tensor then
+            Error (`Msg "--gen-racy and --gen-tensor are mutually exclusive")
+          else if gen_racy then begin
             let progress scanned racy =
               if scanned mod 20 = 0 then
                 Printf.eprintf "fuzz --gen-racy: %d seeds scanned, %d racy \
@@ -1018,7 +1027,8 @@ let fuzz_cmd =
             in
             let r =
               Fuzz.Fuzzer.run_campaign ?crash_dir ~timeout_ms
-                ~reduce:(not no_reduce) ~progress ~seed ~cases ()
+                ~reduce:(not no_reduce) ~tensor:gen_tensor ~progress ~seed
+                ~cases ()
             in
             print_string (Fuzz.Fuzzer.report_to_string r);
             Ok (if r.Fuzz.Fuzzer.findings = [] then 0 else 1)
@@ -1037,7 +1047,7 @@ let fuzz_cmd =
       Term.(
         term_result
           (const fuzz_main $ seed $ cases $ fuzz_crash_dir $ fuzz_timeout_ms
-           $ no_reduce $ gen_racy))
+           $ no_reduce $ gen_racy $ gen_tensor))
 
 (* [polygeist-cpu serve ...]: the supervised compile daemon.  Jobs are
    accepted over a Unix-domain socket, run inside the job fault wall

@@ -52,13 +52,16 @@ let bundle_of_finding ?(options = Core.Cpuify.default_options) ~timeout_ms
   }
 
 let run_campaign ?(options = Core.Cpuify.default_options) ?(timeout_ms = 5000)
-    ?crash_dir ?(reduce = true) ?(progress = fun _ _ -> ()) ~seed ~cases () :
-  report =
+    ?crash_dir ?(reduce = true) ?(tensor = false)
+    ?(progress = fun _ _ -> ()) ~seed ~cases () : report =
   let t0 = Unix.gettimeofday () in
   let findings = ref [] in
   for i = 0 to cases - 1 do
     let case_seed = seed + i in
-    let src = Gen.source ~seed:case_seed in
+    let src =
+      if tensor then Gen.tensor_source ~seed:case_seed
+      else Gen.source ~seed:case_seed
+    in
     (match Oracle.run ~options ~timeout_ms src with
      | Oracle.Passed -> ()
      | Oracle.Failed failure ->

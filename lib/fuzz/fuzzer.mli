@@ -20,13 +20,15 @@ type report =
 (** Run [cases] seeds starting at [seed].  Each failure is shrunk
     (unless [reduce] is [false]) and, when [crash_dir] is given, written
     as a v2 crash bundle with rung ["fuzz"] and the generator seed in
-    its runtime line.  [progress done_ found] is called after each
+    its runtime line.  [tensor] draws from {!Gen.tensor_source} instead
+    of {!Gen.source}.  [progress done_ found] is called after each
     case. *)
 val run_campaign :
   ?options:Core.Cpuify.options ->
   ?timeout_ms:int ->
   ?crash_dir:string ->
   ?reduce:bool ->
+  ?tensor:bool ->
   ?progress:(int -> int -> unit) ->
   seed:int ->
   cases:int ->

@@ -225,6 +225,113 @@ void launch(float* out, float* in) { k<<<%d, %d>>>(out, in); }
     (String.concat "\n  " phases)
     cfg.threads blocks cfg.threads
 
+(* --- tensor-shaped programs ([fuzz --gen-tensor]) ---
+
+   The same race-free discipline, but with the dataflow shapes of the
+   MocCUDA kernel tier: cooperative-load shared-memory GEMM, a ring
+   stencil with double buffering, and an unrolled tree reduction.
+   These stress what the phase mix above cannot: 2D thread blocks with
+   partial-tile guards, barrier-separated load/compute epochs, and
+   log-depth single-writer fan-in. *)
+
+(* dim3(N, M) block; A (MxK) at in[0], B (KxN) at in[32]; threads with
+   tx < K (resp. ty < K) cooperatively stage the tiles, so K <= min(M,N)
+   keeps every element covered.  One barrier between load and use. *)
+let tensor_gemm rng =
+  let m = 3 + Random.State.int rng 3 in
+  let n = 3 + Random.State.int rng 3 in
+  let k = 2 + Random.State.int rng (min m n - 1) in
+  let c = 1 + Random.State.int rng 7 in
+  Printf.sprintf
+    {|
+__global__ void k(float* out, float* in) {
+  __shared__ float As[%d][%d];
+  __shared__ float Bs[%d][%d];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  if (tx < %d) { As[ty][tx] = in[ty * %d + tx]; }
+  if (ty < %d) { Bs[ty][tx] = in[32 + ty * %d + tx]; }
+  __syncthreads();
+  float acc = 0.0f;
+  for (int i = 0; i < %d; i++) {
+    acc = acc + As[ty][i] * Bs[i][tx];
+  }
+  out[ty * %d + tx] = acc * 0.%df;
+}
+void launch(float* out, float* in) { k<<<1, dim3(%d, %d)>>>(out, in); }
+|}
+    m k k n k k k n k n c n m
+
+(* Ring stencil with double buffering: rotated reads and own-slot
+   writes alternate across the fences, [iters] trips of the
+   barrier-carrying loop. *)
+let tensor_stencil rng =
+  let t = if Random.State.bool rng then 8 else 16 in
+  let iters = 2 + Random.State.int rng 3 in
+  let c = 1 + Random.State.int rng 7 in
+  Printf.sprintf
+    {|
+__global__ void k(float* out, float* in) {
+  __shared__ float s[%d];
+  __shared__ float d[%d];
+  int t = threadIdx.x;
+  int b = blockIdx.x;
+  s[t] = in[b * %d + t];
+  __syncthreads();
+  for (int i = 0; i < %d; i++) {
+    d[t] = (s[(t + 1) %% %d] + s[(t + %d) %% %d]) * 0.25f + s[t] * 0.%df;
+    __syncthreads();
+    s[t] = d[t];
+    __syncthreads();
+  }
+  out[b * %d + t] = s[t];
+}
+void launch(float* out, float* in) { k<<<2, %d>>>(out, in); }
+|}
+    t t t iters t (t - 1) t c t t
+
+(* Tree reduction, unrolled level by level (the strides are compile-time
+   constants): each fenced interval has a single writer per slot, and
+   every thread reads the root after the last fence. *)
+let tensor_reduction rng =
+  let t = if Random.State.bool rng then 4 else 8 in
+  let c = 1 + Random.State.int rng 7 in
+  let levels =
+    let rec go stride acc =
+      if stride = 0 then List.rev acc
+      else
+        go (stride / 2)
+          (Printf.sprintf
+             "if (t < %d) { s[t] = s[t] + s[t + %d]; }\n  __syncthreads();"
+             stride stride
+           :: acc)
+    in
+    go (t / 2) []
+  in
+  Printf.sprintf
+    {|
+__global__ void k(float* out, float* in) {
+  __shared__ float s[%d];
+  int t = threadIdx.x;
+  int b = blockIdx.x;
+  s[t] = in[b * %d + t];
+  __syncthreads();
+  %s
+  out[b * %d + t] = s[0] * 0.%df + in[b * %d + t] * 0.5f;
+}
+void launch(float* out, float* in) { k<<<2, %d>>>(out, in); }
+|}
+    t t
+    (String.concat "\n  " levels)
+    t c t t
+
+let tensor_source ~seed =
+  let rng = Random.State.make [| 0x7e45; seed |] in
+  match Random.State.int rng 3 with
+  | 0 -> tensor_gemm rng
+  | 1 -> tensor_stencil rng
+  | _ -> tensor_reduction rng
+
 (* A racy mutant of [source ~seed]: the same program with one
    [__syncthreads] deleted, chosen by the seed.  Since every generated
    program is race-free exactly BECAUSE of its fences, dropping one

@@ -27,6 +27,13 @@ val cfg_of_seed : int -> cfg
     [void launch(float* out, float* in)].  Same seed, same source. *)
 val source : seed:int -> string
 
+(** Tensor-shaped programs ([fuzz --gen-tensor]): seeded
+    cooperative-load shared-memory GEMMs, ring stencils with double
+    buffering, and unrolled tree reductions — the dataflow shapes of
+    the MocCUDA kernel tier, still race-free by construction.  Same
+    [launch] contract as {!source}. *)
+val tensor_source : seed:int -> string
+
 (** [source ~seed] with one seeded [__syncthreads] deleted — the racy
     mutant whose known-good minimal repair is re-inserting it.  Not
     every mutant is actually racy (some fences are redundant for the

@@ -1,0 +1,326 @@
+(* The graph executor: a small static dataflow graph over the
+   {!Kernels} op set.  Nodes are added in execution order with shape
+   inference (and shape-mismatch errors) at construction time; [run]
+   walks them, grabbing intermediates from an {!Arena} and launching
+   every op through a {!Kmgr} — so an op executes as a transpiled
+   mini-CUDA kernel through the full pipeline, never as OCaml loops.
+
+   Alongside the computation the graph accumulates the analytic
+   {!Tensorlib.Opcost} of its ops, so a caller can print the machine
+   model's predicted time next to the measured one. *)
+
+open Tensorlib
+
+type vid = int
+
+type kind =
+  | Kf (* f64 tensor *)
+  | Ki (* int tensor (targets) *)
+
+type opkind =
+  | Conv2d of Conv.params
+  | Relu
+  | Bias_relu
+  | Add
+  | Maxpool of
+      { size : int
+      ; stride : int
+      }
+  | Global_avgpool
+  | Batchnorm
+  | Linear
+  | Softmax
+  | Log
+  | Nll_loss
+
+type node =
+  { op : opkind
+  ; ins : vid list
+  ; out : vid
+  }
+
+type info =
+  { shape : int array
+  ; kind : kind
+  }
+
+type t =
+  { vals : (vid, info) Hashtbl.t
+  ; mutable nodes : node list (* reversed; run re-reverses *)
+  ; mutable nvals : int
+  ; mutable cost : Opcost.t
+  }
+
+let create () : t =
+  { vals = Hashtbl.create 32; nodes = []; nvals = 0; cost = Opcost.zero }
+
+let fail fmt = Printf.ksprintf (fun s -> invalid_arg ("graph: " ^ s)) fmt
+
+let shape (g : t) (v : vid) : int array =
+  match Hashtbl.find_opt g.vals v with
+  | Some i -> i.shape
+  | None -> fail "unknown value v%d" v
+
+let numel (s : int array) = Array.fold_left ( * ) 1 s
+
+let shape_str (s : int array) =
+  String.concat "x" (Array.to_list (Array.map string_of_int s))
+
+let new_val (g : t) (shape : int array) (kind : kind) : vid =
+  let v = g.nvals in
+  g.nvals <- g.nvals + 1;
+  Hashtbl.replace g.vals v { shape; kind };
+  v
+
+let add_node (g : t) (op : opkind) (ins : vid list) (oshape : int array)
+    (cost : Opcost.t) : vid =
+  let out = new_val g oshape Kf in
+  g.nodes <- { op; ins; out } :: g.nodes;
+  g.cost <- Opcost.(g.cost ++ cost);
+  out
+
+let cost (g : t) : Opcost.t = g.cost
+
+(* --- construction --- *)
+
+let input (g : t) (shape : int array) : vid = new_val g shape Kf
+let input_int (g : t) (len : int) : vid = new_val g [| len |] Ki
+
+let rank4 g name v =
+  let s = shape g v in
+  if Array.length s <> 4 then
+    fail "%s: expected a rank-4 NCHW tensor, got rank %d (%s)" name
+      (Array.length s) (shape_str s);
+  s
+
+let rank2 g name v =
+  let s = shape g v in
+  if Array.length s <> 2 then
+    fail "%s: expected a rank-2 tensor, got rank %d (%s)" name
+      (Array.length s) (shape_str s);
+  s
+
+let conv2d (g : t) ~(input : vid) ~(weight : vid) ~(p : Conv.params) : vid =
+  let si = rank4 g "conv2d" input and sw = rank4 g "conv2d" weight in
+  if si.(1) <> sw.(1) then
+    fail "conv2d: input has %d channels but the weight expects %d" si.(1)
+      sw.(1);
+  let sh =
+    { Conv.n = si.(0); c = si.(1); h = si.(2); w = si.(3); k = sw.(0)
+    ; r = sw.(2); s = sw.(3); p
+    }
+  in
+  let oh, ow = Conv.out_dims sh in
+  if oh <= 0 || ow <= 0 then
+    fail "conv2d: a %dx%d kernel at stride %d pad %d does not fit the %dx%d \
+          input"
+      sh.Conv.r sh.Conv.s p.Conv.stride p.Conv.pad si.(2) si.(3);
+  add_node g (Conv2d p) [ input; weight ]
+    [| sh.Conv.n; sh.Conv.k; oh; ow |]
+    (Conv.cost_im2col_gemm sh)
+
+let relu (g : t) (x : vid) : vid =
+  let s = shape g x in
+  add_node g Relu [ x ] (Array.copy s) (Layers.cost_relu (numel s))
+
+let bias_relu (g : t) ~(input : vid) ~(bias : vid) : vid =
+  let s = rank4 g "bias_relu" input in
+  let sb = shape g bias in
+  if Array.length sb <> 1 || sb.(0) <> s.(1) then
+    fail "bias_relu: bias has %d elements but the input has %d channels"
+      (numel sb) s.(1);
+  add_node g Bias_relu [ input; bias ] (Array.copy s)
+    (Layers.cost_bias_relu (numel s))
+
+let add (g : t) (a : vid) (b : vid) : vid =
+  let sa = shape g a and sb = shape g b in
+  if numel sa <> numel sb then
+    fail "add: operand shapes %s and %s differ in element count"
+      (shape_str sa) (shape_str sb);
+  add_node g Add [ a; b ] (Array.copy sa) (Layers.cost_relu (numel sa))
+
+let maxpool (g : t) ~(size : int) ~(stride : int) (x : vid) : vid =
+  let s = rank4 g "maxpool" x in
+  if s.(2) < size || s.(3) < size then
+    fail "maxpool: window %d exceeds the %dx%d input" size s.(2) s.(3);
+  let oh = ((s.(2) - size) / stride) + 1 in
+  let ow = ((s.(3) - size) / stride) + 1 in
+  add_node g (Maxpool { size; stride }) [ x ]
+    [| s.(0); s.(1); oh; ow |]
+    (Layers.cost_maxpool ~size (s.(0) * s.(1) * oh * ow))
+
+let global_avgpool (g : t) (x : vid) : vid =
+  let s = rank4 g "global_avgpool" x in
+  add_node g Global_avgpool [ x ]
+    [| s.(0); s.(1) |]
+    (Layers.cost_avgpool (numel s))
+
+let batchnorm (g : t) ~(input : vid) ~(gamma : vid) ~(beta : vid)
+    ~(mean : vid) ~(var : vid) : vid =
+  let s = rank4 g "batchnorm" input in
+  List.iter
+    (fun (name, v) ->
+      let sv = shape g v in
+      if numel sv <> s.(1) then
+        fail "batchnorm: %s has %d elements but the input has %d channels"
+          name (numel sv) s.(1))
+    [ ("gamma", gamma); ("beta", beta); ("mean", mean); ("var", var) ];
+  add_node g Batchnorm
+    [ input; gamma; beta; mean; var ]
+    (Array.copy s)
+    (Layers.cost_batchnorm (numel s))
+
+let linear (g : t) ~(input : vid) ~(weight : vid) : vid =
+  let si = rank2 g "linear" input and sw = rank2 g "linear" weight in
+  if si.(1) <> sw.(1) then
+    fail "linear: input has %d features but the weight expects %d" si.(1)
+      sw.(1);
+  add_node g Linear [ input; weight ]
+    [| si.(0); sw.(0) |]
+    (Layers.cost_linear ~n:si.(0) ~infeat:si.(1) ~outfeat:sw.(0))
+
+let softmax (g : t) (x : vid) : vid =
+  let s = rank2 g "softmax" x in
+  add_node g Softmax [ x ] (Array.copy s) (Layers.cost_softmax (numel s))
+
+let log_ (g : t) (x : vid) : vid =
+  let s = shape g x in
+  add_node g Log [ x ] (Array.copy s) (Layers.cost_relu (numel s))
+
+let nll_loss (g : t) ~(log_probs : vid) ~(targets : vid) : vid =
+  let s = rank2 g "nll_loss" log_probs in
+  let st = shape g targets in
+  (match Hashtbl.find g.vals targets with
+   | { kind = Ki; _ } -> ()
+   | _ -> fail "nll_loss: targets must be an integer input");
+  if st.(0) <> s.(0) then
+    fail "nll_loss: %d targets for a batch of %d" st.(0) s.(0);
+  add_node g Nll_loss [ log_probs; targets ] [| 1 |]
+    (Layers.cost_nll s.(0))
+
+(* --- feed helpers --- *)
+
+let buffer_of_tensor (t : Tensor.t) : Interp.Mem.buffer =
+  let n = Tensor.numel t in
+  let b = Interp.Mem.alloc_buffer Ir.Types.F64 [| n |] in
+  for i = 0 to n - 1 do
+    Interp.Mem.set_f b i t.Tensor.data.(i)
+  done;
+  b
+
+let buffer_of_ints (a : int array) : Interp.Mem.buffer =
+  Interp.Mem.of_int_array (Array.copy a)
+
+let buffer_of_floats (a : float array) : Interp.Mem.buffer =
+  let b = Interp.Mem.alloc_buffer Ir.Types.F64 [| Array.length a |] in
+  Array.iteri (fun i v -> Interp.Mem.set_f b i v) a;
+  b
+
+let tensor_of_buffer ~(shape : int array) (b : Interp.Mem.buffer) : Tensor.t
+  =
+  Tensor.of_array (Array.copy shape) (Interp.Mem.float_contents b)
+
+(* --- execution --- *)
+
+let run (g : t) (km : Kmgr.t) (ar : Arena.t)
+    ~(feeds : (vid * Interp.Mem.buffer) list) (outs : vid list) :
+  Interp.Mem.buffer list =
+  let env : Interp.Mem.buffer option array = Array.make g.nvals None in
+  List.iter
+    (fun (v, b) ->
+      let info =
+        match Hashtbl.find_opt g.vals v with
+        | Some i -> i
+        | None -> fail "feed for unknown value v%d" v
+      in
+      let want = numel info.shape in
+      if Interp.Mem.size b <> want then
+        fail "feed for v%d has %d elements, expected %d (%s)" v
+          (Interp.Mem.size b) want (shape_str info.shape);
+      env.(v) <- Some b)
+    feeds;
+  let get v =
+    match env.(v) with
+    | Some b -> b
+    | None -> fail "value v%d used before it was computed or fed" v
+  in
+  let buf v = Interp.Mem.Buf (get v) in
+  let exec (nd : node) : unit =
+    let oshape = shape g nd.out in
+    let out = Arena.grab ar (numel oshape) in
+    (match (nd.op, nd.ins) with
+     | Conv2d p, [ x; w ] ->
+       let si = shape g x and sw = shape g w in
+       let sh =
+         { Conv.n = si.(0); c = si.(1); h = si.(2); w = si.(3)
+         ; k = sw.(0); r = sw.(2); s = sw.(3); p
+         }
+       in
+       let oh, ow = Conv.out_dims sh in
+       let rows = sh.Conv.c * sh.Conv.r * sh.Conv.s in
+       let cols = sh.Conv.n * oh * ow in
+       let patches = Arena.grab ar (rows * cols) in
+       Kmgr.launch km (Kernels.im2col sh)
+         [ Interp.Mem.Buf patches; buf x ];
+       let gout = Arena.grab ar (sh.Conv.k * cols) in
+       Kmgr.launch km
+         (Kernels.gemm ~m:sh.Conv.k ~n:cols ~k:rows)
+         [ Interp.Mem.Buf gout; buf w; Interp.Mem.Buf patches ];
+       Kmgr.launch km
+         (Kernels.col2im ~n:sh.Conv.n ~k:sh.Conv.k ~oh ~ow)
+         [ Interp.Mem.Buf out; Interp.Mem.Buf gout ]
+     | Relu, [ x ] ->
+       Kmgr.launch km
+         (Kernels.relu ~numel:(numel oshape))
+         [ Interp.Mem.Buf out; buf x ]
+     | Bias_relu, [ x; b ] ->
+       let s = shape g x in
+       Kmgr.launch km
+         (Kernels.bias_relu ~numel:(numel s) ~c:s.(1)
+            ~hw:(s.(2) * s.(3)))
+         [ Interp.Mem.Buf out; buf x; buf b ]
+     | Add, [ a; b ] ->
+       Kmgr.launch km
+         (Kernels.add ~numel:(numel oshape))
+         [ Interp.Mem.Buf out; buf a; buf b ]
+     | Maxpool { size; stride }, [ x ] ->
+       let s = shape g x in
+       Kmgr.launch km
+         (Kernels.maxpool ~n:s.(0) ~c:s.(1) ~h:s.(2) ~w:s.(3) ~size
+            ~stride)
+         [ Interp.Mem.Buf out; buf x ]
+     | Global_avgpool, [ x ] ->
+       let s = shape g x in
+       Kmgr.launch km
+         (Kernels.avgpool_global ~n:s.(0) ~c:s.(1) ~hw:(s.(2) * s.(3)))
+         [ Interp.Mem.Buf out; buf x ]
+     | Batchnorm, [ x; ga; be; mu; va ] ->
+       let s = shape g x in
+       Kmgr.launch km
+         (Kernels.batchnorm ~numel:(numel s) ~c:s.(1) ~hw:(s.(2) * s.(3)))
+         [ Interp.Mem.Buf out; buf x; buf ga; buf be; buf mu; buf va ]
+     | Linear, [ x; w ] ->
+       let si = shape g x and sw = shape g w in
+       Kmgr.launch km
+         (Kernels.linear ~n:si.(0) ~infeat:si.(1) ~outfeat:sw.(0))
+         [ Interp.Mem.Buf out; buf x; buf w ]
+     | Softmax, [ x ] ->
+       let s = shape g x in
+       Kmgr.launch km
+         (Kernels.softmax ~rows:s.(0) ~cols:s.(1))
+         [ Interp.Mem.Buf out; buf x ]
+     | Log, [ x ] ->
+       Kmgr.launch km
+         (Kernels.logk ~numel:(numel oshape))
+         [ Interp.Mem.Buf out; buf x ]
+     | Nll_loss, [ lp; tg ] ->
+       let s = shape g lp in
+       let per = Arena.grab ar s.(0) in
+       Kmgr.launch km
+         (Kernels.nll ~n:s.(0) ~classes:s.(1))
+         [ Interp.Mem.Buf out; Interp.Mem.Buf per; buf lp; buf tg ]
+     | _ -> fail "malformed node (operand count)");
+    env.(nd.out) <- Some out
+  in
+  List.iter exec (List.rev g.nodes);
+  List.map get outs

@@ -1,0 +1,69 @@
+(** The MocCUDA kernel library: every tensor op as a shape-specialized
+    mini-CUDA source, compiled through the full transpile stack by
+    {!Kmgr}.
+
+    Shapes are baked in as literals, so [(name, shape)] identifies a
+    kernel and the affine passes see constant loop bounds.  All kernels
+    are written in [double] with unsuffixed constants and match the
+    [Tensorlib] reference's per-element accumulation order, which makes
+    their results bit-identical to the reference (the engine computes
+    in double precision and rounds only at f32 constants/casts). *)
+
+type t =
+  { name : string (** op name — the human half of the cache key *)
+  ; shape : int list (** baked-in shape parameters — the other half *)
+  ; src : string
+  ; entry : string (** host entry point, always ["run"] *)
+  }
+
+(** Threads per block of the flat (one-thread-per-element) kernels. *)
+val block : int
+
+(** Tile width of the shared-memory GEMM. *)
+val tile : int
+
+(** [C(mxn) = A(mxk) * B(kxn)]: 8x8 shared-memory tiles with two
+    [__syncthreads] per tile step; args [C; A; B]. *)
+val gemm : m:int -> n:int -> k:int -> t
+
+(** Patch matrix [(C*R*S) x (N*OH*OW)] of a convolution; args
+    [patches; input]. *)
+val im2col : Tensorlib.Conv.shape -> t
+
+(** Reshape a GEMM result [K x (N*OH*OW)] into NCHW; args [out; gemm]. *)
+val col2im : n:int -> k:int -> oh:int -> ow:int -> t
+
+(** Elementwise max(x, 0); args [out; in]. *)
+val relu : numel:int -> t
+
+(** Per-channel bias add fused with ReLU over NCHW; args
+    [out; in; bias]. *)
+val bias_relu : numel:int -> c:int -> hw:int -> t
+
+(** Elementwise sum (the residual connection); args [out; a; b]. *)
+val add : numel:int -> t
+
+(** Max pooling over NCHW; args [out; in]. *)
+val maxpool :
+  n:int -> c:int -> h:int -> w:int -> size:int -> stride:int -> t
+
+(** Global average pooling NCHW -> NC; args [out; in]. *)
+val avgpool_global : n:int -> c:int -> hw:int -> t
+
+(** Inference-form batch normalization; args
+    [out; in; gamma; beta; mean; var]. *)
+val batchnorm : numel:int -> c:int -> hw:int -> t
+
+(** [out(n x o) = t(n x f) * w(o x f)^T]; args [out; in; weight]. *)
+val linear : n:int -> infeat:int -> outfeat:int -> t
+
+(** Row softmax; args [out; in]. *)
+val softmax : rows:int -> cols:int -> t
+
+(** Elementwise natural log; args [out; in]. *)
+val logk : numel:int -> t
+
+(** NLL loss over log-probabilities: a parallel per-sample pick then a
+    single-thread ordered fold (two launches from one host entry); args
+    [loss(1); per(n); log_probs(n*classes); targets(n, int)]. *)
+val nll : n:int -> classes:int -> t

@@ -151,3 +151,105 @@ let mini_forward (backend : Backends.t) (m : mini_model)
       (Array.map log probs.Tensor.data)
   in
   Backends.nll_loss backend ~log_probs ~targets
+
+(* --- the same miniature network with every op a transpiled kernel:
+   built once as a graph, weights converted to buffers once, so warm
+   passes touch neither the compiler nor the allocator --- *)
+
+type compiled_mini =
+  { cm_graph : Graph.t
+  ; cm_images : Graph.vid
+  ; cm_targets : Graph.vid
+  ; cm_loss : Graph.vid
+  ; cm_feeds : (Graph.vid * Interp.Mem.buffer) list
+  }
+
+let mini_compiled (m : mini_model) ~(batch : int) ~(hw : int) : compiled_mini
+  =
+  let g = Graph.create () in
+  let images = Graph.input g [| batch; 3; hw; hw |] in
+  let targets = Graph.input_int g batch in
+  let weight t = (Graph.input g t.Tensor.shape, Graph.buffer_of_tensor t) in
+  let stem_v, stem_b = weight m.stem_w in
+  let w1_v, w1_b = weight m.block_w1 in
+  let w2_v, w2_b = weight m.block_w2 in
+  let fc_v, fc_b = weight m.fc_w in
+  let p = { Conv.stride = 1; pad = 1 } in
+  let x = Graph.relu g (Graph.conv2d g ~input:images ~weight:stem_v ~p) in
+  let y = Graph.relu g (Graph.conv2d g ~input:x ~weight:w1_v ~p) in
+  let y = Graph.conv2d g ~input:y ~weight:w2_v ~p in
+  let y = Graph.relu g (Graph.add g y x) in
+  let pooled = Graph.global_avgpool g y in
+  let logits = Graph.linear g ~input:pooled ~weight:fc_v in
+  let log_probs = Graph.log_ g (Graph.softmax g logits) in
+  let loss = Graph.nll_loss g ~log_probs ~targets in
+  { cm_graph = g
+  ; cm_images = images
+  ; cm_targets = targets
+  ; cm_loss = loss
+  ; cm_feeds =
+      [ (stem_v, stem_b); (w1_v, w1_b); (w2_v, w2_b); (fc_v, fc_b) ]
+  }
+
+let mini_cost (cm : compiled_mini) : Opcost.t = Graph.cost cm.cm_graph
+
+let run_mini_compiled (cm : compiled_mini) (km : Kmgr.t) (ar : Arena.t)
+    ~(images : Interp.Mem.buffer) ~(targets : Interp.Mem.buffer) : float =
+  let feeds =
+    (cm.cm_images, images) :: (cm.cm_targets, targets) :: cm.cm_feeds
+  in
+  match Graph.run cm.cm_graph km ar ~feeds [ cm.cm_loss ] with
+  | [ loss ] ->
+    let v = Interp.Mem.get_f loss 0 in
+    Arena.reset ar;
+    v
+  | _ -> assert false
+
+(* --- the ResNet layer sweep: one convolution of the real table, dims
+   optionally capped so the compiled engine finishes in test time, run
+   through the kernel tier and checked against the Tensorlib
+   reference --- *)
+
+type layer_run =
+  { lr_shape : Conv.shape
+  ; lr_checksum : float
+  ; lr_ref_checksum : float
+  ; lr_secs : float
+  }
+
+let run_conv_layer ?(hw_cap = max_int) ?(channel_cap = max_int) (km : Kmgr.t)
+    (ar : Arena.t) ~(batch : int) (l : conv_layer) : layer_run =
+  let hw = min l.hw hw_cap in
+  let cin = min l.c_in channel_cap in
+  let cout = min l.c_out channel_cap in
+  let ksize = min l.ksize hw in
+  let p = { Conv.stride = l.stride; pad = ksize / 2 } in
+  let xs = Tensor.rand (hw + cin) [| batch; cin; hw; hw |] in
+  let ws = Tensor.rand (ksize + cout) [| cout; cin; ksize; ksize |] in
+  let g = Graph.create () in
+  let x = Graph.input g xs.Tensor.shape in
+  let w = Graph.input g ws.Tensor.shape in
+  let out = Graph.conv2d g ~input:x ~weight:w ~p in
+  let t0 = Unix.gettimeofday () in
+  let b =
+    match
+      Graph.run g km ar
+        ~feeds:
+          [ (x, Graph.buffer_of_tensor xs); (w, Graph.buffer_of_tensor ws) ]
+        [ out ]
+    with
+    | [ b ] -> b
+    | _ -> assert false
+  in
+  let secs = Unix.gettimeofday () -. t0 in
+  let cs = Interp.Mem.checksum [| b |] in
+  Arena.reset ar;
+  let reference = Conv.im2col_gemm ~input:xs ~weight:ws ~p in
+  let ref_cs =
+    Interp.Mem.checksum [| Graph.buffer_of_tensor reference |]
+  in
+  { lr_shape = Conv.shape_of_tensors ~input:xs ~weight:ws ~p
+  ; lr_checksum = cs
+  ; lr_ref_checksum = ref_cs
+  ; lr_secs = secs
+  }

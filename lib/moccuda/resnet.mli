@@ -38,3 +38,42 @@ val mini_forward :
   images:Tensorlib.Tensor.t ->
   targets:int array ->
   float
+
+(** The miniature network with every op lowered to a transpiled kernel:
+    a {!Graph} built once, weights converted to buffers once. *)
+type compiled_mini
+
+val mini_compiled : mini_model -> batch:int -> hw:int -> compiled_mini
+
+(** Analytic cost of one forward pass of the compiled graph. *)
+val mini_cost : compiled_mini -> Tensorlib.Opcost.t
+
+(** One forward pass through the kernel tier; returns the NLL loss.
+    Warm calls hit the kernel cache (zero recompiles) and the arena
+    pool (zero tensor allocations). *)
+val run_mini_compiled :
+  compiled_mini ->
+  Kmgr.t ->
+  Arena.t ->
+  images:Interp.Mem.buffer ->
+  targets:Interp.Mem.buffer ->
+  float
+
+(** One convolution of the real ResNet-50 table run through the kernel
+    tier (dims optionally capped so the compiled engine finishes in
+    test time), with the Tensorlib reference checksum alongside. *)
+type layer_run =
+  { lr_shape : Tensorlib.Conv.shape
+  ; lr_checksum : float
+  ; lr_ref_checksum : float
+  ; lr_secs : float
+  }
+
+val run_conv_layer :
+  ?hw_cap:int ->
+  ?channel_cap:int ->
+  Kmgr.t ->
+  Arena.t ->
+  batch:int ->
+  conv_layer ->
+  layer_run

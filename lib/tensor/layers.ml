@@ -19,6 +19,27 @@ let cost_relu (numel : int) : Opcost.t =
   ; launches = 1
   }
 
+(* --- bias + ReLU (the fused elementwise epilogue of a conv) --- *)
+
+let bias_relu ~(bias : float array) (t : Tensor.t) : Tensor.t =
+  let out = Tensor.copy t in
+  let c = t.Tensor.shape.(1) in
+  let hw = t.Tensor.shape.(2) * t.Tensor.shape.(3) in
+  Array.iteri
+    (fun i x ->
+      let v = x +. bias.(i / hw mod c) in
+      out.Tensor.data.(i) <- (if v > 0.0 then v else 0.0))
+    t.Tensor.data;
+  out
+
+let cost_bias_relu (numel : int) : Opcost.t =
+  { Opcost.vflops = 2.0 *. f numel
+  ; sflops = 0.0
+  ; stream_bytes = 8.0 *. f numel
+  ; latency_bytes = 0.0
+  ; launches = 1
+  }
+
 (* --- batch normalization (inference form) --- *)
 
 let batchnorm ~(gamma : float array) ~(beta : float array)
@@ -72,6 +93,31 @@ let maxpool ~(size : int) ~(stride : int) (t : Tensor.t) : Tensor.t =
     done
   done;
   out
+
+(* --- global average pooling (NCHW -> NC) --- *)
+
+let avgpool_global (t : Tensor.t) : Tensor.t =
+  let n = t.Tensor.shape.(0) and c = t.Tensor.shape.(1) in
+  let hw = t.Tensor.shape.(2) * t.Tensor.shape.(3) in
+  let out = Tensor.create [| n; c |] in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to hw - 1 do
+        acc := !acc +. t.Tensor.data.((((ni * c) + ci) * hw) + i)
+      done;
+      Tensor.set2 out ni ci (!acc /. f hw)
+    done
+  done;
+  out
+
+let cost_avgpool (numel_in : int) : Opcost.t =
+  { Opcost.vflops = f numel_in
+  ; sflops = 0.0
+  ; stream_bytes = 8.0 *. f numel_in
+  ; latency_bytes = 0.0
+  ; launches = 1
+  }
 
 let cost_maxpool ~(size : int) (numel_out : int) : Opcost.t =
   { Opcost.vflops = f (numel_out * size * size)

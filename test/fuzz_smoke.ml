@@ -33,6 +33,25 @@ let () =
       Printf.printf "divergence at seed %d — reduced witness:\n%s\n" f.fseed
         f.freduced)
     r.findings;
+  (* tensor-shaped generator (--gen-tensor): same contract, the kernel
+     tier's dataflow shapes *)
+  if
+    not
+      (String.equal
+         (Fuzz.Gen.tensor_source ~seed:7)
+         (Fuzz.Gen.tensor_source ~seed:7))
+  then fail "tensor generator is not deterministic for a fixed seed\n";
+  if Fuzz.Reduce.ir_ops (Fuzz.Gen.tensor_source ~seed) = max_int then
+    fail "generated tensor seed %d does not compile\n" seed;
+  let rt = Fuzz.Fuzzer.run_campaign ~tensor:true ~seed ~cases:25 () in
+  print_string (Fuzz.Fuzzer.report_to_string rt);
+  List.iter
+    (fun (f : Fuzz.Fuzzer.finding) ->
+      incr failures;
+      Printf.printf
+        "tensor divergence at seed %d — reduced witness:\n%s\n" f.fseed
+        f.freduced)
+    rt.findings;
   (* replay honesty: a bundle recording a failure that no longer
      reproduces must come back stale, never "reproduced" *)
   let stale_bundle : Core.Crashbundle.t =

@@ -137,6 +137,212 @@ let test_resnet50_has_53_convs () =
   (* 1 stem + 3*3+1 + 4*3+1 + 6*3+1 + 3*3+1 = 53 *)
   Alcotest.(check int) "conv count" 53 Moccuda.Resnet.n_convs
 
+(* --- the kernel tier: every tensor op as a transpiled mini-CUDA
+   kernel, checked bitwise against the Tensorlib reference at 1 and 4
+   domains --- *)
+
+module G = Moccuda.Graph
+
+let csum b = Interp.Mem.checksum [| b |]
+let csum_t t = csum (G.buffer_of_tensor t)
+
+(* [build g] returns (feeds, output vid, reference tensor); the kernel
+   output must checksum bit-identically to the reference. *)
+let kernel_agrees name
+    (build :
+      G.t -> (G.vid * Interp.Mem.buffer) list * G.vid * Tensor.t) : unit =
+  List.iter
+    (fun domains ->
+      let km = Moccuda.Kmgr.create ~domains () in
+      let ar = Moccuda.Arena.create () in
+      let g = G.create () in
+      let feeds, out, reference = build g in
+      match G.run g km ar ~feeds [ out ] with
+      | [ b ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s bitwise at %d domain(s)" name domains)
+          true
+          (Int64.equal
+             (Int64.bits_of_float (csum b))
+             (Int64.bits_of_float (csum_t reference)))
+      | _ -> assert false)
+    [ 1; 4 ]
+
+let feed g t = (G.input g t.Tensor.shape, G.buffer_of_tensor t)
+
+let test_kernel_ops_match_reference () =
+  let x4 = Tensor.rand 11 [| 2; 3; 5; 5 |] in
+  kernel_agrees "conv2d s1p1" (fun g ->
+      let w = Tensor.rand 12 [| 4; 3; 3; 3 |] in
+      let p = { Conv.stride = 1; pad = 1 } in
+      let xv, xb = feed g x4 and wv, wb = feed g w in
+      ( [ (xv, xb); (wv, wb) ]
+      , G.conv2d g ~input:xv ~weight:wv ~p
+      , Conv.im2col_gemm ~input:x4 ~weight:w ~p ));
+  kernel_agrees "conv2d s2p1" (fun g ->
+      let w = Tensor.rand 13 [| 5; 3; 3; 3 |] in
+      let p = { Conv.stride = 2; pad = 1 } in
+      let xv, xb = feed g x4 and wv, wb = feed g w in
+      ( [ (xv, xb); (wv, wb) ]
+      , G.conv2d g ~input:xv ~weight:wv ~p
+      , Conv.im2col_gemm ~input:x4 ~weight:w ~p ));
+  kernel_agrees "relu" (fun g ->
+      let xv, xb = feed g x4 in
+      ([ (xv, xb) ], G.relu g xv, Layers.relu x4));
+  kernel_agrees "bias_relu" (fun g ->
+      let bias = [| 0.3; -0.1; 0.05 |] in
+      let bt = Tensor.of_array [| 3 |] bias in
+      let xv, xb = feed g x4 and bv, bb = feed g bt in
+      ( [ (xv, xb); (bv, bb) ]
+      , G.bias_relu g ~input:xv ~bias:bv
+      , Layers.bias_relu ~bias x4 ));
+  kernel_agrees "add" (fun g ->
+      let y4 = Tensor.rand 14 [| 2; 3; 5; 5 |] in
+      let out = Tensor.copy x4 in
+      Tensor.add_inplace out y4;
+      let xv, xb = feed g x4 and yv, yb = feed g y4 in
+      ([ (xv, xb); (yv, yb) ], G.add g xv yv, out));
+  kernel_agrees "maxpool 2/2" (fun g ->
+      let x = Tensor.rand 15 [| 2; 3; 6; 6 |] in
+      let xv, xb = feed g x in
+      ( [ (xv, xb) ]
+      , G.maxpool g ~size:2 ~stride:2 xv
+      , Layers.maxpool ~size:2 ~stride:2 x ));
+  kernel_agrees "maxpool 3/2" (fun g ->
+      let x = Tensor.rand 16 [| 1; 4; 7; 7 |] in
+      let xv, xb = feed g x in
+      ( [ (xv, xb) ]
+      , G.maxpool g ~size:3 ~stride:2 xv
+      , Layers.maxpool ~size:3 ~stride:2 x ));
+  kernel_agrees "global avgpool" (fun g ->
+      let xv, xb = feed g x4 in
+      ([ (xv, xb) ], G.global_avgpool g xv, Layers.avgpool_global x4));
+  kernel_agrees "batchnorm" (fun g ->
+      let gamma = [| 1.2; 0.8; 1.0 |]
+      and beta = [| 0.1; -0.2; 0.0 |]
+      and mean = [| 0.05; -0.03; 0.2 |]
+      and var = [| 0.9; 1.1; 0.7 |] in
+      let arr a = Tensor.of_array [| 3 |] a in
+      let xv, xb = feed g x4 in
+      let gv, gb = feed g (arr gamma) and bv, bb = feed g (arr beta) in
+      let mv, mb = feed g (arr mean) and vv, vb = feed g (arr var) in
+      ( [ (xv, xb); (gv, gb); (bv, bb); (mv, mb); (vv, vb) ]
+      , G.batchnorm g ~input:xv ~gamma:gv ~beta:bv ~mean:mv ~var:vv
+      , Layers.batchnorm ~gamma ~beta ~mean ~var x4 ));
+  kernel_agrees "linear" (fun g ->
+      let x = Tensor.rand 17 [| 3; 5 |] in
+      let w = Tensor.rand 18 [| 4; 5 |] in
+      let xv, xb = feed g x and wv, wb = feed g w in
+      ( [ (xv, xb); (wv, wb) ]
+      , G.linear g ~input:xv ~weight:wv
+      , Layers.linear ~weight:w x ));
+  kernel_agrees "softmax" (fun g ->
+      let x = Tensor.rand 19 [| 4; 7 |] in
+      let xv, xb = feed g x in
+      ([ (xv, xb) ], G.softmax g xv, Layers.softmax x));
+  kernel_agrees "log" (fun g ->
+      let x = Layers.softmax (Tensor.rand 20 [| 4; 7 |]) in
+      let xv, xb = feed g x in
+      ( [ (xv, xb) ]
+      , G.log_ g xv
+      , Tensor.of_array (Array.copy x.Tensor.shape)
+          (Array.map log x.Tensor.data) ))
+
+(* nll yields a scalar, so it gets its own harness. *)
+let test_kernel_nll_matches_reference () =
+  let n = 6 and classes = 5 in
+  let probs = Layers.softmax (Tensor.rand 21 [| n; classes |]) in
+  let log_probs =
+    Tensor.of_array [| n; classes |] (Array.map log probs.Tensor.data)
+  in
+  let targets = Array.init n (fun i -> (i * 2) mod classes) in
+  let expected = Layers.nll_loss ~log_probs ~targets in
+  List.iter
+    (fun domains ->
+      let km = Moccuda.Kmgr.create ~domains () in
+      let ar = Moccuda.Arena.create () in
+      let g = G.create () in
+      let lv, lb = feed g log_probs in
+      let tv = G.input_int g n in
+      let loss = G.nll_loss g ~log_probs:lv ~targets:tv in
+      match
+        G.run g km ar
+          ~feeds:[ (lv, lb); (tv, G.buffer_of_ints targets) ]
+          [ loss ]
+      with
+      | [ b ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "nll bitwise at %d domain(s)" domains)
+          true
+          (Int64.equal
+             (Int64.bits_of_float (Interp.Mem.get_f b 0))
+             (Int64.bits_of_float expected))
+      | _ -> assert false)
+    [ 1; 4 ]
+
+let expect_graph_error name part (f : unit -> G.vid) =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %S mentions %S" name msg part)
+      true (contains msg part)
+
+let test_graph_shape_errors () =
+  let g = G.create () in
+  let x = G.input g [| 2; 3; 5; 5 |] in
+  let w_bad = G.input g [| 4; 7; 3; 3 |] in
+  expect_graph_error "conv2d channel mismatch" "channels" (fun () ->
+      G.conv2d g ~input:x ~weight:w_bad ~p:{ Conv.stride = 1; pad = 1 });
+  let bias_bad = G.input g [| 5 |] in
+  expect_graph_error "bias_relu bias size" "channels" (fun () ->
+      G.bias_relu g ~input:x ~bias:bias_bad);
+  let y = G.input g [| 2; 3; 4; 4 |] in
+  expect_graph_error "add size mismatch" "element count" (fun () ->
+      G.add g x y);
+  let flat = G.input g [| 2; 15 |] in
+  let w_fc = G.input g [| 10; 16 |] in
+  expect_graph_error "linear feature mismatch" "features" (fun () ->
+      G.linear g ~input:flat ~weight:w_fc);
+  let targets = G.input_int g 3 in
+  expect_graph_error "nll batch mismatch" "targets" (fun () ->
+      G.nll_loss g ~log_probs:flat ~targets);
+  expect_graph_error "softmax wants rank 2" "rank" (fun () ->
+      G.softmax g x);
+  expect_graph_error "maxpool window too large" "window" (fun () ->
+      G.maxpool g ~size:9 ~stride:1 x)
+
+(* Kernel-cache discipline: second pass over the same shapes compiles
+   nothing; a different shape is a different entry. *)
+let test_kernel_cache_reuse () =
+  let km = Moccuda.Kmgr.create ~domains:2 () in
+  let ar = Moccuda.Arena.create () in
+  let run_relu n =
+    let g = G.create () in
+    let x = Tensor.rand (100 + n) [| n |] in
+    let xv, xb = feed g x in
+    ignore (G.run g km ar ~feeds:[ (xv, xb) ] [ G.relu g xv ]);
+    Moccuda.Arena.reset ar
+  in
+  run_relu 32;
+  let s = Moccuda.Kmgr.stats km in
+  Alcotest.(check int) "cold compile" 1 s.Moccuda.Kmgr.compiles;
+  run_relu 32;
+  let s = Moccuda.Kmgr.stats km in
+  Alcotest.(check int) "warm: no recompile" 1 s.Moccuda.Kmgr.compiles;
+  Alcotest.(check bool) "warm: cache hit" true (s.Moccuda.Kmgr.hits >= 1);
+  run_relu 48;
+  let s = Moccuda.Kmgr.stats km in
+  Alcotest.(check int) "new shape: new entry" 2 s.Moccuda.Kmgr.compiles;
+  Alcotest.(check int) "nothing degraded" 0 s.Moccuda.Kmgr.degraded
+
 let tests =
   [ Alcotest.test_case "blocked gemm = naive" `Quick
       test_gemm_blocked_matches_naive
@@ -152,4 +358,10 @@ let tests =
   ; Alcotest.test_case "expert ~ polygeist" `Quick
       test_expert_close_to_polygeist
   ; Alcotest.test_case "resnet50 conv count" `Quick test_resnet50_has_53_convs
+  ; Alcotest.test_case "kernel ops match reference" `Quick
+      test_kernel_ops_match_reference
+  ; Alcotest.test_case "kernel nll matches reference" `Quick
+      test_kernel_nll_matches_reference
+  ; Alcotest.test_case "graph shape errors" `Quick test_graph_shape_errors
+  ; Alcotest.test_case "kernel cache reuse" `Quick test_kernel_cache_reuse
   ]
