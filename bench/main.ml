@@ -1073,6 +1073,8 @@ let serve_bench ?(jobs = 300) ?(fault_pct = 1) ?(queue_cap = 16)
     Serve.Server.create
       { Serve.Server.queue_cap
       ; cache_dir = None
+      ; executors = 1
+      ; executor_deadline_ms = 0
       ; sup =
           { Serve.Supervisor.default_config with
             deadline_ms = 5000
@@ -1125,7 +1127,7 @@ let serve_bench ?(jobs = 300) ?(fault_pct = 1) ?(queue_cap = 16)
     | `Draining -> ()
   done;
   List.iter (fun tk -> ignore (Serve.Server.await tk)) !tickets;
-  let s = (Serve.Server.supervisor t).Serve.Supervisor.stats in
+  let s = Serve.Server.agg_stats t in
   let cs = Serve.Cache.stats (Serve.Server.cache t) in
   Serve.Server.drain t;
   let cold_a = Array.of_list !cold and warm_a = Array.of_list !warm in
@@ -1196,6 +1198,165 @@ let serve_bench ?(jobs = 300) ?(fault_pct = 1) ?(queue_cap = 16)
         \"pool_rebuilds\": %d, \"daemon_deaths\": 0}\n"
        s.Serve.Supervisor.retries s.Serve.Supervisor.bundles
        s.Serve.Supervisor.pool_rebuilds;
+     bpr "}\n";
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc (Buffer.contents buf));
+     Printf.printf "  wrote %s\n" path)
+
+(* --- compile-service executor-fleet sweep (BENCH_7.json) --- *)
+
+(* Throughput of the daemon core at 1/2/4 executor lanes under a burst
+   that mixes warm cache hits with serve:hang STRAGGLERS.  A straggler
+   burns a full watchdog deadline before it fails; with one executor
+   those deadline burns serialize, with a fleet they overlap across
+   lanes — so the sweep measures the one thing the fleet exists for:
+   a slow job must not stall the lane-parallel service of fast ones.
+   The headline check: 4 executors must clear the burst with at least
+   2x the throughput of 1 executor.
+
+   The job set uses enough distinct sources that source-hash affinity
+   spreads the stragglers across lanes (same sources at every executor
+   count, so the comparison is apples to apples). *)
+
+let fleet_sources =
+  List.init 8 (fun i ->
+      Printf.sprintf
+        {|__global__ void axpb(float* x, float* y, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) y[i] = %d.0f * x[i] + %d.0f;
+}
+void run(float* x, float* y, int n) {
+  axpb<<<(n + 63) / 64, 64>>>(x, y, n);
+}
+|}
+        (i + 2) (i + 1))
+
+let serve_fleet_bench ?(burst = 40) ?(hang_every = 5)
+    ?(out = Some "BENCH_7.json") () =
+  header
+    (Printf.sprintf
+       "Compile service — executor-fleet sweep, burst of %d jobs (1 in %d a \
+        serve:hang straggler) at 1/2/4 executors"
+       burst hang_every);
+  let deadline_ms = 300 in
+  let sources = Array.of_list fleet_sources in
+  let nsrc = Array.length sources in
+  let mk_job ?(faults = "") i =
+    { Serve.Proto.source = sources.(i mod nsrc)
+    ; entry = Some "run"
+    ; sizes = [ 256 ]
+    ; mode = "inner-serial"
+    ; exec = "interp"
+    ; domains = 2
+    ; schedule = "static"
+    ; faults
+    }
+  in
+  let run_sweep executors =
+    let t =
+      Serve.Server.create
+        { Serve.Server.queue_cap = burst + 8
+        ; cache_dir = None
+        ; executors
+        ; executor_deadline_ms = 0 (* derived; far above one deadline burn *)
+        ; sup =
+            { Serve.Supervisor.default_config with
+              deadline_ms
+            ; crash_dir = None
+            ; backoff =
+                { Serve.Backoff.base_ms = 1
+                ; cap_ms = 2
+                ; max_retries = 0 (* a straggler burns exactly one deadline *)
+                }
+            }
+        }
+    in
+    (* warm the cache so the burst's clean jobs are hits *)
+    Array.iteri
+      (fun i _ ->
+        match Serve.Server.run t (mk_job i) with
+        | Serve.Proto.Done o when o.Serve.Proto.exit_code = 0 -> ()
+        | _ -> Printf.printf "  WARNING: warmup job %d failed\n" i)
+      sources;
+    let t0 = Unix.gettimeofday () in
+    let tickets = ref [] and lost = ref 0 and hangs = ref 0 in
+    for i = 0 to burst - 1 do
+      let faults =
+        if i mod hang_every = 0 then begin
+          incr hangs;
+          "serve:hang"
+        end
+        else ""
+      in
+      match Serve.Server.submit t (mk_job ~faults i) with
+      | `Ticket tk -> tickets := (i, faults = "", Unix.gettimeofday (), tk) :: !tickets
+      | `Overloaded _ | `Draining ->
+        Printf.printf "  WARNING: burst job %d rejected (cap %d)\n" i
+          (burst + 8)
+    done;
+    let warm_lat = ref [] in
+    List.iter
+      (fun (_i, clean, ts, tk) ->
+        let o = Serve.Server.await tk in
+        let dt = Unix.gettimeofday () -. ts in
+        if clean then begin
+          warm_lat := dt :: !warm_lat;
+          if o.Serve.Proto.exit_code <> 0 then incr lost
+        end)
+      (List.rev !tickets);
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let unanswered =
+      List.length
+        (List.filter
+           (fun (_, _, _, tk) -> Serve.Server.peek tk = None)
+           !tickets)
+    in
+    Serve.Server.drain t;
+    let warm = Array.of_list !warm_lat in
+    let jps = float_of_int burst /. elapsed in
+    Printf.printf
+      "  %d executor(s): %d jobs (%d stragglers) in %6.2f s = %6.1f jobs/s; \
+       warm p50 %7.2f ms p99 %7.2f ms; %d clean failures, %d unanswered\n"
+      executors burst !hangs elapsed jps
+      (1000.0 *. percentile warm 50.0)
+      (1000.0 *. percentile warm 99.0)
+      !lost unanswered;
+    (executors, elapsed, jps, percentile warm 50.0, percentile warm 99.0,
+     !hangs, !lost, unanswered)
+  in
+  let sweep = List.map run_sweep [ 1; 2; 4 ] in
+  let jps_of n =
+    match List.find_opt (fun (e, _, _, _, _, _, _, _) -> e = n) sweep with
+    | Some (_, _, jps, _, _, _, _, _) -> jps
+    | None -> 0.0
+  in
+  let ratio = jps_of 4 /. Float.max (jps_of 1) 1e-9 in
+  Printf.printf "  throughput 4 executors / 1 executor: %.2fx %s\n" ratio
+    (if ratio >= 2.0 then "(>= 2x: the fleet pays for itself)"
+     else "(WARNING: below the 2x bar)");
+  (match out with
+   | None -> ()
+   | Some path ->
+     let buf = Buffer.create 1024 in
+     let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+     bpr "{\n";
+     bpr "  \"bench\": \"serve-fleet\",\n";
+     bpr "  \"burst\": %d,\n" burst;
+     bpr "  \"hang_every\": %d,\n" hang_every;
+     bpr "  \"deadline_ms\": %d,\n" deadline_ms;
+     bpr "  \"sweep\": [\n";
+     List.iteri
+       (fun i (e, elapsed, jps, p50, p99, hangs, lost, unanswered) ->
+         bpr
+           "    {\"executors\": %d, \"elapsed_s\": %.6e, \"jobs_per_sec\": \
+            %.3f, \"warm_p50_ms\": %.4f, \"warm_p99_ms\": %.4f, \
+            \"stragglers\": %d, \"clean_failures\": %d, \"unanswered\": %d}%s\n"
+           e elapsed jps (1000.0 *. p50) (1000.0 *. p99) hangs lost unanswered
+           (if i = List.length sweep - 1 then "" else ","))
+       sweep;
+     bpr "  ],\n";
+     bpr "  \"throughput_ratio_4x_vs_1x\": %.3f,\n" ratio;
+     bpr "  \"fleet_at_least_2x\": %b\n" (ratio >= 2.0);
      bpr "}\n";
      Out_channel.with_open_text path (fun oc ->
          Out_channel.output_string oc (Buffer.contents buf));
@@ -1405,11 +1566,15 @@ let moccuda_with_flags () =
    --jobs N        replayed job count (default 300)
    --fault-pct N   percentage of jobs with an injected serve:raise
    --queue-cap N   admission bound for the Overloaded burst
-   --out FILE      JSON output path (default BENCH_5.json) *)
+   --burst N       fleet-sweep burst size (default 40)
+   --no-fleet      skip the 1/2/4-executor sweep (BENCH_7.json)
+   --out FILE      JSON output path of the replay (default BENCH_5.json) *)
 let serve_with_flags () =
   let jobs = ref 300 in
   let fault_pct = ref 1 in
   let queue_cap = ref 16 in
+  let burst = ref 40 in
+  let fleet = ref true in
   let out = ref (Some "BENCH_5.json") in
   let i = ref 2 in
   let next name =
@@ -1425,6 +1590,8 @@ let serve_with_flags () =
      | "--jobs" -> jobs := int_of_string (next "--jobs")
      | "--fault-pct" -> fault_pct := int_of_string (next "--fault-pct")
      | "--queue-cap" -> queue_cap := int_of_string (next "--queue-cap")
+     | "--burst" -> burst := int_of_string (next "--burst")
+     | "--no-fleet" -> fleet := false
      | "--out" -> out := Some (next "--out")
      | other ->
        prerr_endline ("unknown serve flag: " ^ other);
@@ -1432,7 +1599,8 @@ let serve_with_flags () =
     incr i
   done;
   serve_bench ~jobs:!jobs ~fault_pct:!fault_pct ~queue_cap:!queue_cap
-    ~out:!out ()
+    ~out:!out ();
+  if !fleet then serve_fleet_bench ~burst:!burst ()
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

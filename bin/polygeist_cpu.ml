@@ -1055,8 +1055,9 @@ let fuzz_cmd =
    by content address — see DESIGN.md section 12. *)
 let serve_cmd =
   let socket =
-    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
-           ~doc:"Unix-domain socket path to listen on")
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on (required unless \
+                 --chaos)")
   in
   let queue_cap =
     Arg.(value & opt int 32 & info [ "queue-cap" ]
@@ -1080,54 +1081,126 @@ let serve_cmd =
   in
   let cache_dir =
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
-           ~doc:"load the artifact-cache index from DIR at startup and \
-                 flush it there on graceful drain")
+           ~doc:"persist the artifact cache (write-ahead journal, fsync \
+                 per store) and the in-flight job journal in DIR; after \
+                 a hard crash, restart replays the journals and reports \
+                 exactly which tickets were lost")
   in
-  let serve_main socket queue_cap deadline_ms max_retries crash_dir cache_dir :
+  let executors =
+    Arg.(value & opt int 1 & info [ "executors" ] ~docv:"N"
+           ~doc:"executor lanes; each owns its own supervisor, circuit \
+                 breaker and domain pool, and jobs are routed to lanes \
+                 by source-hash affinity")
+  in
+  let executor_deadline_ms =
+    Arg.(value & opt int 0 & info [ "executor-deadline-ms" ]
+           ~doc:"wall-clock bound before the fleet monitor declares an \
+                 executor wedged, fails its job and replaces the lane; \
+                 0 derives it from --deadline-ms and the retry schedule")
+  in
+  let chaos =
+    Arg.(value & flag & info [ "chaos" ]
+           ~doc:"instead of listening, run the seeded chaos campaign \
+                 against the in-process daemon core (faults, wedges, \
+                 executor crashes, admission bursts) and check the \
+                 delivery invariants; exit 0 iff all held")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 42 & info [ "chaos-seed" ]
+           ~doc:"seed of the chaos campaign's event schedule (a seed is \
+                 a complete reproducer)")
+  in
+  let chaos_events =
+    Arg.(value & opt int 60 & info [ "chaos-events" ]
+           ~doc:"length of the chaos schedule (bursts count as one)")
+  in
+  let serve_main socket queue_cap deadline_ms max_retries crash_dir cache_dir
+      executors executor_deadline_ms chaos chaos_seed chaos_events :
     (int, [ `Msg of string ]) result =
     guard "serve" (fun () ->
-        let cfg =
-          { Serve.Server.queue_cap
-          ; cache_dir
-          ; sup =
-              { Serve.Supervisor.default_config with
-                deadline_ms
+        if chaos then begin
+          let r =
+            Serve.Chaos.run
+              { Serve.Chaos.default_config with
+                seed = chaos_seed
+              ; events = chaos_events
+              ; executors = (if executors > 1 then executors else 4)
+              ; queue_cap
+              ; state_dir = cache_dir
               ; crash_dir
-              ; backoff =
-                  { Serve.Backoff.default with max_retries }
               }
-          }
-        in
-        let t = Serve.Server.create cfg in
-        Printf.eprintf "polygeist-cpu serve: listening on %s (queue cap %d, \
-                        deadline %d ms)\n%!" socket queue_cap deadline_ms;
-        let admitted = Serve.Server.serve_unix ~socket t in
-        let s = (Serve.Server.supervisor t).Serve.Supervisor.stats in
-        let cs = Serve.Cache.stats (Serve.Server.cache t) in
-        Printf.eprintf
-          "polygeist-cpu serve: drained after %d admitted job(s): %d \
-           completed, %d failed, %d retries, %d crash bundle(s), %d pool \
-           rebuild(s); cache %d hit(s) / %d miss(es); %d overloaded \
-           rejection(s)\n"
-          admitted s.Serve.Supervisor.completed s.Serve.Supervisor.failed
-          s.Serve.Supervisor.retries s.Serve.Supervisor.bundles
-          s.Serve.Supervisor.pool_rebuilds cs.Serve.Cache.hits
-          cs.Serve.Cache.misses
-          (Serve.Server.overloaded_count t);
-        Ok 0)
+          in
+          print_string (Serve.Chaos.report_to_string r);
+          Ok (if r.Serve.Chaos.violations = [] then 0 else 1)
+        end
+        else
+          match socket with
+          | None -> Error (`Msg "--socket is required (unless --chaos)")
+          | Some socket ->
+            let cfg =
+              { Serve.Server.queue_cap
+              ; cache_dir
+              ; executors
+              ; executor_deadline_ms
+              ; sup =
+                  { Serve.Supervisor.default_config with
+                    deadline_ms
+                  ; crash_dir
+                  ; backoff =
+                      { Serve.Backoff.default with max_retries }
+                  }
+              }
+            in
+            let t = Serve.Server.create cfg in
+            (match Serve.Server.recovered t with
+             | Some r when r.Serve.Journal.lost <> [] ->
+               Printf.eprintf
+                 "polygeist-cpu serve: previous run died with %d job(s) in \
+                  flight:\n"
+                 (List.length r.Serve.Journal.lost);
+               List.iter
+                 (fun (id, digest) ->
+                   Printf.eprintf
+                     "polygeist-cpu serve:   lost ticket %d (job %s) — \
+                      resubmit it\n"
+                     id digest)
+                 r.Serve.Journal.lost
+             | _ -> ());
+            Printf.eprintf
+              "polygeist-cpu serve: listening on %s (queue cap %d, deadline \
+               %d ms, %d executor(s))\n%!"
+              socket queue_cap deadline_ms (Serve.Server.executors t);
+            let admitted = Serve.Server.serve_unix ~socket t in
+            let s = Serve.Server.agg_stats t in
+            let cs = Serve.Cache.stats (Serve.Server.cache t) in
+            Printf.eprintf
+              "polygeist-cpu serve: drained after %d admitted job(s): %d \
+               completed, %d failed, %d retries, %d crash bundle(s), %d pool \
+               rebuild(s), %d executor kill(s); cache %d hit(s) / %d \
+               miss(es), %d quarantined; %d overloaded rejection(s)\n"
+              admitted s.Serve.Supervisor.completed s.Serve.Supervisor.failed
+              s.Serve.Supervisor.retries s.Serve.Supervisor.bundles
+              s.Serve.Supervisor.pool_rebuilds
+              (Serve.Server.executor_kills t)
+              cs.Serve.Cache.hits cs.Serve.Cache.misses
+              cs.Serve.Cache.quarantined
+              (Serve.Server.overloaded_count t);
+            Ok 0)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"run the supervised compile daemon on a Unix-domain socket: \
-             bounded-queue admission, per-job deadlines and retry with \
-             backoff, a per-source circuit breaker, a content-addressed \
-             artifact cache, and a crash bundle for every job death \
-             (the daemon itself never dies)"
+             bounded-queue admission, a fleet of supervised executor \
+             lanes, per-job deadlines and retry with backoff, per-source \
+             circuit breakers, a crash-durable content-addressed artifact \
+             cache, and a crash bundle for every job death (the daemon \
+             itself never dies)"
        ~exits:(Cmd.Exit.info 0 ~doc:"drained gracefully" :: Cmd.Exit.defaults))
     Term.(
       term_result
         (const serve_main $ socket $ queue_cap $ deadline_ms $ max_retries
-         $ serve_crash_dir $ cache_dir))
+         $ serve_crash_dir $ cache_dir $ executors $ executor_deadline_ms
+         $ chaos $ chaos_seed $ chaos_events))
 
 (* [polygeist-cpu client ...]: submit one job (or a shutdown request)
    to a running daemon and adopt the job's exit code, so a client call
@@ -1206,7 +1279,9 @@ let client_cmd =
         match req with
         | Error _ as e -> e
         | Ok req -> begin
-          match Serve.Client.request ~socket req with
+          (* the pid is as good a correlation id as any for a one-shot
+             client; the daemon echoes it and Client.request verifies *)
+          match Serve.Client.request ~id:(Unix.getpid ()) ~socket req with
           | Error e -> Error (`Msg e)
           | Ok (Serve.Proto.Rejected why) ->
             Error (`Msg ("rejected by the daemon: " ^ why))

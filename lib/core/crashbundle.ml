@@ -341,19 +341,29 @@ let slug (s : string) : string =
       | _ -> '_')
     s
 
+(* Concurrent executor domains write bundles into the same directory;
+   picking the next free sequence number and creating the file must be
+   one atomic step per process or two lanes can claim the same name. *)
+let write_mutex = Mutex.create ()
+
 let write ~(dir : string) (b : t) : (string, string) result =
   try
-    mkdir_p dir;
-    let rec pick n =
-      let path =
-        Filename.concat dir (Printf.sprintf "crash-%03d-%s.bundle" n (slug b.stage))
-      in
-      if Sys.file_exists path then pick (n + 1) else path
-    in
-    let path = pick 0 in
-    Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (to_string b));
-    Ok path
+    Mutex.lock write_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock write_mutex)
+      (fun () ->
+        mkdir_p dir;
+        let rec pick n =
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "crash-%03d-%s.bundle" n (slug b.stage))
+          in
+          if Sys.file_exists path then pick (n + 1) else path
+        in
+        let path = pick 0 in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (to_string b));
+        Ok path)
   with Sys_error e -> Error (Printf.sprintf "cannot write crash bundle: %s" e)
 
 let read (path : string) : (t, string) result =

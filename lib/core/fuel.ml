@@ -6,15 +6,22 @@
    scoped: [with_budget] installs one for the extent of a callback and
    restores the previous scope on the way out, so nested stages compose.
    Long-running passes cooperate by calling [tick] at each iteration of
-   their driving loop; outside any [with_budget] scope ticking is free. *)
+   their driving loop; outside any [with_budget] scope ticking is free.
+
+   The scope is DOMAIN-LOCAL: the compile service runs one job per
+   executor domain, and a budget installed by one lane must never leak
+   into (or be exhausted by) a job running concurrently on another. *)
 
 exception Exhausted of string
 
-(* [None] = unlimited (the default, outside any pass-manager scope). *)
-let remaining : int ref option ref = ref None
+(* [None] = unlimited (the default, outside any pass-manager scope).
+   One cell per domain, so concurrent executors have independent
+   budgets. *)
+let remaining : int ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let tick (what : string) : unit =
-  match !remaining with
+  match !(Domain.DLS.get remaining) with
   | None -> ()
   | Some r ->
     decr r;
@@ -22,11 +29,13 @@ let tick (what : string) : unit =
       raise (Exhausted (Printf.sprintf "%s: fuel budget exhausted" what))
 
 let with_budget (n : int) (f : unit -> 'a) : 'a =
-  let saved = !remaining in
-  remaining := Some (ref n);
-  Fun.protect ~finally:(fun () -> remaining := saved) f
+  let cell = Domain.DLS.get remaining in
+  let saved = !cell in
+  cell := Some (ref n);
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 let unlimited (f : unit -> 'a) : 'a =
-  let saved = !remaining in
-  remaining := None;
-  Fun.protect ~finally:(fun () -> remaining := saved) f
+  let cell = Domain.DLS.get remaining in
+  let saved = !cell in
+  cell := None;
+  Fun.protect ~finally:(fun () -> cell := saved) f

@@ -121,12 +121,21 @@ and region =
   ; mutable body : op list
   }
 
-let op_counter = ref 0
+(* Atomic: modules are built concurrently by the compile service's
+   executor domains, and op ids must stay unique within each module
+   (each lane's sequence is strictly increasing). *)
+let op_counter = Atomic.make 0
 
 let mk ?(operands = [||]) ?(results = [||]) ?(regions = [||]) ?(attrs = [])
     ?loc kind =
-  incr op_counter;
-  { oid = !op_counter; kind; operands; results; regions; attrs; loc }
+  { oid = 1 + Atomic.fetch_and_add op_counter 1
+  ; kind
+  ; operands
+  ; results
+  ; regions
+  ; attrs
+  ; loc
+  }
 
 let loc_string (op : op) =
   match op.loc with

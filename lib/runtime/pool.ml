@@ -118,39 +118,49 @@ let shutdown (t : t) : int =
   t.domains <- [||];
   !leaked
 
-let cached_pool : t option ref = ref None
+(* The cached pool is DOMAIN-LOCAL: each domain that launches kernels
+   (the CLI's main domain, or one of the compile service's executor
+   lanes) owns its own persistent team.  This is what lets the serving
+   tier run N executors concurrently — a poisoned or rebuilt pool in
+   one lane never stalls or steals the team of another. *)
+let cached_pool : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let shutdown_cached () =
-  match !cached_pool with
+  let cell = Domain.DLS.get cached_pool in
+  match !cell with
   | None -> ()
   | Some p ->
-    cached_pool := None;
+    cell := None;
     ignore (shutdown p)
 
-(* Tear down the cached pool (tolerating wedged workers) and build a
-   fresh one of the given size: the job fault wall calls this after any
-   launch failure that may have left the team poisoned or a rank
-   parked, so the next job starts from known-good domains. *)
+(* Tear down the calling domain's cached pool (tolerating wedged
+   workers) and build a fresh one of the given size: the job fault wall
+   calls this after any launch failure that may have left the team
+   poisoned or a rank parked, so the next job starts from known-good
+   domains. *)
 let rebuild ~(domains : int) : t * int =
+  let cell = Domain.DLS.get cached_pool in
   let leaked =
-    match !cached_pool with
+    match !cell with
     | None -> 0
     | Some p ->
-      cached_pool := None;
+      cell := None;
       shutdown p
   in
   let p = create ~cached:true domains in
-  cached_pool := Some p;
+  cell := Some p;
   (p, leaked)
 
 let get ~domains ~reuse : t =
   if reuse then begin
-    match !cached_pool with
+    let cell = Domain.DLS.get cached_pool in
+    match !cell with
     | Some p when p.size = domains -> p
     | existing ->
       (match existing with Some p -> release_pool p | None -> ());
       let p = create ~cached:true domains in
-      cached_pool := Some p;
+      cell := Some p;
       p
   end
   else create ~cached:false domains

@@ -7,9 +7,13 @@
     launch costs two condvar round-trips instead of [n-1]
     [Domain.spawn]s.
 
-    {!get} returns the process-wide cached pool when [reuse] is true
-    (creating or resizing it as needed) — teams persist across kernel
-    launches.  With [reuse:false] a fresh pool is created and must be
+    {!get} returns the calling domain's cached pool when [reuse] is
+    true (creating or resizing it as needed) — teams persist across
+    kernel launches.  The cache is domain-local, so each of the compile
+    service's executor lanes owns an independent pool and a poisoned or
+    rebuilt team in one lane never touches another; a single-domain
+    process (the one-shot CLI) sees exactly the old process-wide
+    behavior.  With [reuse:false] a fresh pool is created and must be
     {!release}d after the launch; this deliberately pays the spawn cost
     every time and exists as the [--no-team-reuse] ablation.
 
@@ -25,9 +29,9 @@ val size : t -> int
 val total_spawns : unit -> int
 
 (** [get ~domains ~reuse] returns a pool of [domains] threads.  With
-    [reuse:true] the process-wide pool is returned, created on first use
-    and recreated when the size changes.  With [reuse:false] a fresh,
-    caller-owned pool is returned. *)
+    [reuse:true] the calling domain's cached pool is returned, created
+    on first use and recreated when the size changes.  With
+    [reuse:false] a fresh, caller-owned pool is returned. *)
 val get : domains:int -> reuse:bool -> t
 
 (** [run t job] executes [job rank] on every member (rank 0 on the
@@ -47,12 +51,14 @@ val release : t -> unit
     is safe to call from a supervisor after a failed launch. *)
 val shutdown : t -> int
 
-(** Stop the process-wide cached pool, if any, via {!shutdown}. *)
+(** Stop the calling domain's cached pool, if any, via {!shutdown}.
+    Executor lanes call this as they exit so their teams don't outlive
+    them; a wedged lane's pool is simply leaked with the lane. *)
 val shutdown_cached : unit -> unit
 
-(** [rebuild ~domains] tears down the cached pool with {!shutdown} and
-    creates a fresh cached pool of [domains] threads, returning it plus
-    the number of worker domains the teardown had to leak.  The job
-    fault wall calls this after any launch failure so the next job runs
-    on known-good domains. *)
+(** [rebuild ~domains] tears down the calling domain's cached pool with
+    {!shutdown} and creates a fresh cached pool of [domains] threads,
+    returning it plus the number of worker domains the teardown had to
+    leak.  The job fault wall calls this after any launch failure so
+    the next job runs on known-good domains. *)
 val rebuild : domains:int -> t * int

@@ -53,3 +53,11 @@ let delay_ms (p : policy) ~(seed : int) ~(attempt : int) ~(prev_ms : int) : int
   let rng = Random.State.make [| seed; attempt; 0xb0ff |] in
   let d = base + Random.State.int rng (max 1 (hi - base)) in
   min cap (max base d)
+
+(* Upper bound on the total delay the whole retry schedule can insert:
+   every delay is capped at [cap_ms] and there are at most [max_retries]
+   of them.  The serving fleet's executor-wedge deadline is derived
+   from this — an executor is only declared wedged once its job has
+   outlived every legitimate retry the policy could have scheduled. *)
+let worst_case_total_ms (p : policy) : int =
+  max 0 p.max_retries * max (max 0 p.base_ms) p.cap_ms

@@ -6,20 +6,35 @@
    job's result.  A lookup re-hashes the payload and compares it to the
    digest it is stored under, so a corrupted artifact (bit rot, or the
    serve:corrupt fault injected by tests) can never be served: the
-   entry is dropped, the corruption is counted, and the job re-executes
-   as a cache miss.  This is the property the fault matrix leans on —
-   one poisoned job must not corrupt what other jobs read.
+   entry is quarantined, the corruption is counted, and the job
+   re-executes as a cache miss.  This is the property the fault matrix
+   leans on — one poisoned job must not corrupt what other jobs read.
 
-   The index (and artifacts) can be flushed to a single text file on
-   graceful drain and loaded back at startup; the on-disk format reuses
-   the digest check, so a truncated or hand-edited file loads the
-   entries that still verify and silently drops the rest. *)
+   Durability is a write-ahead journal (cache-journal.v2): every
+   [store] with a directory attached appends one digest-checked record
+   and fsyncs before returning, so a SIGKILL at any point loses at most
+   the record being written — replay after a hard crash recovers every
+   completed store.  Replay is truncation tolerant (a torn final record
+   is skipped and counted, earlier records still load), idempotent
+   (duplicate appends collapse via replace), and generation aware: a
+   clean shutdown compacts the journal by writing a gen+1 snapshot to a
+   temp file and renaming it into place, and the loader finishes an
+   interrupted compaction (temp newer than main) or discards a stale
+   temp (temp older).  The flush-on-shutdown cache-index.v1 format this
+   replaces still loads when no journal exists.
+
+   Corrupt artifacts are not silently dropped: when a directory is
+   attached, the bad bytes are persisted under quarantine/<digest> so
+   the evidence survives for debugging, and the quarantined count is
+   reported in stats. *)
 
 type stats =
   { entries : int
   ; hits : int
   ; misses : int
   ; corrupt_dropped : int (* artifacts that failed their digest check *)
+  ; quarantined : int (* corrupt artifacts whose bytes were persisted *)
+  ; journal_skipped : int (* journal records dropped at replay *)
   }
 
 type t =
@@ -28,6 +43,11 @@ type t =
   ; mutable hits : int
   ; mutable misses : int
   ; mutable corrupt_dropped : int
+  ; mutable quarantined : int
+  ; mutable journal_skipped : int
+  ; mutable wal : Unix.file_descr option (* open journal, append mode *)
+  ; mutable dir : string option (* attached persistence directory *)
+  ; mutable gen : int (* journal generation (bumped by compaction) *)
   ; m : Mutex.t (* the daemon reads from several domains *)
   }
 
@@ -37,6 +57,11 @@ let create () : t =
   ; hits = 0
   ; misses = 0
   ; corrupt_dropped = 0
+  ; quarantined = 0
+  ; journal_skipped = 0
+  ; wal = None
+  ; dir = None
+  ; gen = 0
   ; m = Mutex.create ()
   }
 
@@ -51,6 +76,107 @@ let locked (t : t) (f : unit -> 'a) : 'a =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
+(* --- on-disk layout --- *)
+
+let index_file (dir : string) : string = Filename.concat dir "cache-index.v1"
+let index_magic = "polygeist-serve cache index v1"
+
+let journal_file (dir : string) : string =
+  Filename.concat dir "cache-journal.v2"
+
+let journal_tmp (dir : string) : string = journal_file dir ^ ".tmp"
+let journal_magic = "polygeist-serve cache journal v2"
+let quarantine_dir (dir : string) : string = Filename.concat dir "quarantine"
+
+let rec mkdir_p (dir : string) : unit =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* A journal record: "A <key> <digest> <escaped-payload> <crc>".  The
+   crc is the digest of everything before it, so a torn or bit-flipped
+   record fails closed at replay.  Key/digest/crc are hex (no spaces);
+   the escaped payload may contain spaces, so the parser takes the
+   first two and last fields and joins the middle back together. *)
+let record_body (k : string) (d : string) (escaped : string) : string =
+  Printf.sprintf "A %s %s %s" k d escaped
+
+let record_line (k : string) (d : string) (payload : string) : string =
+  let body = record_body k d (String.escaped payload) in
+  Printf.sprintf "%s %s\n" body (digest body)
+
+let parse_record (line : string) : (string * string * string) option =
+  match String.split_on_char ' ' line with
+  | "A" :: k :: d :: (_ :: _ as rest) -> begin
+    (* last field is the crc; the middle fields are the payload *)
+    let n = List.length rest in
+    let crc = List.nth rest (n - 1) in
+    let escaped = String.concat " " (List.filteri (fun i _ -> i < n - 1) rest) in
+    if digest (record_body k d escaped) <> crc then None
+    else
+      match Scanf.unescaped escaped with
+      | exception (Scanf.Scan_failure _ | Failure _) -> None
+      | payload -> if digest payload = d then Some (k, d, payload) else None
+  end
+  | _ -> None
+
+let header_line (gen : int) : string =
+  Printf.sprintf "%s gen=%d\n" journal_magic gen
+
+let parse_header (line : string) : int option =
+  let prefix = journal_magic ^ " gen=" in
+  let plen = String.length prefix in
+  if String.length line > plen && String.sub line 0 plen = prefix then
+    int_of_string_opt (String.sub line plen (String.length line - plen))
+  else None
+
+(* Generation of an on-disk journal, or None if absent/headerless. *)
+let journal_gen (path : string) : int option =
+  match In_channel.with_open_bin path In_channel.input_line with
+  | exception Sys_error _ -> None
+  | None -> None
+  | Some first -> parse_header first
+
+(* --- quarantine --- *)
+
+(* Persist a corrupt artifact's bytes so the evidence outlives the
+   drop.  Returns true when the bytes reached disk. *)
+let quarantine (t : t) (d : string) (payload : string) : bool =
+  match t.dir with
+  | None -> false
+  | Some dir -> begin
+    try
+      let qdir = quarantine_dir dir in
+      mkdir_p qdir;
+      Out_channel.with_open_bin (Filename.concat qdir d) (fun oc ->
+          Out_channel.output_string oc payload);
+      true
+    with Sys_error _ -> false
+  end
+
+(* Caller holds the lock.  Drop [k -> d] as corrupt, quarantining the
+   payload if one is on hand. *)
+let drop_corrupt (t : t) (k : string) (d : string) (payload : string option) :
+  unit =
+  Hashtbl.remove t.index k;
+  (match payload with
+   | None -> ()
+   | Some p ->
+     Hashtbl.remove t.arts d;
+     if quarantine t d p then t.quarantined <- t.quarantined + 1);
+  t.corrupt_dropped <- t.corrupt_dropped + 1;
+  t.misses <- t.misses + 1
+
+(* --- lookups and stores --- *)
+
 let find (t : t) (k : string) : string option =
   locked t (fun () ->
       match Hashtbl.find_opt t.index k with
@@ -61,9 +187,7 @@ let find (t : t) (k : string) : string option =
         match Hashtbl.find_opt t.arts d with
         | None ->
           (* index points at a missing artifact: treat as corruption *)
-          Hashtbl.remove t.index k;
-          t.corrupt_dropped <- t.corrupt_dropped + 1;
-          t.misses <- t.misses + 1;
+          drop_corrupt t k d None;
           None
         | Some payload ->
           if digest payload = d then begin
@@ -71,20 +195,31 @@ let find (t : t) (k : string) : string option =
             Some payload
           end
           else begin
-            (* content no longer matches its address: drop, never serve *)
-            Hashtbl.remove t.arts d;
-            Hashtbl.remove t.index k;
-            t.corrupt_dropped <- t.corrupt_dropped + 1;
-            t.misses <- t.misses + 1;
+            (* content no longer matches its address: never serve it *)
+            drop_corrupt t k d (Some payload);
             None
           end
       end)
+
+(* Caller holds the lock.  Append one record to the open journal and
+   fsync so the store is durable before the caller's reply goes out.
+   Journal write failures (disk full, fd gone) degrade to an in-memory
+   cache rather than failing the store. *)
+let wal_append (t : t) (k : string) (d : string) (payload : string) : unit =
+  match t.wal with
+  | None -> ()
+  | Some fd -> (
+    try
+      write_all fd (record_line k d payload);
+      Unix.fsync fd
+    with Unix.Unix_error _ | Sys_error _ -> ())
 
 let store (t : t) (k : string) (payload : string) : unit =
   locked t (fun () ->
       let d = digest payload in
       Hashtbl.replace t.arts d payload;
-      Hashtbl.replace t.index k d)
+      Hashtbl.replace t.index k d;
+      wal_append t k d payload)
 
 (* Test hook for the serve:corrupt fault matrix: flip one byte of the
    artifact a key points at, in place, WITHOUT updating its address.
@@ -104,49 +239,73 @@ let corrupt (t : t) (k : string) : bool =
           true
       end)
 
+(* Re-verify every artifact against its address; corrupt ones are
+   dropped (and quarantined).  Returns how many were dropped.  The
+   chaos harness runs this after a journal replay to assert the
+   recovered cache is internally consistent. *)
+let verify_all (t : t) : int =
+  locked t (fun () ->
+      let bad =
+        Hashtbl.fold
+          (fun k d acc ->
+            match Hashtbl.find_opt t.arts d with
+            | None -> (k, d, None) :: acc
+            | Some p -> if digest p = d then acc else (k, d, Some p) :: acc)
+          t.index []
+      in
+      List.iter
+        (fun (k, d, p) ->
+          drop_corrupt t k d p;
+          (* verify_all is not a lookup; undo the miss accounting *)
+          t.misses <- t.misses - 1)
+        bad;
+      List.length bad)
+
 let stats (t : t) : stats =
   locked t (fun () ->
       { entries = Hashtbl.length t.index
       ; hits = t.hits
       ; misses = t.misses
       ; corrupt_dropped = t.corrupt_dropped
+      ; quarantined = t.quarantined
+      ; journal_skipped = t.journal_skipped
       })
 
-(* --- persistence --- *)
+(* --- journal replay / compaction --- *)
 
-let index_file (dir : string) : string = Filename.concat dir "cache-index.v1"
-let index_magic = "polygeist-serve cache index v1"
-
-let rec mkdir_p (dir : string) : unit =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+(* Replay a journal file into the tables.  Returns (gen, loaded,
+   skipped); a missing or headerless file is (None, 0, 0).  Bad records
+   — torn tail after a crash, bit flips, duplicate keys resolved by
+   replace — never abort the replay. *)
+let replay_file (t : t) (path : string) : int option * int * int =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> (None, 0, 0)
+  | text -> begin
+    match String.split_on_char '\n' text with
+    | header :: lines -> begin
+      match parse_header header with
+      | None -> (None, 0, 0)
+      | Some gen ->
+        let loaded = ref 0 and skipped = ref 0 in
+        List.iter
+          (fun line ->
+            if line <> "" then
+              match parse_record line with
+              | Some (k, d, payload) ->
+                locked t (fun () ->
+                    Hashtbl.replace t.arts d payload;
+                    Hashtbl.replace t.index k d);
+                incr loaded
+              | None -> incr skipped)
+          lines;
+        (Some gen, !loaded, !skipped)
+    end
+    | [] -> (None, 0, 0)
   end
 
-(* One entry per line: job key, artifact digest, escaped payload.  The
-   digest is re-checked at load, so damage to the file degrades to a
-   smaller cache, never to wrong results. *)
-let flush (t : t) ~(dir : string) : (string, string) result =
-  try
-    mkdir_p dir;
-    let path = index_file dir in
-    let b = Buffer.create 4096 in
-    Buffer.add_string b (index_magic ^ "\n");
-    locked t (fun () ->
-        Hashtbl.iter
-          (fun k d ->
-            match Hashtbl.find_opt t.arts d with
-            | None -> ()
-            | Some payload ->
-              Buffer.add_string b
-                (Printf.sprintf "%s %s %s\n" k d (String.escaped payload)))
-          t.index);
-    Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (Buffer.contents b));
-    Ok path
-  with Sys_error e -> Error (Printf.sprintf "cannot flush cache index: %s" e)
-
-let load (t : t) ~(dir : string) : int =
+(* Legacy cache-index.v1 loader: one entry per line, key, digest,
+   escaped payload; entries that fail their digest check are dropped. *)
+let load_v1 (t : t) ~(dir : string) : int =
   match In_channel.with_open_text (index_file dir) In_channel.input_all with
   | exception Sys_error _ -> 0
   | text -> begin
@@ -175,3 +334,94 @@ let load (t : t) ~(dir : string) : int =
       !loaded
     | _ -> 0
   end
+
+(* Open (creating if needed) the journal for appending and remember the
+   attachment, so subsequent [store]s are durable. *)
+let open_wal (t : t) ~(dir : string) ~(gen : int) : unit =
+  (match t.wal with
+   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  t.dir <- Some dir;
+  t.gen <- gen;
+  let path = journal_file dir in
+  let fresh = not (Sys.file_exists path) in
+  match Unix.openfile path [ O_WRONLY; O_CREAT; O_APPEND ] 0o644 with
+  | exception Unix.Unix_error _ -> t.wal <- None
+  | fd ->
+    if fresh then (
+      try
+        write_all fd (header_line gen);
+        Unix.fsync fd
+      with Unix.Unix_error _ | Sys_error _ -> ());
+    t.wal <- Some fd
+
+(* Load persisted state from [dir] and attach the journal for appends.
+   Preference order: finish an interrupted compaction if the temp
+   journal's generation is newer than the main one's, then replay the
+   journal, then fall back to the legacy v1 index.  Returns the number
+   of entries loaded. *)
+let load (t : t) ~(dir : string) : int =
+  mkdir_p dir;
+  let main = journal_file dir and tmp = journal_tmp dir in
+  (match (journal_gen tmp, journal_gen main) with
+   | Some tg, Some mg when tg > mg ->
+     (* crash between compaction write and rename: the temp snapshot is
+        complete (it was fsynced before the rename was attempted) *)
+     (try Sys.rename tmp main with Sys_error _ -> ())
+   | Some _, None -> ( try Sys.rename tmp main with Sys_error _ -> ())
+   | Some _, Some _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+   | None, _ -> if Sys.file_exists tmp then ( try Sys.remove tmp with Sys_error _ -> ()));
+  let gen, loaded, skipped = replay_file t main in
+  locked t (fun () -> t.journal_skipped <- t.journal_skipped + skipped);
+  match gen with
+  | Some g ->
+    open_wal t ~dir ~gen:g;
+    loaded
+  | None ->
+    (* no journal yet: migrate from the legacy index if present *)
+    let migrated = load_v1 t ~dir in
+    open_wal t ~dir ~gen:0;
+    migrated
+
+(* Compact the journal: write a gen+1 snapshot of the live entries to a
+   temp file, fsync it, and rename it over the main journal.  A crash
+   at any point leaves either the old journal (temp discarded at next
+   load) or the new one (rename finished, possibly by the next load).
+   Called on clean shutdown; also the [flush] entry point.  Returns the
+   journal path. *)
+let flush (t : t) ~(dir : string) : (string, string) result =
+  try
+    mkdir_p dir;
+    let tmp = journal_tmp dir in
+    let next_gen = (if t.dir = Some dir then t.gen else 0) + 1 in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b (header_line next_gen);
+    locked t (fun () ->
+        Hashtbl.iter
+          (fun k d ->
+            match Hashtbl.find_opt t.arts d with
+            | None -> ()
+            | Some payload -> Buffer.add_string b (record_line k d payload))
+          t.index);
+    let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd (Buffer.contents b);
+        Unix.fsync fd);
+    Sys.rename tmp (journal_file dir);
+    (* appends after a compaction must land in the new journal *)
+    open_wal t ~dir ~gen:next_gen;
+    Ok (journal_file dir)
+  with
+  | Sys_error e -> Error (Printf.sprintf "cannot compact cache journal: %s" e)
+  | Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot compact cache journal: %s" (Unix.error_message e))
+
+let close (t : t) : unit =
+  match t.wal with
+  | None -> ()
+  | Some fd ->
+    t.wal <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())

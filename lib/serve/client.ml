@@ -1,8 +1,13 @@
 (* One-shot client for the compile daemon: connect, send one request,
    read one response.  Used by `polygeist_cpu client` and by the smoke
-   test's cross-process leg. *)
+   test's cross-process leg.
 
-let request ~(socket : string) (req : Proto.request) :
+   Requests carry an [id] (wire v2) that the daemon echoes back; the
+   client checks the echo so a daemon bug that cross-wires responses
+   between connections surfaces as a structured error, never as a
+   silently mismatched result. *)
+
+let request ?(id = 0) ~(socket : string) (req : Proto.request) :
   (Proto.response, string) result =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
@@ -17,12 +22,21 @@ let request ~(socket : string) (req : Proto.request) :
             (Printf.sprintf "cannot connect to %s: %s" socket
                (Unix.error_message e))
         | () -> begin
-          match Proto.send fd (Proto.request_to_string req) with
+          match Proto.send fd (Proto.request_to_string ~id req) with
           | exception _ -> Error "connection closed while sending"
           | () -> begin
             match Proto.recv fd with
             | Error e -> Error e
-            | Ok payload -> Proto.response_of_string payload
+            | Ok payload -> begin
+              match Proto.response_of_string payload with
+              | Error e -> Error e
+              | Ok (echoed, resp) ->
+                if echoed <> id then
+                  Error
+                    (Printf.sprintf
+                       "response id %d does not match request id %d" echoed id)
+                else Ok resp
+            end
           end
         end)
 

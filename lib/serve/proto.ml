@@ -9,10 +9,19 @@
    kind), and every parser failure is a structured [Error] — a malformed
    frame must never take the daemon down.
 
+   Wire version 2 adds a per-request [id] that the daemon echoes in
+   every response.  With a fleet of executors, completions arrive out
+   of submission order, and the id is what lets the responder (and any
+   future pipelined client) match a response to its request instead of
+   relying on FIFO completion.  Version-1 frames (no id) still parse —
+   they get id 0 — so old clients keep working against a new daemon
+   and vice versa.
+
    The same [outcome] serialization doubles as the cache's artifact
-   payload: the content-addressed store hashes exactly these bytes, so
-   "cache hit is bit-identical to the cold result" is checkable by
-   digest. *)
+   payload: the content-addressed store hashes exactly these bytes
+   (the request-scoped id deliberately lives in the response envelope,
+   NOT in the outcome), so "cache hit is bit-identical to the cold
+   result" is checkable by digest. *)
 
 (* A compile(/run) job, mirroring the one-shot CLI surface. *)
 type job =
@@ -136,21 +145,33 @@ let job_of_fields (fields : (string * string) list) : (job, string) result =
 
 (* --- request --- *)
 
-let request_to_string (r : request) : string =
-  match r with
-  | Shutdown -> "polygeist-serve/1 shutdown\n"
-  | Submit j -> "polygeist-serve/1 submit\n" ^ job_to_string j
+(* The id is an envelope field: it rides next to the job/outcome fields
+   in the kv record but belongs to the request/response pair, not to
+   the cached computation. *)
 
-let request_of_string (s : string) : (request, string) result =
+let request_to_string ?(id = 0) (r : request) : string =
+  match r with
+  | Shutdown -> Printf.sprintf "polygeist-serve/2 shutdown\nid=%d\n" id
+  | Submit j ->
+    Printf.sprintf "polygeist-serve/2 submit\nid=%d\n%s" id (job_to_string j)
+
+(* Returns the request together with its id (0 for version-1 frames,
+   which predate ids). *)
+let request_of_string (s : string) : (int * request, string) result =
   match String.index_opt s '\n' with
   | None -> Error "empty request"
   | Some i -> begin
     let head = String.sub s 0 i in
     let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let id () = field_int (fields_of_string rest) "id" ~default:0 in
     match head with
-    | "polygeist-serve/1 shutdown" -> Ok Shutdown
-    | "polygeist-serve/1 submit" ->
-      Result.map (fun j -> Submit j) (job_of_fields (fields_of_string rest))
+    | "polygeist-serve/1 shutdown" -> Ok (0, Shutdown)
+    | "polygeist-serve/2 shutdown" -> Ok (id (), Shutdown)
+    | "polygeist-serve/1 submit" | "polygeist-serve/2 submit" ->
+      let rid = if head = "polygeist-serve/1 submit" then 0 else id () in
+      Result.map
+        (fun j -> (rid, Submit j))
+        (job_of_fields (fields_of_string rest))
     | _ -> Error (Printf.sprintf "unknown request kind %S" head)
   end
 
@@ -182,37 +203,59 @@ let outcome_of_string (s : string) : (outcome, string) result =
 
 (* --- response --- *)
 
-let response_to_string (r : response) : string =
+(* [id] echoes the request's id so an interleaving responder (or a
+   pipelined client) can pair responses with requests. *)
+let response_to_string ?(id = 0) (r : response) : string =
   match r with
-  | Done o -> "polygeist-serve/1 done\n" ^ outcome_to_string o
+  | Done o ->
+    Printf.sprintf "polygeist-serve/2 done\nid=%d\n%s" id (outcome_to_string o)
   | Overloaded { depth; cap } ->
-    Printf.sprintf "polygeist-serve/1 overloaded\ndepth=%d\ncap=%d\n" depth cap
+    Printf.sprintf "polygeist-serve/2 overloaded\nid=%d\ndepth=%d\ncap=%d\n" id
+      depth cap
   | Rejected why ->
     let b = Buffer.create 64 in
-    Buffer.add_string b "polygeist-serve/1 rejected\n";
+    Buffer.add_string b (Printf.sprintf "polygeist-serve/2 rejected\nid=%d\n" id);
     kv b "why" why;
     Buffer.contents b
 
-let response_of_string (s : string) : (response, string) result =
+(* Returns the echoed id (0 for version-1 frames) and the response. *)
+let response_of_string (s : string) : (int * response, string) result =
   match String.index_opt s '\n' with
   | None -> Error "empty response"
   | Some i -> begin
     let head = String.sub s 0 i in
     let rest = String.sub s (i + 1) (String.length s - i - 1) in
     let fields () = fields_of_string rest in
-    match head with
-    | "polygeist-serve/1 done" ->
-      Result.map (fun o -> Done o) (outcome_of_string rest)
-    | "polygeist-serve/1 overloaded" ->
-      let f = fields () in
-      Ok
-        (Overloaded
-           { depth = field_int f "depth" ~default:0
-           ; cap = field_int f "cap" ~default:0
-           })
-    | "polygeist-serve/1 rejected" ->
-      Ok (Rejected (Option.value ~default:"" (field (fields ()) "why")))
-    | _ -> Error (Printf.sprintf "unknown response kind %S" head)
+    let version_of = function
+      | "polygeist-serve/1" -> Some 1
+      | "polygeist-serve/2" -> Some 2
+      | _ -> None
+    in
+    let kind, version =
+      match String.index_opt head ' ' with
+      | None -> (head, None)
+      | Some sp ->
+        ( String.sub head (sp + 1) (String.length head - sp - 1)
+        , version_of (String.sub head 0 sp) )
+    in
+    match version with
+    | None -> Error (Printf.sprintf "unknown response kind %S" head)
+    | Some v -> begin
+      let id = if v = 1 then 0 else field_int (fields ()) "id" ~default:0 in
+      match kind with
+      | "done" -> Result.map (fun o -> (id, Done o)) (outcome_of_string rest)
+      | "overloaded" ->
+        let f = fields () in
+        Ok
+          ( id
+          , Overloaded
+              { depth = field_int f "depth" ~default:0
+              ; cap = field_int f "cap" ~default:0
+              } )
+      | "rejected" ->
+        Ok (id, Rejected (Option.value ~default:"" (field (fields ()) "why")))
+      | _ -> Error (Printf.sprintf "unknown response kind %S" head)
+    end
   end
 
 (* --- framing over a file descriptor --- *)

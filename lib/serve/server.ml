@@ -1,63 +1,176 @@
-(* The compile daemon: bounded-queue admission control in front of the
-   {!Supervisor} fault wall.
+(* The compile daemon: bounded-queue admission control in front of a
+   supervised FLEET of executor lanes.
 
    Structure: the in-process core ([create] / [submit] / [await] /
-   [drain]) is what the bench harness and the smoke test drive
-   directly; [serve_unix] wraps it in a Unix-domain-socket front end
-   for `polygeist_cpu serve`.
+   [drain]) is what the bench harness, the smoke test and the chaos
+   campaign drive directly; [serve_unix] wraps it in a
+   Unix-domain-socket front end for `polygeist_cpu serve`.
 
-   Three threads of control:
+   Threads of control:
+
      - the caller (or the socket accept loop) submits jobs; admission
-       is a bounded FIFO — a full queue is an immediate, explicit
-       [`Overloaded] rejection, never unbounded latency;
-     - ONE executor domain pops jobs and runs them through
-       {!Supervisor.run_job}.  A single executor is a deliberate
-       choice: compile jobs are CPU-bound and themselves fan out over
-       the domain pool, so serving them one at a time keeps the
-       parallel runtime's team stable and makes job results
-       deterministic (which the cache's bit-identity check relies on);
-     - a responder domain (socket mode only) writes each job's
-       response back and closes the connection, so a slow client never
-       stalls the executor.
+       is a bounded count across all lanes — a full queue is an
+       immediate, explicit [`Overloaded] rejection, never unbounded
+       latency;
+
+     - [executors] EXECUTOR LANES, each a domain that pops jobs from
+       its own queue and runs them through {!Supervisor.run_job}.  Each
+       lane owns its own {!Supervisor.t} (so circuit-breaker state
+       needs no cross-domain locking) and — via the domain-local pool
+       cache — its own {!Runtime.Pool} team, so a poisoned or rebuilt
+       pool in one lane never stalls another.  Jobs are routed by
+       SOURCE-HASH AFFINITY: the same source always lands on the same
+       lane, which keeps per-source results deterministic (the cache's
+       bit-identity check relies on it) and keeps each source's breaker
+       history in one place.  [--executors 1] is bit-identical to the
+       old single-executor daemon;
+
+     - a MONITOR domain watches every lane's heartbeat.  A lane whose
+       job outlives the executor deadline (derived from the supervisor
+       deadline and the worst-case retry schedule, so it only fires
+       beyond any legitimate work) is declared wedged: the monitor
+       fails the in-flight ticket with a rung="serve" crash bundle,
+       marks the incarnation dead, and spawns a replacement executor on
+       the same queue.  Fulfilling the ticket is first-write-wins and
+       doubles as the race linearization: the monitor only kills after
+       its failure-fulfill WON, and a zombie executor whose late
+       fulfill LOSES sees its incarnation is dead and exits instead of
+       touching the lane.  (An OCaml domain cannot be killed, so a
+       truly wedged executor is leaked — exactly like the pool's
+       leaked-worker accounting.)  The monitor also replaces executors
+       whose loop crashed outright;
+
+     - a responder domain (socket mode only) writes each completed
+       job's response — in COMPLETION order, paired to its connection
+       by the ticket, echoing the request's wire id — so neither a slow
+       client nor a slow job stalls the others.
+
+   Durability: accepted tickets are recorded in an in-flight journal
+   (S at admission, E at terminal reply, fsynced), and the artifact
+   cache appends to a write-ahead journal on every store, so a SIGKILL
+   loses neither completed work nor the identity of in-flight work:
+   restart reports exactly which tickets died with the process.
 
    The executor is fault-walled twice: [Supervisor.run_job] never
-   raises by contract, and the loop around it catches anyway — a bug
-   in the supervisor must degrade to a failed job, not a dead daemon. *)
+   raises by contract, and the lane loop catches anyway — a bug in the
+   supervisor must degrade to a failed job, not a dead lane (and a dead
+   lane degrades to a replaced lane, not a dead daemon). *)
 
 type config =
   { queue_cap : int (* admission bound; jobs beyond it are rejected *)
   ; sup : Supervisor.config
-  ; cache_dir : string option (* persist the artifact cache here *)
+  ; cache_dir : string option (* persist cache + in-flight journal here *)
+  ; executors : int (* executor lanes (>= 1) *)
+  ; executor_deadline_ms : int
+    (* wall-clock bound on one lane's job before the monitor declares
+       the lane wedged; 0 derives it from the supervisor deadline and
+       the worst-case retry schedule (and disables monitoring when the
+       supervisor deadline is itself 0) *)
   }
 
 let default_config =
-  { queue_cap = 32; sup = Supervisor.default_config; cache_dir = None }
+  { queue_cap = 32
+  ; sup = Supervisor.default_config
+  ; cache_dir = None
+  ; executors = 1
+  ; executor_deadline_ms = 0
+  }
 
-(* A submitted job's future result. *)
+(* The monitor must not declare a lane wedged while its job could still
+   be doing legitimate work: a job may burn the full supervisor
+   deadline on every attempt plus every backoff delay in between. *)
+let derived_executor_deadline (cfg : config) : int =
+  if cfg.executor_deadline_ms > 0 then cfg.executor_deadline_ms
+  else if cfg.sup.Supervisor.deadline_ms <= 0 then 0
+  else
+    ((1 + cfg.sup.Supervisor.backoff.Backoff.max_retries)
+     * cfg.sup.Supervisor.deadline_ms)
+    + Backoff.worst_case_total_ms cfg.sup.Supervisor.backoff
+    + 2000
+
+(* A submitted job's future result.  [id] is the daemon-wide ticket id
+   (also the in-flight journal key).  [notify] lets the socket
+   responder subscribe to completion instead of parking a domain per
+   connection; it is invoked outside the ticket lock and must be
+   cheap. *)
 type ticket =
-  { tm : Mutex.t
+  { id : int
+  ; tm : Mutex.t
   ; tcv : Condition.t
   ; mutable result : Proto.outcome option
+  ; mutable notify : (Proto.outcome -> unit) option
+  }
+
+(* One executor incarnation.  A lane can go through several: the
+   monitor replaces an incarnation when it wedges or crashes.  [dead]
+   is the kill switch (set only after the monitor won the in-flight
+   ticket); [exited] is the incarnation's own "my loop returned";
+   [crashed] marks an uncaught exception (the monitor spawns a
+   replacement). *)
+type incarnation =
+  { dead : bool Atomic.t
+  ; exited : bool Atomic.t
+  ; crashed : bool Atomic.t
+  ; mutable domain : unit Domain.t option
+  }
+
+type lane =
+  { lq : (Proto.job * ticket) Queue.t
+  ; lm : Mutex.t
+  ; lcv : Condition.t
+  ; lsup : Supervisor.t (* lane-private: breaker state needs no lock *)
+  ; mutable busy_since : float (* heartbeat; 0.0 = idle (under lm) *)
+  ; mutable current : (Proto.job * ticket) option (* under lm *)
+  ; mutable inc : incarnation (* written by create/monitor only *)
+  ; mutable kills : int (* incarnations the monitor replaced *)
   }
 
 type t =
   { cfg : config
-  ; sup : Supervisor.t
   ; cache : Cache.t
-  ; q : (int * Proto.job * ticket) Queue.t
-  ; qm : Mutex.t
-  ; qcv : Condition.t
+  ; lanes : lane array
+  ; qm : Mutex.t (* admission: draining / next_id / overloaded *)
   ; mutable draining : bool
   ; mutable next_id : int
-  ; mutable overloaded : int (* submissions rejected by admission control *)
-  ; mutable executor : unit Domain.t option
+  ; mutable overloaded : int (* submissions rejected by admission *)
+  ; queued : int Atomic.t (* admitted, not yet popped by a lane *)
+  ; exec_deadline_ms : int
+  ; journal : Journal.t option
+  ; recovery : Journal.recovery option (* what the previous run lost *)
+  ; mstop : bool Atomic.t
+  ; mutable monitor : unit Domain.t option
   }
 
-let fulfill (tk : ticket) (o : Proto.outcome) : unit =
+(* --- tickets --- *)
+
+(* First write wins; the bool is the linearization every kill decision
+   hangs off. *)
+let fulfill (tk : ticket) (o : Proto.outcome) : bool =
   Mutex.lock tk.tm;
-  tk.result <- Some o;
-  Condition.broadcast tk.tcv;
-  Mutex.unlock tk.tm
+  if tk.result <> None then begin
+    Mutex.unlock tk.tm;
+    false
+  end
+  else begin
+    tk.result <- Some o;
+    Condition.broadcast tk.tcv;
+    let n = tk.notify in
+    tk.notify <- None;
+    Mutex.unlock tk.tm;
+    (match n with Some f -> f o | None -> ());
+    true
+  end
+
+(* Non-blocking result read; the chaos harness uses it after drain,
+   when "no result yet" means a lost ticket (an invariant violation),
+   not "still running". *)
+let peek (tk : ticket) : Proto.outcome option =
+  Mutex.lock tk.tm;
+  let r = tk.result in
+  Mutex.unlock tk.tm;
+  r
+
+let ticket_id (tk : ticket) : int = tk.id
 
 let await (tk : ticket) : Proto.outcome =
   Mutex.lock tk.tm;
@@ -68,60 +181,268 @@ let await (tk : ticket) : Proto.outcome =
   Mutex.unlock tk.tm;
   o
 
-let executor_loop (t : t) : unit =
+(* Subscribe to completion; fires immediately if the result already
+   landed.  Used by the socket responder. *)
+let on_complete (tk : ticket) (f : Proto.outcome -> unit) : unit =
+  Mutex.lock tk.tm;
+  match tk.result with
+  | Some o ->
+    Mutex.unlock tk.tm;
+    f o
+  | None ->
+    tk.notify <- Some f;
+    Mutex.unlock tk.tm
+
+let journal_finish (t : t) (tk : ticket) (status : string) : unit =
+  match t.journal with
+  | Some j -> Journal.finish j ~id:tk.id ~status
+  | None -> ()
+
+let status_of (o : Proto.outcome) : string =
+  if o.Proto.exit_code = 2 then "failed" else "done"
+
+let internal_failure (what : string) : Proto.outcome =
+  { Proto.exit_code = 2
+  ; checksum = "-"
+  ; cached = false
+  ; retries = 0
+  ; breaker = false
+  ; log = what
+  }
+
+(* --- executor lanes --- *)
+
+(* Lane-level fault injection (the chaos campaign's wedge lever):
+   executor:hang wedges the lane itself — run_job never starts, the
+   monitor must notice; executor:raise kills the lane loop — the crash
+   wall must answer the ticket and the monitor must respawn. *)
+let executor_fault (job : Proto.job) : Core.Fault.kind option =
+  match Core.Fault.plan_of_string job.Proto.faults with
+  | Error _ -> None
+  | Ok plan ->
+    List.find_map (fun (s, k) -> if s = "executor" then Some k else None) plan
+
+exception Lane_crash of string
+
+let executor_body (t : t) (lane : lane) (inc : incarnation) : unit =
   let rec loop () =
-    Mutex.lock t.qm;
-    while Queue.is_empty t.q && not t.draining do
-      Condition.wait t.qcv t.qm
+    Mutex.lock lane.lm;
+    while
+      Queue.is_empty lane.lq && (not t.draining) && not (Atomic.get inc.dead)
+    do
+      Condition.wait lane.lcv lane.lm
     done;
-    if Queue.is_empty t.q then begin
-      (* draining and nothing left: done *)
-      Mutex.unlock t.qm
-    end
+    if Atomic.get inc.dead || Queue.is_empty lane.lq then
+      (* killed, or draining with nothing left *)
+      Mutex.unlock lane.lm
     else begin
-      let id, job, tk = Queue.pop t.q in
-      let depth = Queue.length t.q in
-      Mutex.unlock t.qm;
-      let outcome =
-        (* second wall: run_job never raises by contract, but a dead
-           executor would wedge every future ticket, so catch anyway *)
-        try Supervisor.run_job t.sup ~cache:t.cache ~queue_depth:depth ~job_id:id job
-        with e ->
-          { Proto.exit_code = 2
-          ; checksum = "-"
-          ; cached = false
-          ; retries = 0
-          ; breaker = false
-          ; log = "internal error: supervisor raised " ^ Printexc.to_string e
-          }
-      in
-      fulfill tk outcome;
-      loop ()
+      let (job, tk) = Queue.pop lane.lq in
+      Atomic.decr t.queued;
+      lane.busy_since <- Unix.gettimeofday ();
+      lane.current <- Some (job, tk);
+      Mutex.unlock lane.lm;
+      match executor_fault job with
+      | Some Core.Fault.Hang ->
+        (* wedged executor: spin (not block — there is nothing to block
+           on) until the monitor fails our ticket and declares this
+           incarnation dead, then exit as a zombie without touching the
+           lane.  If no monitor is armed, drain's force-kill is the
+           backstop. *)
+        while not (Atomic.get inc.dead) do
+          Unix.sleepf 0.002
+        done
+      | ef ->
+        if ef = Some Core.Fault.Raise then
+          raise (Lane_crash "injected fault: executor:raise");
+        let outcome =
+          (* second wall: run_job never raises by contract, but a dead
+             executor would wedge every future ticket, so catch anyway *)
+          try
+            Supervisor.run_job lane.lsup ~cache:t.cache
+              ~queue_depth:(Atomic.get t.queued) ~job_id:tk.id job
+          with e ->
+            internal_failure
+              ("internal error: supervisor raised " ^ Printexc.to_string e)
+        in
+        if fulfill tk outcome then journal_finish t tk (status_of outcome);
+        Mutex.lock lane.lm;
+        if not (Atomic.get inc.dead) then begin
+          lane.current <- None;
+          lane.busy_since <- 0.0
+        end;
+        Mutex.unlock lane.lm;
+        loop ()
     end
   in
   loop ()
 
+(* The incarnation wall: even a crash of the lane LOOP (not just a job)
+   answers the in-flight ticket and leaves a respawnable lane behind. *)
+let executor_main (t : t) (lane : lane) (inc : incarnation) : unit =
+  (match executor_body t lane inc with
+   | () -> ()
+   | exception e ->
+     Atomic.set inc.crashed true;
+     Mutex.lock lane.lm;
+     let cur = if Atomic.get inc.dead then None else lane.current in
+     (match cur with
+      | Some _ ->
+        lane.current <- None;
+        lane.busy_since <- 0.0
+      | None -> ());
+     Mutex.unlock lane.lm;
+     (match cur with
+      | Some (_job, tk) ->
+        let what =
+          match e with
+          | Lane_crash w -> w
+          | e -> Printexc.to_string e
+        in
+        let o = internal_failure ("executor crashed: " ^ what) in
+        if fulfill tk o then journal_finish t tk "failed"
+      | None -> ()));
+  (* the lane's cached pool is domain-local: tear it down with the
+     incarnation so worker domains don't outlive their lane *)
+  Runtime.Pool.shutdown_cached ();
+  Atomic.set inc.exited true
+
+let spawn_incarnation (t : t) (lane : lane) : unit =
+  let inc =
+    { dead = Atomic.make false
+    ; exited = Atomic.make false
+    ; crashed = Atomic.make false
+    ; domain = None
+    }
+  in
+  lane.inc <- inc;
+  inc.domain <- Some (Domain.spawn (fun () -> executor_main t lane inc))
+
+(* --- the monitor --- *)
+
+let wedge_outcome ~(elapsed_ms : int) : Proto.outcome =
+  internal_failure
+    (Printf.sprintf
+       "job failed: executor wedged: job still running after %d ms (fleet \
+        deadline); executor replaced"
+       elapsed_ms)
+
+(* Declare [lane]'s incarnation wedged IF the monitor wins the
+   in-flight ticket.  Winning is the license to kill: if the job
+   completed in the race window, the executor's fulfill won, nothing
+   happens, and the next tick re-evaluates a fresh heartbeat. *)
+let kill_lane (t : t) (lane : lane) ~(job : Proto.job) ~(tk : ticket)
+    ~(elapsed_ms : int) : unit =
+  if fulfill tk (wedge_outcome ~elapsed_ms) then begin
+    let inc = lane.inc in
+    Atomic.set inc.dead true;
+    Mutex.lock lane.lm;
+    lane.current <- None;
+    lane.busy_since <- 0.0;
+    Condition.broadcast lane.lcv;
+    Mutex.unlock lane.lm;
+    lane.kills <- lane.kills + 1;
+    ignore (Supervisor.wedge_bundle lane.lsup ~job ~elapsed_ms);
+    journal_finish t tk "wedged";
+    spawn_incarnation t lane
+  end
+
+let monitor_loop (t : t) : unit =
+  while not (Atomic.get t.mstop) do
+    Unix.sleepf 0.02;
+    Array.iter
+      (fun lane ->
+        let inc = lane.inc in
+        if
+          Atomic.get inc.crashed
+          && Atomic.get inc.exited
+          && not (Atomic.get inc.dead)
+        then begin
+          (* the lane loop died; its queue may still hold jobs *)
+          Atomic.set inc.dead true;
+          lane.kills <- lane.kills + 1;
+          spawn_incarnation t lane
+        end
+        else if t.exec_deadline_ms > 0 then begin
+          Mutex.lock lane.lm;
+          let cur = lane.current and since = lane.busy_since in
+          Mutex.unlock lane.lm;
+          match cur with
+          | Some (job, tk) when since > 0.0 ->
+            let elapsed_ms =
+              int_of_float ((Unix.gettimeofday () -. since) *. 1000.)
+            in
+            if elapsed_ms > t.exec_deadline_ms then
+              kill_lane t lane ~job ~tk ~elapsed_ms
+          | _ -> ()
+        end)
+      t.lanes
+  done
+
+(* --- construction --- *)
+
 let create (cfg : config) : t =
+  let n = max 1 cfg.executors in
+  let lanes =
+    Array.init n (fun _ ->
+        { lq = Queue.create ()
+        ; lm = Mutex.create ()
+        ; lcv = Condition.create ()
+        ; lsup = Supervisor.create cfg.sup
+        ; busy_since = 0.0
+        ; current = None
+        ; inc =
+            (* placeholder, replaced before any job can arrive *)
+            { dead = Atomic.make true
+            ; exited = Atomic.make true
+            ; crashed = Atomic.make false
+            ; domain = None
+            }
+        ; kills = 0
+        })
+  in
+  let recovery, journal =
+    match cfg.cache_dir with
+    | None -> (None, None)
+    | Some dir ->
+      (* read what the previous process left behind BEFORE open_
+         truncates it *)
+      let r = Journal.recover ~dir in
+      let j = match Journal.open_ ~dir with Ok j -> Some j | Error _ -> None in
+      (Some r, j)
+  in
   let t =
     { cfg
-    ; sup = Supervisor.create cfg.sup
     ; cache = Cache.create ()
-    ; q = Queue.create ()
+    ; lanes
     ; qm = Mutex.create ()
-    ; qcv = Condition.create ()
     ; draining = false
     ; next_id = 0
     ; overloaded = 0
-    ; executor = None
+    ; queued = Atomic.make 0
+    ; exec_deadline_ms = derived_executor_deadline cfg
+    ; journal
+    ; recovery
+    ; mstop = Atomic.make false
+    ; monitor = None
     }
   in
   (match cfg.cache_dir with
    | Some dir -> ignore (Cache.load t.cache ~dir)
    | None -> ());
-  t.executor <- Some (Domain.spawn (fun () -> executor_loop t));
+  Array.iter (fun lane -> spawn_incarnation t lane) t.lanes;
+  t.monitor <- Some (Domain.spawn (fun () -> monitor_loop t));
   t
 
-(* Admission control: accept into the bounded queue or reject NOW. *)
+(* --- admission --- *)
+
+(* Source-hash affinity: a given source always runs on the same lane,
+   so its results stay deterministic and its breaker history stays in
+   one supervisor. *)
+let lane_index (t : t) (job : Proto.job) : int =
+  Hashtbl.hash (Supervisor.source_hash job) mod Array.length t.lanes
+
+(* Admission control: accept into the bounded (fleet-wide) queue or
+   reject NOW. *)
 let submit (t : t) (job : Proto.job) :
   [ `Ticket of ticket | `Overloaded of int * int | `Draining ] =
   Mutex.lock t.qm;
@@ -130,7 +451,7 @@ let submit (t : t) (job : Proto.job) :
     `Draining
   end
   else begin
-    let depth = Queue.length t.q in
+    let depth = Atomic.get t.queued in
     if depth >= t.cfg.queue_cap then begin
       t.overloaded <- t.overloaded + 1;
       Mutex.unlock t.qm;
@@ -139,10 +460,28 @@ let submit (t : t) (job : Proto.job) :
     else begin
       let id = t.next_id in
       t.next_id <- id + 1;
-      let tk = { tm = Mutex.create (); tcv = Condition.create (); result = None } in
-      Queue.push (id, job, tk) t.q;
-      Condition.signal t.qcv;
+      Atomic.incr t.queued;
       Mutex.unlock t.qm;
+      let tk =
+        { id
+        ; tm = Mutex.create ()
+        ; tcv = Condition.create ()
+        ; result = None
+        ; notify = None
+        }
+      in
+      (* accepted => journaled: after a SIGKILL, this ticket is either
+         E-terminated or reported lost — never silently forgotten *)
+      (match t.journal with
+       | Some j ->
+         Journal.start j ~id
+           ~digest:(Cache.key ~source:job.Proto.source ~flags:(Proto.job_flags job))
+       | None -> ());
+      let lane = t.lanes.(lane_index t job) in
+      Mutex.lock lane.lm;
+      Queue.push (job, tk) lane.lq;
+      Condition.signal lane.lcv;
+      Mutex.unlock lane.lm;
       `Ticket tk
     end
   end
@@ -154,47 +493,167 @@ let run (t : t) (job : Proto.job) : Proto.response =
   | `Overloaded (depth, cap) -> Proto.Overloaded { depth; cap }
   | `Draining -> Proto.Rejected "draining"
 
-(* Graceful drain: stop admitting, finish every queued job, stop the
-   executor, flush the cache index. *)
+(* --- drain --- *)
+
+(* Graceful drain: stop admitting, finish every queued job (the monitor
+   stays up so wedges during the drain are still replaced), stop the
+   lanes and the monitor, compact the cache journal.  A lane that is
+   wedged with no monitor armed is force-killed here — its ticket is
+   failed, never lost. *)
 let drain (t : t) : unit =
   Mutex.lock t.qm;
   t.draining <- true;
-  Condition.broadcast t.qcv;
   Mutex.unlock t.qm;
-  (match t.executor with
+  Array.iter
+    (fun lane ->
+      Mutex.lock lane.lm;
+      Condition.broadcast lane.lcv;
+      Mutex.unlock lane.lm)
+    t.lanes;
+  (* settle: every lane empty, idle, and its incarnation exited *)
+  let settled lane =
+    Mutex.lock lane.lm;
+    let empty = Queue.is_empty lane.lq && lane.current = None in
+    Mutex.unlock lane.lm;
+    empty && Atomic.get lane.inc.exited
+  in
+  let deadline =
+    Unix.gettimeofday ()
+    +. (float_of_int (max 30_000 (3 * t.exec_deadline_ms)) /. 1000.)
+  in
+  let rec settle () =
+    if Array.for_all settled t.lanes then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      settle ()
+    end
+  in
+  let clean = settle () in
+  if not clean then
+    (* force-kill what never settled so no ticket is left unanswered *)
+    Array.iter
+      (fun lane ->
+        if not (settled lane) then begin
+          let inc = lane.inc in
+          Atomic.set inc.dead true;
+          Mutex.lock lane.lm;
+          let cur = lane.current in
+          lane.current <- None;
+          lane.busy_since <- 0.0;
+          let leftovers = Queue.fold (fun acc it -> it :: acc) [] lane.lq in
+          Queue.clear lane.lq;
+          Condition.broadcast lane.lcv;
+          Mutex.unlock lane.lm;
+          let fail (_job, tk) =
+            Atomic.decr t.queued;
+            if
+              fulfill tk
+                (internal_failure "job failed: daemon drained while executor wedged")
+            then journal_finish t tk "wedged"
+          in
+          (match cur with
+           | Some (job, tk) ->
+             lane.kills <- lane.kills + 1;
+             if fulfill tk (wedge_outcome ~elapsed_ms:0) then begin
+               ignore
+                 (Supervisor.wedge_bundle lane.lsup ~job ~elapsed_ms:0);
+               journal_finish t tk "wedged"
+             end
+           | None -> ());
+          List.iter fail (List.rev leftovers)
+        end)
+      t.lanes;
+  Atomic.set t.mstop true;
+  (match t.monitor with
    | Some d ->
      Domain.join d;
-     t.executor <- None
+     t.monitor <- None
    | None -> ());
+  (* join the incarnations that exited; wedged zombies are leaked *)
+  Array.iter
+    (fun lane ->
+      let inc = lane.inc in
+      if Atomic.get inc.exited then
+        match inc.domain with
+        | Some d ->
+          (try Domain.join d with _ -> ());
+          inc.domain <- None
+        | None -> ())
+    t.lanes;
   (match t.cfg.cache_dir with
    | Some dir -> ignore (Cache.flush t.cache ~dir)
    | None -> ());
+  (match t.journal with Some j -> Journal.close j | None -> ());
+  Cache.close t.cache;
   Runtime.Pool.shutdown_cached ()
 
-let queue_depth (t : t) : int =
-  Mutex.lock t.qm;
-  let d = Queue.length t.q in
-  Mutex.unlock t.qm;
-  d
+(* --- introspection --- *)
 
+let queue_depth (t : t) : int = Atomic.get t.queued
 let overloaded_count (t : t) : int = t.overloaded
-let supervisor (t : t) : Supervisor.t = t.sup
 let cache (t : t) : Cache.t = t.cache
+let executors (t : t) : int = Array.length t.lanes
+let recovered (t : t) : Journal.recovery option = t.recovery
+
+let executor_kills (t : t) : int =
+  Array.fold_left (fun acc lane -> acc + lane.kills) 0 t.lanes
+
+(* Fleet-wide supervisor stats: the sum over the lanes' private
+   supervisors. *)
+let agg_stats (t : t) : Supervisor.stats =
+  let z =
+    { Supervisor.jobs = 0
+    ; completed = 0
+    ; failed = 0
+    ; retries = 0
+    ; bundles = 0
+    ; pool_rebuilds = 0
+    ; leaked_domains = 0
+    ; breaker_served = 0
+    }
+  in
+  Array.iter
+    (fun lane ->
+      let s = lane.lsup.Supervisor.stats in
+      z.Supervisor.jobs <- z.Supervisor.jobs + s.Supervisor.jobs;
+      z.Supervisor.completed <- z.Supervisor.completed + s.Supervisor.completed;
+      z.Supervisor.failed <- z.Supervisor.failed + s.Supervisor.failed;
+      z.Supervisor.retries <- z.Supervisor.retries + s.Supervisor.retries;
+      z.Supervisor.bundles <- z.Supervisor.bundles + s.Supervisor.bundles;
+      z.Supervisor.pool_rebuilds <-
+        z.Supervisor.pool_rebuilds + s.Supervisor.pool_rebuilds;
+      z.Supervisor.leaked_domains <-
+        z.Supervisor.leaked_domains + s.Supervisor.leaked_domains;
+      z.Supervisor.breaker_served <-
+        z.Supervisor.breaker_served + s.Supervisor.breaker_served)
+    t.lanes;
+  z
+
+let breaker_trips (t : t) : int =
+  Array.fold_left
+    (fun acc lane -> acc + Supervisor.breaker_trips lane.lsup)
+    0 t.lanes
+
+(* The lane supervisor a given job would run under — tests use this to
+   inspect per-source breaker state. *)
+let supervisor_for (t : t) (job : Proto.job) : Supervisor.t =
+  t.lanes.(lane_index t job).lsup
 
 (* --- Unix-domain-socket front end --- *)
 
-(* The responder: a FIFO of (connection, ticket) pairs.  Tickets are
-   enqueued in submission order and the single executor fulfills them
-   in submission order, so the responder's head ticket is always the
-   next one to complete — it never waits on the wrong job. *)
+(* The responder: completions (not submissions) are queued, so a
+   10-second job on lane 0 never delays the reply of a 10-ms job that
+   finished on lane 1.  Each entry pairs the finished outcome with its
+   connection and the client's wire id. *)
 type responder_q =
-  { rq : (Unix.file_descr * ticket) option Queue.t
+  { rq : (Unix.file_descr * int * Proto.outcome) option Queue.t
   ; rm : Mutex.t
   ; rcv : Condition.t
   }
 
-let responder_push (r : responder_q) (item : (Unix.file_descr * ticket) option)
-    : unit =
+let responder_push (r : responder_q)
+    (item : (Unix.file_descr * int * Proto.outcome) option) : unit =
   Mutex.lock r.rm;
   Queue.push item r.rq;
   Condition.signal r.rcv;
@@ -210,17 +669,17 @@ let responder_loop (r : responder_q) : unit =
     Mutex.unlock r.rm;
     match item with
     | None -> () (* sentinel: drain complete *)
-    | Some (fd, tk) ->
-      let o = await tk in
-      (try Proto.send fd (Proto.response_to_string (Proto.Done o))
+    | Some (fd, wire_id, o) ->
+      (try Proto.send fd (Proto.response_to_string ~id:wire_id (Proto.Done o))
        with _ -> () (* client went away; its job still ran and cached *));
       (try Unix.close fd with Unix.Unix_error _ -> ());
       loop ()
   in
   loop ()
 
-let reply_and_close (fd : Unix.file_descr) (resp : Proto.response) : unit =
-  (try Proto.send fd (Proto.response_to_string resp) with _ -> ());
+let reply_and_close (fd : Unix.file_descr) ~(id : int) (resp : Proto.response)
+    : unit =
+  (try Proto.send fd (Proto.response_to_string ~id resp) with _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Run the daemon on [socket] until a shutdown request or SIGTERM /
@@ -245,7 +704,9 @@ let serve_unix ?(ready : (unit -> unit) option) ~(socket : string)
   Unix.bind sock (Unix.ADDR_UNIX socket);
   Unix.listen sock 16;
   (match ready with Some f -> f () | None -> ());
-  let responder = { rq = Queue.create (); rm = Mutex.create (); rcv = Condition.create () } in
+  let responder =
+    { rq = Queue.create (); rm = Mutex.create (); rcv = Condition.create () }
+  in
   let responder_d = Domain.spawn (fun () -> responder_loop responder) in
   let admitted = ref 0 in
   let rec accept_loop () =
@@ -262,12 +723,12 @@ let serve_unix ?(ready : (unit -> unit) option) ~(socket : string)
           (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 10.0
            with Unix.Unix_error _ -> ());
           (match Proto.recv conn with
-           | Error e -> reply_and_close conn (Proto.Rejected e)
+           | Error e -> reply_and_close conn ~id:0 (Proto.Rejected e)
            | Ok payload -> begin
              match Proto.request_of_string payload with
-             | Error e -> reply_and_close conn (Proto.Rejected e)
-             | Ok Proto.Shutdown ->
-               reply_and_close conn
+             | Error e -> reply_and_close conn ~id:0 (Proto.Rejected e)
+             | Ok (wire_id, Proto.Shutdown) ->
+               reply_and_close conn ~id:wire_id
                  (Proto.Done
                     { Proto.exit_code = 0
                     ; checksum = "-"
@@ -277,15 +738,20 @@ let serve_unix ?(ready : (unit -> unit) option) ~(socket : string)
                     ; log = "draining: shutdown accepted"
                     });
                Atomic.set stop true
-             | Ok (Proto.Submit job) -> begin
+             | Ok (wire_id, Proto.Submit job) -> begin
                match submit t job with
                | `Ticket tk ->
                  incr admitted;
-                 (* response is sent by the responder once the job runs *)
-                 responder_push responder (Some (conn, tk))
+                 (* the responder sends the reply — in completion
+                    order, echoing the client's id — once the job
+                    lands *)
+                 on_complete tk (fun o ->
+                     responder_push responder (Some (conn, wire_id, o)))
                | `Overloaded (depth, cap) ->
-                 reply_and_close conn (Proto.Overloaded { depth; cap })
-               | `Draining -> reply_and_close conn (Proto.Rejected "draining")
+                 reply_and_close conn ~id:wire_id
+                   (Proto.Overloaded { depth; cap })
+               | `Draining ->
+                 reply_and_close conn ~id:wire_id (Proto.Rejected "draining")
              end
            end);
           if not (Atomic.get stop) then accept_loop ()
@@ -293,8 +759,9 @@ let serve_unix ?(ready : (unit -> unit) option) ~(socket : string)
     end
   in
   accept_loop ();
-  (* drain: queued jobs finish and their responses go out, then the
-     responder sees the sentinel *)
+  (* drain: queued jobs finish (every ticket is fulfilled, so every
+     pending on_complete fires), then the responder sees the
+     sentinel *)
   drain t;
   responder_push responder None;
   Domain.join responder_d;

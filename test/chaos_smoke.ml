@@ -1,0 +1,234 @@
+(* The chaos campaign smoke test (wired into `dune runtest` via the
+   @chaos-smoke alias).  The CLI driver's path arrives as argv(1).
+
+   1. In-process campaign: the fixed-seed schedule from Serve.Chaos —
+      clean jobs, serve:* fault jobs, executor wedges and crashes, and
+      admission bursts past the queue cap — against a 4-executor fleet
+      with the cache journal and in-flight journal attached.  The
+      campaign's own invariants (every accepted ticket answered, clean
+      checksums bit-identical to the one-shot oracle, wedges detected,
+      journal replay verified) must all hold, and the schedule must
+      have met its volume floors: >= 100 jobs submitted, >= 20 faults,
+      >= 2 wedges.
+
+   2. Hard-restart leg: spawn `polygeist-cpu serve --cache-dir`,
+      complete one clean job (its artifact is journaled), park an
+      executor:hang job in flight, SIGKILL the daemon mid-flight, and
+      restart it on the same state dir.  The restart must (a) report
+      exactly the parked ticket as lost via the in-flight journal,
+      (b) replay the cache journal so the clean job's checksum is
+      bit-identical across the kill, and (c) drain cleanly. *)
+
+let failures = ref 0
+
+let fail fmt =
+  incr failures;
+  Printf.printf fmt
+
+let sh cmd = Sys.command cmd
+let slurp path = In_channel.with_open_text path In_channel.input_all
+
+let contains (hay : string) (needle : string) : bool =
+  let n = String.length needle and l = String.length hay in
+  let rec scan i = i + n <= l && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let fresh_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+(* --- part 1: the in-process campaign --- *)
+
+let campaign () =
+  let state_dir = fresh_dir "chaos_state" in
+  let crash_dir = fresh_dir "chaos_crash" in
+  let cfg =
+    { Serve.Chaos.default_config with
+      state_dir = Some state_dir
+    ; crash_dir = Some crash_dir
+    }
+  in
+  let r = Serve.Chaos.run cfg in
+  print_string (Serve.Chaos.report_to_string r);
+  List.iter (fun v -> fail "campaign: invariant violated: %s\n" v)
+    r.Serve.Chaos.violations;
+  if r.Serve.Chaos.submitted < 100 then
+    fail "campaign: only %d jobs submitted, want >= 100\n"
+      r.Serve.Chaos.submitted;
+  if r.Serve.Chaos.faults_injected < 20 then
+    fail "campaign: only %d faults injected, want >= 20\n"
+      r.Serve.Chaos.faults_injected;
+  if r.Serve.Chaos.wedges_injected < 2 then
+    fail "campaign: only %d wedges injected, want >= 2\n"
+      r.Serve.Chaos.wedges_injected;
+  if r.Serve.Chaos.executor_kills < 2 then
+    fail "campaign: only %d executor kills, want >= 2\n"
+      r.Serve.Chaos.executor_kills;
+  if r.Serve.Chaos.accepted + r.Serve.Chaos.overloaded
+     <> r.Serve.Chaos.submitted
+  then
+    fail "campaign: %d accepted + %d overloaded != %d submitted\n"
+      r.Serve.Chaos.accepted r.Serve.Chaos.overloaded r.Serve.Chaos.submitted;
+  (* determinism: the same seed must produce the same schedule *)
+  let again = Serve.Chaos.run { cfg with state_dir = None; crash_dir = None } in
+  if
+    again.Serve.Chaos.submitted <> r.Serve.Chaos.submitted
+    || again.Serve.Chaos.faults_injected <> r.Serve.Chaos.faults_injected
+    || again.Serve.Chaos.wedges_injected <> r.Serve.Chaos.wedges_injected
+  then
+    fail "campaign: seed %d is not a reproducer (schedules differ)\n"
+      cfg.Serve.Chaos.seed;
+  List.iter (fun v -> fail "campaign rerun: invariant violated: %s\n" v)
+    again.Serve.Chaos.violations
+
+(* --- part 2: SIGKILL and restart on the same state dir --- *)
+
+let saxpy_src =
+  {|__global__ void saxpy(float* x, float* y, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) y[i] = 2.0f * x[i] + y[i];
+}
+void run(float* x, float* y, int n) {
+  saxpy<<<(n + 63) / 64, 64>>>(x, y, n);
+}
+|}
+
+let checksum_line out =
+  String.split_on_char '\n' out
+  |> List.find_opt (fun l ->
+      String.length l >= 15 && String.sub l 0 15 = "output checksum")
+
+let hard_restart (driver : string) =
+  let socket = Filename.temp_file "chaos_smoke" ".sock" in
+  Sys.remove socket;
+  let cache_dir = fresh_dir "chaos_cache" in
+  let cu = Filename.temp_file "chaos_smoke" ".cu" in
+  Out_channel.with_open_text cu (fun oc ->
+      Out_channel.output_string oc saxpy_src);
+  let spawn log =
+    let fd =
+      Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let pid =
+      Unix.create_process driver
+        [| driver
+         ; "serve"
+         ; "--socket"
+         ; socket
+         ; "--cache-dir"
+         ; cache_dir
+         ; "--executors"
+         ; "2"
+         ; "--deadline-ms"
+         ; "2000"
+        |]
+        Unix.stdin fd fd
+    in
+    Unix.close fd;
+    pid
+  in
+  let tmp = Filename.temp_file "chaos_smoke" ".out" in
+  let client args =
+    let code =
+      sh
+        (Printf.sprintf "%s client --socket %s %s > %s 2>/dev/null"
+           (Filename.quote driver) (Filename.quote socket) args
+           (Filename.quote tmp))
+    in
+    (code, slurp tmp)
+  in
+  let job_args =
+    Printf.sprintf "%s --run run --size 128 --exec interp --domains 2"
+      (Filename.quote cu)
+  in
+  let log1 = Filename.temp_file "chaos_smoke" ".log" in
+  let pid = spawn log1 in
+  if not (Serve.Client.wait_ready ~socket ~timeout_ms:10_000) then begin
+    fail "restart: daemon never became ready\n";
+    try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+  end
+  else begin
+    (* one clean job completes: its artifact reaches the cache journal
+       (fsynced on store) and its ticket gets an E record *)
+    let pre_code, pre_out = client job_args in
+    if pre_code <> 0 then fail "restart: pre-kill job exited %d\n" pre_code;
+    let pre_ck = checksum_line pre_out in
+    if pre_ck = None then fail "restart: pre-kill job printed no checksum\n";
+    (* park a wedged job in flight: executor:hang never returns, so its
+       S record has no E when the SIGKILL lands *)
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let cpid =
+      Unix.create_process driver
+        [| driver
+         ; "client"
+         ; "--socket"
+         ; socket
+         ; cu
+         ; "--run"
+         ; "run"
+         ; "--size"
+         ; "128"
+         ; "--exec"
+         ; "interp"
+         ; "--domains"
+         ; "2"
+         ; "--inject-fault"
+         ; "executor:hang"
+        |]
+        Unix.stdin devnull devnull
+    in
+    Unix.close devnull;
+    Unix.sleepf 0.6 (* let the hang job be admitted and journaled *);
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    ignore (Unix.waitpid [] cpid) (* EOF'd client; just reap it *);
+    (* restart on the same state dir *)
+    let log2 = Filename.temp_file "chaos_smoke" ".log" in
+    let pid2 = spawn log2 in
+    if not (Serve.Client.wait_ready ~socket ~timeout_ms:10_000) then begin
+      fail "restart: daemon never came back after SIGKILL\n";
+      try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ()
+    end
+    else begin
+      (* (b) the cache journal replayed: the same job must come back
+         bit-identical across process death *)
+      let post_code, post_out = client job_args in
+      if post_code <> 0 then
+        fail "restart: post-kill job exited %d\n" post_code;
+      if checksum_line post_out <> pre_ck then
+        fail "restart: checksum changed across SIGKILL+restart\n";
+      let sd_code, _ = client "--shutdown" in
+      if sd_code <> 0 then fail "restart: --shutdown exited %d\n" sd_code;
+      let _, status = Unix.waitpid [] pid2 in
+      (match status with
+       | Unix.WEXITED 0 -> ()
+       | Unix.WEXITED n -> fail "restart: daemon exited %d after drain\n" n
+       | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+         fail "restart: daemon killed/stopped by signal %d\n" n);
+      (* (a) the in-flight journal named the lost ticket *)
+      let banner = slurp log2 in
+      if not (contains banner "previous run died with 1 job(s) in flight")
+      then
+        fail
+          "restart: recovery banner missing or wrong (want exactly 1 lost \
+           job); daemon said:\n%s\n"
+          banner;
+      Printf.printf
+        "chaos restart: SIGKILL mid-flight, journal reported the lost \
+         ticket, cache replay bit-identical, clean drain\n"
+    end
+  end
+
+let () =
+  let driver =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "../bin/polygeist_cpu.exe"
+  in
+  campaign ();
+  hard_restart driver;
+  if !failures > 0 then begin
+    Printf.printf "chaos smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "chaos smoke: all checks passed"

@@ -79,6 +79,8 @@ let matrix () =
     Serve.Server.create
       { Serve.Server.queue_cap = 8
       ; cache_dir = None
+      ; executors = 1 (* legacy shape: the fleet must be bit-compatible *)
+      ; executor_deadline_ms = 0
       ; sup =
           { Serve.Supervisor.default_config with
             deadline_ms = 250 (* short: serve:hang burns one deadline *)
@@ -132,7 +134,7 @@ let matrix () =
     if i > 1 && not c.Serve.Proto.cached then
       fail "matrix: clean job %d missed the cache\n" i
   done;
-  let s = (Serve.Server.supervisor t).Serve.Supervisor.stats in
+  let s = Serve.Server.agg_stats t in
   let bundles = Array.length (Sys.readdir crash_dir) in
   if bundles <> poisoned then
     fail "matrix: %d poisoned jobs left %d crash bundles, want exactly one \
@@ -182,6 +184,8 @@ let smoke (driver : string) =
        ; crash_dir
        ; "--deadline-ms"
        ; "2000"
+       ; "--executors"
+       ; "1"
       |]
       Unix.stdin out_fd out_fd
   in

@@ -103,15 +103,15 @@ let test_proto_roundtrip () =
     }
   in
   (match Serve.Proto.request_of_string
-           (Serve.Proto.request_to_string (Serve.Proto.Submit job))
+           (Serve.Proto.request_to_string ~id:7 (Serve.Proto.Submit job))
    with
-   | Ok (Serve.Proto.Submit j) ->
+   | Ok (7, Serve.Proto.Submit j) ->
      Alcotest.(check bool) "job round-trips" true (j = job)
-   | _ -> Alcotest.fail "submit did not round-trip");
+   | _ -> Alcotest.fail "submit did not round-trip (with its id)");
   (match Serve.Proto.request_of_string
            (Serve.Proto.request_to_string Serve.Proto.Shutdown)
    with
-   | Ok Serve.Proto.Shutdown -> ()
+   | Ok (0, Serve.Proto.Shutdown) -> ()
    | _ -> Alcotest.fail "shutdown did not round-trip");
   let outcome =
     { Serve.Proto.exit_code = 1
@@ -124,9 +124,13 @@ let test_proto_roundtrip () =
   in
   List.iter
     (fun resp ->
-      match Serve.Proto.response_of_string (Serve.Proto.response_to_string resp)
+      match
+        Serve.Proto.response_of_string
+          (Serve.Proto.response_to_string ~id:9 resp)
       with
-      | Ok r -> Alcotest.(check bool) "response round-trips" true (r = resp)
+      | Ok (id, r) ->
+        Alcotest.(check int) "response echoes the id" 9 id;
+        Alcotest.(check bool) "response round-trips" true (r = resp)
       | Error e -> Alcotest.fail ("response parse failed: " ^ e))
     [ Serve.Proto.Done outcome
     ; Serve.Proto.Overloaded { depth = 32; cap = 32 }
@@ -135,6 +139,54 @@ let test_proto_roundtrip () =
   (match Serve.Proto.request_of_string "polygeist-serve/9 nonsense\n" with
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "unknown request kind must be rejected")
+
+(* Version-1 frames (no id line) predate the fleet; an old client or a
+   recorded frame must still parse, with id 0. *)
+let test_proto_v1_compat () =
+  let job =
+    { Serve.Proto.source = "__global__ void k() {}\n"
+    ; entry = None
+    ; sizes = []
+    ; mode = "inner-serial"
+    ; exec = "interp"
+    ; domains = 2
+    ; schedule = "static"
+    ; faults = ""
+    }
+  in
+  (match
+     Serve.Proto.request_of_string
+       ("polygeist-serve/1 submit\n" ^ Serve.Proto.job_to_string job)
+   with
+   | Ok (0, Serve.Proto.Submit j) ->
+     Alcotest.(check bool) "v1 submit parses, id 0" true (j = job)
+   | _ -> Alcotest.fail "v1 submit frame did not parse");
+  (match Serve.Proto.request_of_string "polygeist-serve/1 shutdown\n" with
+   | Ok (0, Serve.Proto.Shutdown) -> ()
+   | _ -> Alcotest.fail "v1 shutdown frame did not parse");
+  let o =
+    { Serve.Proto.exit_code = 0
+    ; checksum = "1.5"
+    ; cached = false
+    ; retries = 0
+    ; breaker = false
+    ; log = "ok\n"
+    }
+  in
+  (match
+     Serve.Proto.response_of_string
+       ("polygeist-serve/1 done\n" ^ Serve.Proto.outcome_to_string o)
+   with
+   | Ok (0, Serve.Proto.Done o') ->
+     Alcotest.(check bool) "v1 done parses, id 0" true (o' = o)
+   | _ -> Alcotest.fail "v1 done frame did not parse");
+  (* the id lives in the response envelope, NOT the cached artifact:
+     v2 must not have changed the cache payload bytes *)
+  Alcotest.(check bool) "outcome payload has no id field" true
+    (not
+       (String.split_on_char '\n' (Serve.Proto.outcome_to_string o)
+        |> List.exists (fun l ->
+            String.length l >= 3 && String.sub l 0 3 = "id=")))
 
 (* --- cache: content addressing and corruption eviction --- *)
 
@@ -157,40 +209,263 @@ let test_cache_corruption () =
     (Serve.Cache.key ~source:"s" ~flags:"a"
      <> Serve.Cache.key ~source:"s" ~flags:"b")
 
-let test_cache_persistence () =
+let fresh_tmp_dir () =
   let dir = Filename.temp_file "serve" ".cache" in
   Sys.remove dir;
+  dir
+
+(* The write-ahead property: a store is on disk the moment [store]
+   returns — no flush, no clean shutdown.  Closing the cache without
+   compacting stands in for SIGKILL. *)
+let test_cache_wal_durability () =
+  let dir = fresh_tmp_dir () in
   let c = Serve.Cache.create () in
+  Alcotest.(check int) "fresh dir loads empty" 0 (Serve.Cache.load c ~dir);
   Serve.Cache.store c "k1" "payload one";
-  Serve.Cache.store c "k2" "payload\ntwo";
-  (match Serve.Cache.flush c ~dir with
-   | Ok _ -> ()
-   | Error e -> Alcotest.fail ("flush failed: " ^ e));
+  Serve.Cache.store c "k2" "payload\ntwo with spaces";
+  Serve.Cache.close c (* no flush: the journal alone must carry both *);
   let c2 = Serve.Cache.create () in
-  Alcotest.(check int) "both entries load" 2 (Serve.Cache.load c2 ~dir);
-  Alcotest.(check (option string)) "loaded payload verifies"
-    (Some "payload\ntwo") (Serve.Cache.find c2 "k2");
-  (* damage the file: the bad line is dropped, the rest load *)
-  let path = Filename.concat dir "cache-index.v1" in
-  let text = In_channel.with_open_text path In_channel.input_all in
-  let damaged =
-    String.concat "\n"
-      (List.map
-         (fun line ->
-           if String.length line > 3 && String.sub line 0 2 = "k1" then
-             line ^ "damage"
-           else line)
-         (String.split_on_char '\n' text))
-  in
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc damaged);
+  Alcotest.(check int) "journal replay recovers unflushed stores" 2
+    (Serve.Cache.load c2 ~dir);
+  Alcotest.(check (option string)) "replayed payload verifies"
+    (Some "payload\ntwo with spaces")
+    (Serve.Cache.find c2 "k2");
+  Serve.Cache.close c2;
+  (* compaction on clean shutdown: flush rewrites, nothing is lost *)
   let c3 = Serve.Cache.create () in
-  Alcotest.(check int) "damaged entry dropped at load" 1
+  ignore (Serve.Cache.load c3 ~dir);
+  (match Serve.Cache.flush c3 ~dir with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail ("compaction failed: " ^ e));
+  Serve.Cache.close c3;
+  let c4 = Serve.Cache.create () in
+  Alcotest.(check int) "compacted journal still holds both" 2
+    (Serve.Cache.load c4 ~dir);
+  Serve.Cache.close c4
+
+(* A SIGKILL mid-append leaves a torn final record: replay must keep
+   every complete record, skip (and count) the torn one. *)
+let test_cache_journal_truncation () =
+  let dir = fresh_tmp_dir () in
+  let c = Serve.Cache.create () in
+  ignore (Serve.Cache.load c ~dir);
+  Serve.Cache.store c "k1" "first payload";
+  Serve.Cache.store c "k2" "second payload";
+  Serve.Cache.close c;
+  let path = Filename.concat dir "cache-journal.v2" in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  (* chop the file mid-way through the last record *)
+  let cut = String.length text - 7 in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub text 0 cut));
+  let c2 = Serve.Cache.create () in
+  Alcotest.(check int) "complete records survive the torn tail" 1
+    (Serve.Cache.load c2 ~dir);
+  let s = Serve.Cache.stats c2 in
+  Alcotest.(check bool) "torn record counted as skipped" true
+    (s.Serve.Cache.journal_skipped >= 1);
+  Serve.Cache.close c2;
+  (* a bit flip inside a record (not just truncation) is also dropped *)
+  let dir2 = fresh_tmp_dir () in
+  let c3 = Serve.Cache.create () in
+  ignore (Serve.Cache.load c3 ~dir:dir2);
+  Serve.Cache.store c3 "ka" "aaaa";
+  Serve.Cache.store c3 "kb" "bbbb";
+  Serve.Cache.close c3;
+  let path2 = Filename.concat dir2 "cache-journal.v2" in
+  let text2 = In_channel.with_open_bin path2 In_channel.input_all in
+  let b = Bytes.of_string text2 in
+  (* flip a byte in the middle of the first record's payload *)
+  let pos = String.index text2 '\n' + 40 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+  Out_channel.with_open_bin path2 (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string b));
+  let c4 = Serve.Cache.create () in
+  Alcotest.(check int) "bit-flipped record dropped, sibling loads" 1
+    (Serve.Cache.load c4 ~dir:dir2);
+  Alcotest.(check int) "replayed cache passes verify_all" 0
+    (Serve.Cache.verify_all c4);
+  Serve.Cache.close c4
+
+(* Replay is idempotent: re-storing a key appends again, and duplicate
+   records collapse to the last write at replay. *)
+let test_cache_journal_duplicates () =
+  let dir = fresh_tmp_dir () in
+  let c = Serve.Cache.create () in
+  ignore (Serve.Cache.load c ~dir);
+  Serve.Cache.store c "k" "version one";
+  Serve.Cache.store c "k" "version two";
+  Serve.Cache.store c "k" "version two" (* identical duplicate append *);
+  Serve.Cache.close c;
+  let c2 = Serve.Cache.create () in
+  ignore (Serve.Cache.load c2 ~dir);
+  let s = Serve.Cache.stats c2 in
+  Alcotest.(check int) "duplicate appends collapse to one entry" 1
+    s.Serve.Cache.entries;
+  Alcotest.(check (option string)) "last write wins" (Some "version two")
+    (Serve.Cache.find c2 "k");
+  Serve.Cache.close c2
+
+(* Generation handling around compaction crashes: a temp journal NEWER
+   than the main one is a finished-but-unrenamed compaction and must be
+   promoted; a temp at or below the main generation is stale debris and
+   must be discarded. *)
+let test_cache_journal_generations () =
+  let dir = fresh_tmp_dir () in
+  let c = Serve.Cache.create () in
+  ignore (Serve.Cache.load c ~dir);
+  Serve.Cache.store c "old" "old payload";
+  (match Serve.Cache.flush c ~dir with
+   | Ok _ -> () (* journal is now gen 1 *)
+   | Error e -> Alcotest.fail ("flush failed: " ^ e));
+  Serve.Cache.close c;
+  let main = Filename.concat dir "cache-journal.v2" in
+  let tmp = main ^ ".tmp" in
+  (* stale temp (gen 0 < main's gen): must be removed, main replayed *)
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc
+        "polygeist-serve cache journal v2 gen=0\ngarbage\n");
+  let c2 = Serve.Cache.create () in
+  Alcotest.(check int) "stale temp ignored, main journal replayed" 1
+    (Serve.Cache.load c2 ~dir);
+  Alcotest.(check bool) "stale temp deleted" false (Sys.file_exists tmp);
+  Serve.Cache.close c2;
+  (* newer temp (interrupted compaction): build a genuine gen-9 snapshot
+     in a scratch cache, park it as the temp, and expect promotion *)
+  let scratch_dir = fresh_tmp_dir () in
+  let sc = Serve.Cache.create () in
+  ignore (Serve.Cache.load sc ~dir:scratch_dir);
+  Serve.Cache.store sc "new" "new payload";
+  Serve.Cache.close sc;
+  let scratch = Filename.concat scratch_dir "cache-journal.v2" in
+  let text = In_channel.with_open_bin scratch In_channel.input_all in
+  let bumped =
+    "polygeist-serve cache journal v2 gen=9\n"
+    ^ String.concat "\n"
+        (List.tl (String.split_on_char '\n' text))
+  in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc bumped);
+  let c3 = Serve.Cache.create () in
+  Alcotest.(check int) "interrupted compaction promoted" 1
     (Serve.Cache.load c3 ~dir);
-  Alcotest.(check (option string)) "damaged entry gone" None
-    (Serve.Cache.find c3 "k1");
-  Alcotest.(check (option string)) "survivor still verifies"
-    (Some "payload\ntwo") (Serve.Cache.find c3 "k2")
+  Alcotest.(check (option string)) "promoted snapshot's entry served"
+    (Some "new payload")
+    (Serve.Cache.find c3 "new");
+  Alcotest.(check (option string)) "pre-compaction entry superseded" None
+    (Serve.Cache.find c3 "old");
+  Serve.Cache.close c3
+
+(* The legacy flush-on-shutdown index still loads when no journal
+   exists, and the first load migrates it into a journal. *)
+let test_cache_v1_index_compat () =
+  let dir = fresh_tmp_dir () in
+  Sys.mkdir dir 0o755;
+  let payload = "legacy payload\nwith a second line" in
+  let d = Digest.to_hex (Digest.string payload) in
+  Out_channel.with_open_text (Filename.concat dir "cache-index.v1") (fun oc ->
+      Out_channel.output_string oc
+        (Printf.sprintf "polygeist-serve cache index v1\n%s %s %s\n" "oldkey" d
+           (String.escaped payload)));
+  let c = Serve.Cache.create () in
+  Alcotest.(check int) "v1 index loads without a journal" 1
+    (Serve.Cache.load c ~dir);
+  Alcotest.(check (option string)) "v1 entry verifies and serves"
+    (Some payload) (Serve.Cache.find c "oldkey");
+  (* a store after migration lands in the new journal *)
+  Serve.Cache.store c "newkey" "journaled";
+  Serve.Cache.close c;
+  Alcotest.(check bool) "journal created alongside the v1 index" true
+    (Sys.file_exists (Filename.concat dir "cache-journal.v2"))
+
+(* Corrupt artifacts are quarantined on disk, not silently dropped. *)
+let test_cache_quarantine () =
+  let dir = fresh_tmp_dir () in
+  let c = Serve.Cache.create () in
+  ignore (Serve.Cache.load c ~dir);
+  let k = Serve.Cache.key ~source:"src" ~flags:"flags" in
+  Serve.Cache.store c k "soon to rot";
+  Alcotest.(check bool) "corrupt hook flips the artifact" true
+    (Serve.Cache.corrupt c k);
+  Alcotest.(check (option string)) "corrupt artifact not served" None
+    (Serve.Cache.find c k);
+  let s = Serve.Cache.stats c in
+  Alcotest.(check int) "quarantine counted in stats" 1
+    s.Serve.Cache.quarantined;
+  let qdir = Filename.concat dir "quarantine" in
+  Alcotest.(check bool) "quarantine dir holds the evidence" true
+    (Sys.file_exists qdir && Array.length (Sys.readdir qdir) = 1);
+  Serve.Cache.close c
+
+(* Property: whatever bytes go through [store], a fresh replay of the
+   journal serves them all back verbatim — spaces, newlines, quotes,
+   binary escapes included. *)
+let test_wal_replay_roundtrip =
+  QCheck.Test.make ~name:"cache journal: replay serves every stored payload"
+    ~count:20
+    QCheck.(small_list (string_of_size (QCheck.Gen.int_range 0 64)))
+    (fun payloads ->
+      let dir = fresh_tmp_dir () in
+      let c = Serve.Cache.create () in
+      ignore (Serve.Cache.load c ~dir);
+      List.iteri
+        (fun i p ->
+          Serve.Cache.store c
+            (Serve.Cache.key ~source:p ~flags:(string_of_int i))
+            p)
+        payloads;
+      Serve.Cache.close c;
+      let c2 = Serve.Cache.create () in
+      ignore (Serve.Cache.load c2 ~dir);
+      let ok =
+        List.mapi
+          (fun i p ->
+            Serve.Cache.find c2
+              (Serve.Cache.key ~source:p ~flags:(string_of_int i))
+            = Some p)
+          payloads
+        |> List.for_all Fun.id
+      in
+      Serve.Cache.close c2;
+      ok)
+
+(* --- the in-flight job journal --- *)
+
+let test_inflight_journal () =
+  let dir = fresh_tmp_dir () in
+  (match Serve.Journal.open_ ~dir with
+   | Error e -> Alcotest.fail ("journal open failed: " ^ e)
+   | Ok j ->
+     Serve.Journal.start j ~id:1 ~digest:"d-one";
+     Serve.Journal.start j ~id:2 ~digest:"d-two";
+     Serve.Journal.start j ~id:3 ~digest:"d-three";
+     Serve.Journal.finish j ~id:2 ~status:"done";
+     Serve.Journal.close j (* no E for 1 and 3: a SIGKILL here *));
+  let r = Serve.Journal.recover ~dir in
+  Alcotest.(check (list (pair int string)))
+    "exactly the unanswered tickets are lost"
+    [ (1, "d-one"); (3, "d-three") ]
+    r.Serve.Journal.lost;
+  Alcotest.(check int) "completed records counted" 1
+    r.Serve.Journal.completed;
+  (* a torn final record is skipped, not misread *)
+  let path = Filename.concat dir "inflight.v1" in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub text 0 (String.length text - 5)));
+  let r2 = Serve.Journal.recover ~dir in
+  Alcotest.(check bool) "torn record skipped" true
+    (r2.Serve.Journal.skipped >= 1);
+  Alcotest.(check (list (pair int string)))
+    "torn E for ticket 2 resurfaces it as lost"
+    [ (1, "d-one"); (2, "d-two"); (3, "d-three") ]
+    r2.Serve.Journal.lost;
+  (* re-opening starts a fresh generation: old flights are not replayed *)
+  (match Serve.Journal.open_ ~dir with
+   | Error e -> Alcotest.fail ("journal re-open failed: " ^ e)
+   | Ok j -> Serve.Journal.close j);
+  let r3 = Serve.Journal.recover ~dir in
+  Alcotest.(check (list (pair int string))) "open_ truncates" []
+    r3.Serve.Journal.lost
 
 (* --- circuit breaker state machine --- *)
 
@@ -336,6 +611,57 @@ let test_supervisor_breaker_trip () =
   Alcotest.(check int) "conservative service is degraded" 1
     o.Serve.Proto.exit_code
 
+(* --- executor fleet: wedge detection and replacement --- *)
+
+let test_fleet_wedge_replaced () =
+  let dir = Filename.temp_file "serve" ".crash" in
+  Sys.remove dir;
+  let t =
+    Serve.Server.create
+      { Serve.Server.queue_cap = 16
+      ; cache_dir = None
+      ; executors = 2
+      ; executor_deadline_ms = 400
+      ; sup =
+          { Serve.Supervisor.default_config with
+            deadline_ms = 5000
+          ; crash_dir = Some dir
+          ; backoff = { Serve.Backoff.base_ms = 1; cap_ms = 2; max_retries = 0 }
+          }
+      }
+  in
+  let submit job =
+    match Serve.Server.submit t job with
+    | `Ticket tk -> tk
+    | `Overloaded _ | `Draining -> Alcotest.fail "submit rejected"
+  in
+  let wedged = submit (mk_job ~faults:"executor:hang" ()) in
+  let clean = submit (mk_job ()) in
+  Serve.Server.drain t;
+  (match Serve.Server.peek wedged with
+   | None -> Alcotest.fail "wedged ticket never answered"
+   | Some o ->
+     Alcotest.(check int) "wedged ticket fails" 2 o.Serve.Proto.exit_code;
+     Alcotest.(check bool) "failure names the wedge" true
+       (let log = o.Serve.Proto.log in
+        let needle = "wedged" in
+        let n = String.length needle and l = String.length log in
+        let rec scan i =
+          i + n <= l && (String.sub log i n = needle || scan (i + 1))
+        in
+        scan 0));
+  (match Serve.Server.peek clean with
+   | None -> Alcotest.fail "clean ticket never answered"
+   | Some o ->
+     Alcotest.(check int) "clean job survives the wedge next door" 0
+       o.Serve.Proto.exit_code);
+  Alcotest.(check bool) "the wedged incarnation was killed" true
+    (Serve.Server.executor_kills t >= 1);
+  (* the monitor's kill wrote a rung="serve" bundle for the wedge *)
+  let bundles = if Sys.file_exists dir then Sys.readdir dir else [||] in
+  Alcotest.(check bool) "wedge produced a crash bundle" true
+    (Array.length bundles >= 1)
+
 let tests =
   [ QCheck_alcotest.to_alcotest test_delay_in_bounds
   ; QCheck_alcotest.to_alcotest test_delay_deterministic
@@ -343,10 +669,27 @@ let tests =
   ; QCheck_alcotest.to_alcotest test_deterministic_never_retried
   ; QCheck_alcotest.to_alcotest test_transient_bounded
   ; Alcotest.test_case "protocol round trips" `Quick test_proto_roundtrip
+  ; Alcotest.test_case "protocol v1 frames still parse (id 0)" `Quick
+      test_proto_v1_compat
   ; Alcotest.test_case "cache never serves corruption" `Quick
       test_cache_corruption
-  ; Alcotest.test_case "cache index flush/load re-verifies" `Quick
-      test_cache_persistence
+  ; Alcotest.test_case "cache journal: stores durable without flush" `Quick
+      test_cache_wal_durability
+  ; Alcotest.test_case "cache journal: torn tail and bit flips dropped"
+      `Quick test_cache_journal_truncation
+  ; Alcotest.test_case "cache journal: duplicate appends idempotent" `Quick
+      test_cache_journal_duplicates
+  ; Alcotest.test_case "cache journal: compaction generations" `Quick
+      test_cache_journal_generations
+  ; Alcotest.test_case "cache: legacy v1 index migrates" `Quick
+      test_cache_v1_index_compat
+  ; Alcotest.test_case "cache: corrupt artifacts quarantined on disk" `Quick
+      test_cache_quarantine
+  ; QCheck_alcotest.to_alcotest test_wal_replay_roundtrip
+  ; Alcotest.test_case "in-flight journal: lost tickets recovered" `Quick
+      test_inflight_journal
+  ; Alcotest.test_case "fleet: wedged executor killed, work rerouted" `Quick
+      test_fleet_wedge_replaced
   ; Alcotest.test_case "circuit breaker trip and half-open recovery" `Quick
       test_breaker
   ; Alcotest.test_case "supervisor: clean job, then bit-identical cache hit"
